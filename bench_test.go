@@ -1,0 +1,346 @@
+// Package stz_test carries one testing.B benchmark per table and figure of
+// the paper's evaluation (§4). The full row/series output for each artifact
+// comes from cmd/stzbench; these benchmarks time the code paths behind each
+// artifact so regressions are visible in `go test -bench`.
+package stz_test
+
+import (
+	"sync"
+	"testing"
+
+	"stz/internal/bench"
+	"stz/internal/core"
+	"stz/internal/datasets"
+	"stz/internal/grid"
+	"stz/internal/metrics"
+	"stz/internal/roi"
+)
+
+// Benchmark volumes are kept moderate so the whole suite runs in minutes;
+// cmd/stzbench uses the larger harness dims.
+var (
+	onceData sync.Once
+	nyxG     *grid.Grid[float32]
+	mirandaG *grid.Grid[float32]
+	magrecG  *grid.Grid[float32]
+	warpxG   *grid.Grid[float64]
+)
+
+func load() {
+	onceData.Do(func() {
+		nyxG = datasets.Nyx(64, 64, 64, 1001)
+		mirandaG = datasets.Miranda(64, 64, 64, 1004)
+		magrecG = datasets.MagneticReconnection(64, 64, 64, 1003)
+		warpxG = datasets.WarpX(256, 32, 32, 1002)
+	})
+}
+
+func mustRun[T grid.Float](b *testing.B, c bench.Codec[T], g *grid.Grid[T], eb float64, workers int) {
+	b.Helper()
+	if _, err := bench.Run(c, g, eb, workers, false); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTable1Features validates and times the two streaming features
+// that Table 1 claims only STZ provides: progressive and random access on
+// the same stream.
+func BenchmarkTable1Features(b *testing.B) {
+	load()
+	enc, err := core.Compress(nyxG, core.DefaultConfig(0.1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := core.NewReader[float32](enc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Progressive(1); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := r.DecompressSliceZ(32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Datasets times the synthetic dataset generators that stand
+// in for Table 2's datasets.
+func BenchmarkTable2Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = datasets.Nyx(32, 32, 32, int64(i))
+		_ = datasets.Miranda(32, 32, 32, int64(i))
+		_ = datasets.MagneticReconnection(32, 32, 32, int64(i))
+		_ = datasets.WarpX(64, 16, 16, int64(i))
+	}
+}
+
+// BenchmarkFig3MatchedCR times the three Fig. 3 methods (naive partition,
+// SZ3, STZ) at a common bound on Nyx.
+func BenchmarkFig3MatchedCR(b *testing.B) {
+	load()
+	variants := map[string]bench.Codec[float32]{
+		"Partition": bench.STZVariant[float32]("Partition", func(eb float64) core.Config {
+			c := core.DefaultConfig(eb)
+			c.PartitionOnly = true
+			return c
+		}),
+		"SZ3":  bench.Codecs[float32]()[1],
+		"Ours": bench.STZ[float32](),
+	}
+	for name, v := range variants {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(nyxG.Len() * 4))
+			for i := 0; i < b.N; i++ {
+				mustRun(b, v, nyxG, 2e-3, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkFig5Ablation times the ablation ladder of Fig. 5 on Nyx.
+func BenchmarkFig5Ablation(b *testing.B) {
+	load()
+	mk := bench.STZVariant[float32]
+	variants := []bench.Codec[float32]{
+		mk("Partition", func(eb float64) core.Config {
+			c := core.DefaultConfig(eb)
+			c.PartitionOnly = true
+			return c
+		}),
+		mk("DirectPred", func(eb float64) core.Config {
+			return core.Config{EB: eb, Levels: 2, Predictor: core.PredDirect, Residual: core.ResidSZ3}
+		}),
+		mk("MultiDimInterp", func(eb float64) core.Config {
+			return core.Config{EB: eb, Levels: 2, Predictor: core.PredLinear, Residual: core.ResidSZ3}
+		}),
+		mk("MultiDimQt", func(eb float64) core.Config {
+			return core.Config{EB: eb, Levels: 2, Predictor: core.PredLinear, Residual: core.ResidQuant}
+		}),
+		mk("CubicMultiQt", func(eb float64) core.Config {
+			return core.Config{EB: eb, Levels: 2, Predictor: core.PredCubic, Residual: core.ResidQuant}
+		}),
+		mk("CubicMultiQtAdp", func(eb float64) core.Config {
+			return core.Config{EB: eb, Levels: 2, Predictor: core.PredCubic, Residual: core.ResidQuant,
+				AdaptiveEB: true, EBRatio: 2.5}
+		}),
+		mk("ThreeLevelAll", core.DefaultConfig),
+	}
+	for _, v := range variants {
+		b.Run(v.Name, func(b *testing.B) {
+			b.SetBytes(int64(nyxG.Len() * 4))
+			for i := 0; i < b.N; i++ {
+				mustRun(b, v, nyxG, 1e-3, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkFig10ROI times the halo ROI workflow: block scan, threshold,
+// multi-box random-access decompression.
+func BenchmarkFig10ROI(b *testing.B) {
+	load()
+	enc, err := core.Compress(nyxG, core.DefaultConfig(0.1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := core.NewReader[float32](enc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		regions, err := roi.ScanBlocks(nyxG, 8, roi.MaxValue)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sel := roi.Threshold(regions, 81.66)
+		if len(sel) == 0 {
+			b.Fatal("no ROI found")
+		}
+		boxes := make([]grid.Box, len(sel))
+		for j, s := range sel {
+			boxes[j] = s.Box
+		}
+		if _, _, err := r.DecompressBoxes(boxes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11RateDistortion times one rate-distortion point per
+// compressor per dataset (the full sweep is cmd/stzbench -exp fig11).
+func BenchmarkFig11RateDistortion(b *testing.B) {
+	load()
+	b.Run("Nyx", func(b *testing.B) { rdBench(b, nyxG) })
+	b.Run("Mag_Rec", func(b *testing.B) { rdBench(b, magrecG) })
+	b.Run("Miranda", func(b *testing.B) { rdBench(b, mirandaG) })
+	b.Run("WarpX", func(b *testing.B) { rdBench(b, warpxG) })
+}
+
+func rdBench[T grid.Float](b *testing.B, g *grid.Grid[T]) {
+	for _, c := range bench.Codecs[T]() {
+		c := c
+		b.Run(c.Name, func(b *testing.B) {
+			var w T
+			elem := 8
+			if _, ok := any(w).(float32); ok {
+				elem = 4
+			}
+			b.SetBytes(int64(g.Len() * elem))
+			for i := 0; i < b.N; i++ {
+				mustRun(b, c, g, 1e-3, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkFig12MatchedQuality times the SSIM-bearing quality comparison
+// used for Fig. 12 (WarpX at a fixed bound).
+func BenchmarkFig12MatchedQuality(b *testing.B) {
+	load()
+	c := bench.STZ[float64]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run(c, warpxG, 1e-3, 1, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Compression / BenchmarkTable3Decompression time the
+// serial and 8-way parallel modes of every compressor (Table 3).
+func BenchmarkTable3Compression(b *testing.B) {
+	load()
+	for _, workers := range []int{1, 8} {
+		mode := "Serial"
+		if workers > 1 {
+			mode = "OMP8"
+		}
+		for _, c := range bench.Codecs[float32]() {
+			c := c
+			w := workers
+			b.Run(c.Name+"/"+mode, func(b *testing.B) {
+				mn, mx := nyxG.Range()
+				eb := 1e-3 * float64(mx-mn)
+				b.SetBytes(int64(nyxG.Len() * 4))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Compress(nyxG, eb, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkTable3Decompression(b *testing.B) {
+	load()
+	for _, workers := range []int{1, 8} {
+		mode := "Serial"
+		if workers > 1 {
+			mode = "OMP8"
+		}
+		for _, c := range bench.Codecs[float32]() {
+			if workers > 1 && !c.ParallelDecompress {
+				continue // ZFP / MGARD-X: no parallel decompression mode
+			}
+			c := c
+			w := workers
+			b.Run(c.Name+"/"+mode, func(b *testing.B) {
+				mn, mx := nyxG.Range()
+				eb := 1e-3 * float64(mx-mn)
+				enc, err := c.Compress(nyxG, eb, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(nyxG.Len() * 4))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Decompress(enc, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable4RandomAccess times full, 3D-box, and 2D-slice
+// decompression (Table 4) on the Miranda stand-in.
+func BenchmarkTable4RandomAccess(b *testing.B) {
+	load()
+	mn, mx := mirandaG.Range()
+	enc, err := core.Compress(mirandaG, core.DefaultConfig(1e-3*float64(mx-mn)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := core.NewReader[float32](enc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	box := grid.Box{Z0: 20, Y0: 20, X0: 20, Z1: 28, Y1: 28, X1: 28}
+	b.Run("All", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := r.DecompressStats(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Box", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := r.DecompressBox(box); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Slice", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := r.DecompressSliceZ(32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig13Progressive times progressive reconstruction at each level
+// (Fig. 13) on the Miranda stand-in.
+func BenchmarkFig13Progressive(b *testing.B) {
+	load()
+	mn, mx := mirandaG.Range()
+	enc, err := core.Compress(mirandaG, core.DefaultConfig(1e-3*float64(mx-mn)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := core.NewReader[float32](enc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for lv := 1; lv <= 3; lv++ {
+		lv := lv
+		name := []string{"", "Coarsest64th", "Coarse8th", "Full"}[lv]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Progressive(lv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// The quality side of Fig. 13: upsampled-SSIM at the coarsest level.
+	b.Run("CoarsestSSIM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec, err := r.Progressive(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			up := grid.Resize(rec, mirandaG.Nz, mirandaG.Ny, mirandaG.Nx)
+			if _, err := metrics.SSIM3D(mirandaG, up); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

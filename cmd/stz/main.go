@@ -1,0 +1,498 @@
+// Command stz is the command-line front end of the STZ streaming
+// compressor.
+//
+//	stz gen        -dataset Nyx -dims 64x64x64 -out nyx.f32
+//	stz compress   -in nyx.f32 -dims 64x64x64 -dtype f32 -eb 1e-3 -rel -out nyx.stz
+//	stz info       -in nyx.stz
+//	stz decompress -in nyx.stz -out full.f32
+//	stz decompress -in nyx.stz -level 1 -out coarse.f32        (progressive)
+//	stz decompress -in nyx.stz -box 0:32,0:32,0:32 -out roi.f32 (random access)
+//	stz decompress -in nyx.stz -slice 17 -out slice.f32
+//	stz roi        -in nyx.f32 -dims 64x64x64 -dtype f32 -mode max -threshold 81.66
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"image"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"stz/internal/core"
+	"stz/internal/datasets"
+	"stz/internal/grid"
+	"stz/internal/quant"
+	"stz/internal/roi"
+	"stz/internal/viz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "compress":
+		err = cmdCompress(os.Args[2:])
+	case "decompress":
+		err = cmdDecompress(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "roi":
+		err = cmdROI(os.Args[2:])
+	case "render":
+		err = cmdRender(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stz:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: stz <gen|compress|decompress|info|roi|render> [flags]
+run "stz <command> -h" for command flags`)
+}
+
+// cmdRender rasterizes one z-slice of a raw field to PNG (the artifact the
+// paper's visual figures are built from).
+func cmdRender(args []string) error {
+	fs := flag.NewFlagSet("render", flag.ExitOnError)
+	in := fs.String("in", "", "input raw file")
+	out := fs.String("out", "", "output PNG file")
+	dims := fs.String("dims", "", "dimensions ZxYxX")
+	dtype := fs.String("dtype", "f32", "element type: f32 or f64")
+	z := fs.Int("z", 0, "z slice index")
+	cmapName := fs.String("cmap", "gray", "colormap: gray, rainbow, coolwarm")
+	logScale := fs.Bool("log", false, "log-scale normalization")
+	fs.Parse(args)
+	if *in == "" || *out == "" || *dims == "" {
+		return fmt.Errorf("render: -in, -out and -dims required")
+	}
+	nz, ny, nx, err := parseDims(*dims)
+	if err != nil {
+		return err
+	}
+	var cmap viz.Colormap
+	switch *cmapName {
+	case "gray":
+		cmap = viz.Gray
+	case "rainbow":
+		cmap = viz.Rainbow
+	case "coolwarm":
+		cmap = viz.CoolWarm
+	default:
+		return fmt.Errorf("render: unknown colormap %q", *cmapName)
+	}
+	opts := viz.Options{Map: cmap, Log: *logScale}
+	var img *image.RGBA
+	if *dtype == "f32" {
+		g, err := readRaw32(*in, nz, ny, nx)
+		if err != nil {
+			return err
+		}
+		img, err = viz.SliceZ(g, *z, opts)
+		if err != nil {
+			return err
+		}
+	} else {
+		g, err := readRaw64(*in, nz, ny, nx)
+		if err != nil {
+			return err
+		}
+		img, err = viz.SliceZ(g, *z, opts)
+		if err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := viz.WritePNG(f, img); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%dx%d)\n", *out, img.Bounds().Dx(), img.Bounds().Dy())
+	return nil
+}
+
+// parseDims parses "ZxYxX".
+func parseDims(s string) (int, int, int, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("dims must be ZxYxX, got %q", s)
+	}
+	var d [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return 0, 0, 0, fmt.Errorf("bad dimension %q", p)
+		}
+		d[i] = v
+	}
+	return d[0], d[1], d[2], nil
+}
+
+// parseBox parses "z0:z1,y0:y1,x0:x1".
+func parseBox(s string) (grid.Box, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return grid.Box{}, fmt.Errorf("box must be z0:z1,y0:y1,x0:x1")
+	}
+	var lo, hi [3]int
+	for i, p := range parts {
+		r := strings.Split(p, ":")
+		if len(r) != 2 {
+			return grid.Box{}, fmt.Errorf("bad range %q", p)
+		}
+		a, err1 := strconv.Atoi(r[0])
+		b, err2 := strconv.Atoi(r[1])
+		if err1 != nil || err2 != nil {
+			return grid.Box{}, fmt.Errorf("bad range %q", p)
+		}
+		lo[i], hi[i] = a, b
+	}
+	return grid.Box{Z0: lo[0], Y0: lo[1], X0: lo[2], Z1: hi[0], Y1: hi[1], X1: hi[2]}, nil
+}
+
+// readRaw loads a little-endian raw float file.
+func readRaw32(path string, nz, ny, nx int) (*grid.Grid[float32], error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	n := nz * ny * nx
+	if len(b) != 4*n {
+		return nil, fmt.Errorf("%s: %d bytes, want %d for %dx%dx%d f32", path, len(b), 4*n, nz, ny, nx)
+	}
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return grid.FromData(data, nz, ny, nx)
+}
+
+func readRaw64(path string, nz, ny, nx int) (*grid.Grid[float64], error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	n := nz * ny * nx
+	if len(b) != 8*n {
+		return nil, fmt.Errorf("%s: %d bytes, want %d for %dx%dx%d f64", path, len(b), 8*n, nz, ny, nx)
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return grid.FromData(data, nz, ny, nx)
+}
+
+func writeRaw32(path string, g *grid.Grid[float32]) error {
+	out := make([]byte, 4*g.Len())
+	for i, v := range g.Data {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+func writeRaw64(path string, g *grid.Grid[float64]) error {
+	out := make([]byte, 8*g.Len())
+	for i, v := range g.Data {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name := fs.String("dataset", "Nyx", "dataset stand-in: Nyx, WarpX, Mag_Rec, Miranda")
+	dims := fs.String("dims", "64x64x64", "dimensions ZxYxX")
+	out := fs.String("out", "", "output raw file")
+	seed := fs.Int64("seed", 0, "override the dataset seed (0 = default)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -out required")
+	}
+	nz, ny, nx, err := parseDims(*dims)
+	if err != nil {
+		return err
+	}
+	for _, s := range datasets.All() {
+		if !strings.EqualFold(s.Name, *name) {
+			continue
+		}
+		sd := s.Seed
+		if *seed != 0 {
+			sd = *seed
+		}
+		if s.DType == "float32" {
+			g := s.Generate32(nz, ny, nx, sd)
+			if err := writeRaw32(*out, g); err != nil {
+				return err
+			}
+		} else {
+			g := s.Generate64(nz, ny, nx, sd)
+			if err := writeRaw64(*out, g); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %s (%s, %dx%dx%d, %s)\n", *out, s.Name, nz, ny, nx, s.DType)
+		return nil
+	}
+	return fmt.Errorf("gen: unknown dataset %q", *name)
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	in := fs.String("in", "", "input raw file")
+	out := fs.String("out", "", "output .stz file")
+	dims := fs.String("dims", "", "dimensions ZxYxX")
+	dtype := fs.String("dtype", "f32", "element type: f32 or f64")
+	eb := fs.Float64("eb", 1e-3, "error bound")
+	rel := fs.Bool("rel", false, "eb is relative to the value range")
+	levels := fs.Int("levels", 3, "hierarchy levels (2, 3 or 4)")
+	workers := fs.Int("workers", 1, "parallel workers")
+	fs.Parse(args)
+	if *in == "" || *out == "" || *dims == "" {
+		return fmt.Errorf("compress: -in, -out and -dims required")
+	}
+	nz, ny, nx, err := parseDims(*dims)
+	if err != nil {
+		return err
+	}
+	var enc []byte
+	var origBytes int
+	switch *dtype {
+	case "f32":
+		g, err := readRaw32(*in, nz, ny, nx)
+		if err != nil {
+			return err
+		}
+		bound := *eb
+		if *rel {
+			mn, mx := g.Range()
+			bound = quant.AbsoluteBound(*eb, float64(mn), float64(mx))
+		}
+		cfg := core.DefaultConfig(bound)
+		cfg.Levels = *levels
+		cfg.Workers = *workers
+		enc, err = core.Compress(g, cfg)
+		if err != nil {
+			return err
+		}
+		origBytes = 4 * g.Len()
+	case "f64":
+		g, err := readRaw64(*in, nz, ny, nx)
+		if err != nil {
+			return err
+		}
+		bound := *eb
+		if *rel {
+			mn, mx := g.Range()
+			bound = quant.AbsoluteBound(*eb, mn, mx)
+		}
+		cfg := core.DefaultConfig(bound)
+		cfg.Levels = *levels
+		cfg.Workers = *workers
+		enc, err = core.Compress(g, cfg)
+		if err != nil {
+			return err
+		}
+		origBytes = 8 * g.Len()
+	default:
+		return fmt.Errorf("compress: dtype must be f32 or f64")
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d -> %d bytes (CR %.1f)\n", *out, origBytes, len(enc),
+		float64(origBytes)/float64(len(enc)))
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "input .stz file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("info: -in required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	hdr, err := peekHeader(data)
+	if err != nil {
+		return err
+	}
+	dt := "f64"
+	if hdr.DType == 4 {
+		dt = "f32"
+	}
+	fmt.Printf("dims: %dx%dx%d  dtype: %s  levels: %d\n", hdr.Fz, hdr.Fy, hdr.Fx, dt, hdr.Levels)
+	fmt.Printf("eb: %g  adaptive: %v (ratio %.2f)  predictor: %s  residual: %s\n",
+		hdr.EB, hdr.AdaptiveEB, hdr.EBRatio, hdr.Predictor, hdr.Residual)
+	fmt.Printf("partition-only: %v  compressed size: %d bytes\n", hdr.PartitionOnly, len(data))
+	return nil
+}
+
+// peekHeader reads the header regardless of the stream's element type.
+func peekHeader(data []byte) (core.Header, error) {
+	if r, err := core.NewReader[float32](data); err == nil {
+		return r.Header(), nil
+	}
+	r, err := core.NewReader[float64](data)
+	if err != nil {
+		return core.Header{}, err
+	}
+	return r.Header(), nil
+}
+
+func cmdDecompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	in := fs.String("in", "", "input .stz file")
+	out := fs.String("out", "", "output raw file")
+	level := fs.Int("level", 0, "progressive level (1 = coarsest; 0 = full)")
+	boxSpec := fs.String("box", "", "random-access box z0:z1,y0:y1,x0:x1")
+	slice := fs.Int("slice", -1, "random-access z slice")
+	workers := fs.Int("workers", 1, "parallel workers")
+	stats := fs.Bool("stats", false, "print the stage time breakdown")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("decompress: -in and -out required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	hdr, err := peekHeader(data)
+	if err != nil {
+		return err
+	}
+	if hdr.DType == 4 {
+		return decompressAs[float32](data, *out, *level, *boxSpec, *slice, *workers, *stats, writeRaw32)
+	}
+	return decompressAs[float64](data, *out, *level, *boxSpec, *slice, *workers, *stats, writeRaw64)
+}
+
+func decompressAs[T grid.Float](data []byte, out string, level int, boxSpec string,
+	slice, workers int, stats bool, write func(string, *grid.Grid[T]) error) error {
+
+	r, err := core.NewReader[T](data)
+	if err != nil {
+		return err
+	}
+	r.Workers = workers
+	var g *grid.Grid[T]
+	var st *core.Stats
+	switch {
+	case boxSpec != "":
+		b, err := parseBox(boxSpec)
+		if err != nil {
+			return err
+		}
+		g, st, err = r.DecompressBox(b)
+		if err != nil {
+			return err
+		}
+	case slice >= 0:
+		g, st, err = r.DecompressSliceZ(slice)
+		if err != nil {
+			return err
+		}
+	case level > 0:
+		g, err = r.Progressive(level)
+		if err != nil {
+			return err
+		}
+	default:
+		g, st, err = r.DecompressStats()
+		if err != nil {
+			return err
+		}
+	}
+	if err := write(out, g); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %dx%dx%d\n", out, g.Nz, g.Ny, g.Nx)
+	if stats && st != nil {
+		fmt.Printf("L1 SZ3 %v | L2 dec %v pre %v rec %v | L3 dec %v pre %v rec %v | total %v\n",
+			st.L1SZ3, st.LevelDecode[0], st.LevelPredict[0], st.LevelRecon[0],
+			st.LevelDecode[1], st.LevelPredict[1], st.LevelRecon[1], st.Total)
+	}
+	return nil
+}
+
+func cmdROI(args []string) error {
+	fs := flag.NewFlagSet("roi", flag.ExitOnError)
+	in := fs.String("in", "", "input raw file")
+	dims := fs.String("dims", "", "dimensions ZxYxX")
+	dtype := fs.String("dtype", "f32", "element type: f32 or f64")
+	mode := fs.String("mode", "max", "statistic: max or range")
+	thresh := fs.Float64("threshold", 0, "selection threshold")
+	top := fs.Float64("top", 0, "select top X percent instead of threshold")
+	block := fs.Int("block", 16, "ROI block size")
+	fs.Parse(args)
+	if *in == "" || *dims == "" {
+		return fmt.Errorf("roi: -in and -dims required")
+	}
+	nz, ny, nx, err := parseDims(*dims)
+	if err != nil {
+		return err
+	}
+	m := roi.MaxValue
+	if *mode == "range" {
+		m = roi.ValueRange
+	}
+	var regions []roi.Region
+	var total int
+	if *dtype == "f32" {
+		g, err := readRaw32(*in, nz, ny, nx)
+		if err != nil {
+			return err
+		}
+		regions, err = roi.ScanBlocks(g, *block, m)
+		if err != nil {
+			return err
+		}
+		total = g.Len()
+	} else {
+		g, err := readRaw64(*in, nz, ny, nx)
+		if err != nil {
+			return err
+		}
+		regions, err = roi.ScanBlocks(g, *block, m)
+		if err != nil {
+			return err
+		}
+		total = g.Len()
+	}
+	var sel []roi.Region
+	if *top > 0 {
+		sel = roi.TopPercent(regions, *top)
+	} else {
+		sel = roi.Threshold(regions, *thresh)
+	}
+	var pts int
+	for _, r := range sel {
+		pts += r.Box.Volume()
+	}
+	fmt.Printf("%d/%d blocks selected (%.2f%% of volume), %s mode\n",
+		len(sel), len(regions), 100*float64(pts)/float64(total), m)
+	for _, r := range sel {
+		fmt.Printf("  box %d:%d,%d:%d,%d:%d  stat=%g\n",
+			r.Box.Z0, r.Box.Z1, r.Box.Y0, r.Box.Y1, r.Box.X0, r.Box.X1, r.Stat)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stz/internal/grid"
+)
+
+func TestParseDims(t *testing.T) {
+	nz, ny, nx, err := parseDims("12x34x56")
+	if err != nil || nz != 12 || ny != 34 || nx != 56 {
+		t.Fatalf("got %d %d %d err=%v", nz, ny, nx, err)
+	}
+	for _, bad := range []string{"", "12", "1x2", "1x2x3x4", "axbxc", "0x1x1", "-1x2x3"} {
+		if _, _, _, err := parseDims(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseBox(t *testing.T) {
+	b, err := parseBox("1:2,3:4,5:6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := grid.Box{Z0: 1, Z1: 2, Y0: 3, Y1: 4, X0: 5, X1: 6}
+	if b != want {
+		t.Fatalf("got %+v want %+v", b, want)
+	}
+	for _, bad := range []string{"", "1:2", "1:2,3:4", "1,2,3", "a:b,c:d,e:f"} {
+		if _, err := parseBox(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestRawFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p32 := filepath.Join(dir, "a.f32")
+	g32 := grid.New[float32](2, 3, 4)
+	for i := range g32.Data {
+		g32.Data[i] = float32(i) * 1.5
+	}
+	if err := writeRaw32(p32, g32); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readRaw32(p32, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g32.Data {
+		if back.Data[i] != g32.Data[i] {
+			t.Fatal("f32 raw round-trip mismatch")
+		}
+	}
+	// Size validation.
+	if _, err := readRaw32(p32, 2, 3, 5); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+
+	p64 := filepath.Join(dir, "a.f64")
+	g64 := grid.New[float64](1, 2, 2)
+	copy(g64.Data, []float64{1.25, -2.5, 3.75, 0})
+	if err := writeRaw64(p64, g64); err != nil {
+		t.Fatal(err)
+	}
+	back64, err := readRaw64(p64, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g64.Data {
+		if back64.Data[i] != g64.Data[i] {
+			t.Fatal("f64 raw round-trip mismatch")
+		}
+	}
+}
+
+func TestCommandsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "nyx.f32")
+	stzf := filepath.Join(dir, "nyx.stz")
+	outRaw := filepath.Join(dir, "out.f32")
+	png := filepath.Join(dir, "slice.png")
+
+	if err := cmdGen([]string{"-dataset", "Nyx", "-dims", "16x16x16", "-out", raw}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompress([]string{"-in", raw, "-dims", "16x16x16", "-eb", "1e-3", "-rel", "-out", stzf}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{"-in", stzf}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecompress([]string{"-in", stzf, "-out", outRaw}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecompress([]string{"-in", stzf, "-out", outRaw, "-level", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecompress([]string{"-in", stzf, "-out", outRaw, "-box", "0:8,0:8,0:8"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecompress([]string{"-in", stzf, "-out", outRaw, "-slice", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdROI([]string{"-in", raw, "-dims", "16x16x16", "-mode", "max", "-threshold", "50", "-block", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRender([]string{"-in", raw, "-dims", "16x16x16", "-z", "8", "-cmap", "rainbow", "-out", png}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(png); err != nil || fi.Size() == 0 {
+		t.Fatalf("png missing: %v", err)
+	}
+	// Error paths.
+	if err := cmdGen([]string{"-dataset", "Nope", "-out", raw}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := cmdRender([]string{"-in", raw, "-dims", "16x16x16", "-cmap", "nope", "-out", png}); err == nil {
+		t.Fatal("unknown colormap accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// Command stzbench regenerates every table and figure of the paper's
+// evaluation (§4) on the synthetic dataset stand-ins:
+//
+//	table1  — feature matrix (Table 1)
+//	table2  — dataset inventory (Table 2)
+//	fig3    — matched-CR quality: naive partition vs SZ3 vs STZ on Nyx
+//	fig5    — ablation rate-distortion ladder on Nyx (Fig. 5)
+//	fig10   — ROI extraction on Nyx halos (Fig. 10)
+//	fig11   — rate-distortion of 5 compressors × 4 datasets (Fig. 11)
+//	fig12   — matched-CR SSIM/PSNR on WarpX and Magnetic Reconnection
+//	table3  — compression/decompression times, serial and 8-way parallel
+//	table4  — random-access decompression time breakdown on Miranda
+//	fig13   — progressive decompression on Miranda (Fig. 13)
+//
+// Usage: stzbench -exp all|table1|...|fig13 [-scale tiny|bench] [-workers 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var (
+	flagExp     = flag.String("exp", "all", "experiment id (all, table1..table4, fig3, fig5, fig10..fig13)")
+	flagScale   = flag.String("scale", "bench", "dataset scale: tiny (smoke test) or bench (default harness size)")
+	flagWorkers = flag.Int("workers", 8, "parallel workers for the OMP-equivalent modes")
+)
+
+func main() {
+	flag.Parse()
+	exps := map[string]func() error{
+		"table1": expTable1,
+		"table2": expTable2,
+		"fig3":   expFig3,
+		"fig5":   expFig5,
+		"fig10":  expFig10,
+		"fig11":  expFig11,
+		"fig12":  expFig12,
+		"table3": expTable3,
+		"table4": expTable4,
+		"fig13":  expFig13,
+		// Design-choice ablations beyond the paper's figures.
+		"ebratio": expEBRatio,
+		"chunked": expChunked,
+	}
+	order := []string{"table1", "table2", "fig3", "fig5", "fig10", "fig11", "fig12", "table3", "table4", "fig13", "ebratio", "chunked"}
+
+	want := strings.ToLower(*flagExp)
+	if want == "all" {
+		for _, id := range order {
+			if err := exps[id](); err != nil {
+				fmt.Fprintf(os.Stderr, "stzbench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	fn, ok := exps[want]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "stzbench: unknown experiment %q (want one of %s)\n",
+			want, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+	if err := fn(); err != nil {
+		fmt.Fprintf(os.Stderr, "stzbench: %s: %v\n", want, err)
+		os.Exit(1)
+	}
+}
+
+// header prints a banner for one experiment.
+func header(id, title string) {
+	fmt.Printf("\n================================================================\n")
+	fmt.Printf("%s — %s\n", strings.ToUpper(id), title)
+	fmt.Printf("================================================================\n")
+}
+
+// row prints fixed-width columns.
+func row(cols ...string) {
+	for i, c := range cols {
+		if i == 0 {
+			fmt.Printf("%-22s", c)
+		} else {
+			fmt.Printf("%14s", c)
+		}
+	}
+	fmt.Println()
+}

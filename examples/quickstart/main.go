@@ -1,0 +1,47 @@
+// Quickstart: compress a synthetic scientific field with STZ, decompress
+// it, and verify the error bound — the smallest end-to-end use of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stz/internal/core"
+	"stz/internal/datasets"
+	"stz/internal/metrics"
+	"stz/internal/quant"
+)
+
+func main() {
+	// 1. A 64³ cosmology-like field (stand-in for the Nyx baryon density).
+	g := datasets.Nyx(64, 64, 64, 42)
+
+	// 2. Pick an error bound: 1e-3 relative to the value range.
+	mn, mx := g.Range()
+	eb := quant.AbsoluteBound(1e-3, float64(mn), float64(mx))
+
+	// 3. Compress with the default configuration (3 levels, cubic
+	//    prediction, adaptive per-level bounds).
+	enc, err := core.Compress(g, core.DefaultConfig(eb))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Decompress and measure.
+	dec, err := core.Decompress[float32](enc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := metrics.Compare(g, dec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ratio := metrics.Ratio{OriginalBytes: g.Len() * 4, CompressedBytes: len(enc)}
+
+	fmt.Printf("original:    %d bytes (%d×%d×%d float32)\n", g.Len()*4, g.Nz, g.Ny, g.Nx)
+	fmt.Printf("compressed:  %d bytes  (CR %.1f, %.2f bits/value)\n",
+		len(enc), ratio.CR(), ratio.BitRate(4))
+	fmt.Printf("PSNR:        %.1f dB\n", d.PSNR)
+	fmt.Printf("max error:   %.3g (bound %.3g) — bound holds: %v\n", d.MaxErr, eb, d.MaxErr <= eb)
+}

@@ -1,0 +1,99 @@
+// ROI workflow (the paper's Fig. 10 + §3.3 "flexible scientific workflow"):
+// identify cosmology halos on a coarse progressive preview, then random-
+// access decompress only the halo regions at full resolution — without
+// ever reconstructing the full dataset.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"stz/internal/core"
+	"stz/internal/datasets"
+	"stz/internal/grid"
+	"stz/internal/quant"
+	"stz/internal/roi"
+)
+
+func main() {
+	const haloThreshold = 81.66 // the paper's halo-formation density
+
+	g := datasets.Nyx(96, 96, 96, 1001)
+	mn, mx := g.Range()
+	eb := quant.AbsoluteBound(1e-3, float64(mn), float64(mx))
+	cfg := core.DefaultConfig(eb)
+	cfg.Workers = 4
+	enc, err := core.Compress(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := core.NewReader[float32](enc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.Workers = 4
+
+	// Step 1: progressive preview (level 1 = 1/64 of the data) to find
+	// candidate regions without decompressing the volume.
+	t0 := time.Now()
+	preview, err := r.Progressive(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	previewT := time.Since(t0)
+	pregions, err := roi.ScanBlocks(preview, 4, roi.MaxValue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Coarse threshold: halo peaks are attenuated at 1/4 resolution, so
+	// select generously on the preview.
+	candidates := roi.TopPercent(roi.Threshold(pregions, haloThreshold/2), 100)
+	fmt.Printf("preview (%dx%dx%d, %v): %d candidate regions\n",
+		preview.Nz, preview.Ny, preview.Nx, previewT, len(candidates))
+
+	// Step 2: map preview boxes up to full resolution (×4) and random-
+	// access decompress all of them in one pass — DecompressBoxes decodes
+	// every needed sub-block stream exactly once.
+	t1 := time.Now()
+	boxes := make([]grid.Box, len(candidates))
+	for i, c := range candidates {
+		boxes[i] = grid.Box{
+			Z0: c.Box.Z0 * 4, Y0: c.Box.Y0 * 4, X0: c.Box.X0 * 4,
+			Z1: c.Box.Z1 * 4, Y1: c.Box.Y1 * 4, X1: c.Box.X1 * 4,
+		}.Clip(g.Nz, g.Ny, g.Nx)
+	}
+	subs, _, err := r.DecompressBoxes(boxes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var haloPoints, roiPoints int
+	for _, sub := range subs {
+		roiPoints += sub.Len()
+		for _, v := range sub.Data {
+			if v > haloThreshold {
+				haloPoints++
+			}
+		}
+	}
+	roiT := time.Since(t1)
+
+	// Ground truth for comparison.
+	var trueHalo int
+	for _, v := range g.Data {
+		if v > haloThreshold {
+			trueHalo++
+		}
+	}
+	t2 := time.Now()
+	if _, _, err := r.DecompressStats(); err != nil {
+		log.Fatal(err)
+	}
+	fullT := time.Since(t2)
+
+	fmt.Printf("ROI decompression: %d boxes, %.2f%% of the volume, %v\n",
+		len(candidates), 100*float64(roiPoints)/float64(g.Len()), roiT)
+	fmt.Printf("halo points found in ROI: %d (ground truth %d)\n", haloPoints, trueHalo)
+	fmt.Printf("full decompression for comparison: %v (ROI path: %v preview + %v ROI)\n",
+		fullT, previewT, roiT)
+}

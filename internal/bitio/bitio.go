@@ -1,0 +1,282 @@
+// Package bitio provides bit-level serialization primitives used by the
+// entropy-coding stages of the compressors in this repository (Huffman
+// streams, the mini-ZFP embedded coder).
+//
+// Bits are packed least-significant-bit first into 64-bit words that are
+// flushed little-endian, so a stream written on any platform decodes
+// identically on any other.
+package bitio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Writer accumulates bits into an in-memory buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf   []byte
+	acc   uint64 // bit accumulator, LSB-first
+	nbits uint   // number of valid bits in acc
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	w := &Writer{}
+	if sizeHint > 0 {
+		w.buf = make([]byte, 0, sizeHint)
+	}
+	return w
+}
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *Writer) WriteBit(b uint) {
+	w.acc |= uint64(b&1) << w.nbits
+	w.nbits++
+	if w.nbits == 64 {
+		w.flushWord()
+	}
+}
+
+// WriteBits appends the low n bits of v, LSB first. n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits n=%d out of range", n))
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	w.acc |= v << w.nbits
+	free := 64 - w.nbits
+	if n < free {
+		w.nbits += n
+		return
+	}
+	// acc is full: flush and keep the spillover.
+	spill := n - free
+	w.flushWord()
+	if spill > 0 {
+		w.acc = v >> free
+		w.nbits = spill
+	}
+}
+
+// WriteUnary appends v as a unary code: v one-bits followed by a zero bit.
+func (w *Writer) WriteUnary(v uint) {
+	for i := uint(0); i < v; i++ {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+}
+
+func (w *Writer) flushWord() {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], w.acc)
+	w.buf = append(w.buf, tmp[:]...)
+	w.acc = 0
+	w.nbits = 0
+}
+
+// BitLen reports the number of bits written so far.
+func (w *Writer) BitLen() int {
+	return len(w.buf)*8 + int(w.nbits)
+}
+
+// Bytes finalizes the stream and returns the packed bytes. Trailing bits in
+// a partial word are zero-padded. The Writer may continue to be used; the
+// padding becomes part of the stream, so callers should finalize once.
+func (w *Writer) Bytes() []byte {
+	out := w.buf
+	if w.nbits > 0 {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], w.acc)
+		nb := (w.nbits + 7) / 8
+		out = append(out, tmp[:nb]...)
+		w.buf = out
+		w.acc = 0
+		w.nbits = 0
+	}
+	return out
+}
+
+// WriteGamma appends v as an Elias-gamma code of v+1 (so v = 0 is
+// representable): a unary length prefix followed by the value bits,
+// MSB-first.
+func (w *Writer) WriteGamma(v uint64) {
+	x := v + 1
+	n := 0
+	for t := x; t > 1; t >>= 1 {
+		n++
+	}
+	for i := 0; i < n; i++ {
+		w.WriteBit(0)
+	}
+	for i := n; i >= 0; i-- {
+		w.WriteBit(uint(x>>uint(i)) & 1)
+	}
+}
+
+// ErrOutOfBits is returned when a Reader is asked for more bits than the
+// underlying buffer holds.
+var ErrOutOfBits = errors.New("bitio: read past end of stream")
+
+// ErrGammaOverflow is returned when a gamma code's length prefix exceeds 63.
+var ErrGammaOverflow = errors.New("bitio: gamma code overflow")
+
+// Reader consumes bits from a byte slice produced by Writer.
+type Reader struct {
+	buf  []byte
+	pos  int    // next byte index to load
+	acc  uint64 // bit accumulator, LSB-first
+	navl uint   // number of valid bits in acc
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+func (r *Reader) fill() {
+	for r.navl <= 56 && r.pos < len(r.buf) {
+		r.acc |= uint64(r.buf[r.pos]) << r.navl
+		r.pos++
+		r.navl += 8
+	}
+}
+
+// ReadBit consumes and returns a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.navl == 0 {
+		r.fill()
+		if r.navl == 0 {
+			return 0, ErrOutOfBits
+		}
+	}
+	b := uint(r.acc & 1)
+	r.acc >>= 1
+	r.navl--
+	return b, nil
+}
+
+// ReadBits consumes n bits (n in [0, 64]) and returns them LSB-first.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: ReadBits n=%d out of range", n))
+	}
+	if r.navl < n {
+		r.fill()
+	}
+	if r.navl >= n {
+		var v uint64
+		if n == 64 {
+			v = r.acc
+			r.acc = 0
+			r.navl = 0
+			r.fill()
+			return v, nil
+		}
+		v = r.acc & ((1 << n) - 1)
+		r.acc >>= n
+		r.navl -= n
+		return v, nil
+	}
+	// Straddles the end of what fill() could load: drain acc, then retry.
+	got := r.navl
+	v := r.acc
+	r.acc = 0
+	r.navl = 0
+	r.fill()
+	rest := n - got
+	if r.navl < rest {
+		return 0, ErrOutOfBits
+	}
+	hi := r.acc & ((1 << rest) - 1)
+	r.acc >>= rest
+	r.navl -= rest
+	return v | hi<<got, nil
+}
+
+// ReadUnary consumes a unary code (ones terminated by a zero) and returns
+// the count of ones.
+func (r *Reader) ReadUnary() (uint, error) {
+	var v uint
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return v, nil
+		}
+		v++
+	}
+}
+
+// Peek returns up to n bits (n in [1, 57]) without consuming them. If the
+// stream has fewer than n bits left, the missing high bits are zero. The
+// second result is the number of real bits available.
+func (r *Reader) Peek(n uint) (uint64, uint) {
+	if n > 57 {
+		panic("bitio: Peek limited to 57 bits")
+	}
+	if r.navl < n {
+		r.fill()
+	}
+	avail := r.navl
+	if avail > n {
+		avail = n
+	}
+	return r.acc & ((1 << n) - 1), avail
+}
+
+// Skip consumes n bits, which must have been previously Peeked.
+func (r *Reader) Skip(n uint) error {
+	if r.navl < n {
+		r.fill()
+		if r.navl < n {
+			return ErrOutOfBits
+		}
+	}
+	r.acc >>= n
+	r.navl -= n
+	return nil
+}
+
+// ReadGamma decodes a code written by WriteGamma.
+func (r *Reader) ReadGamma() (uint64, error) {
+	var zeros int
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 63 {
+			return 0, ErrGammaOverflow
+		}
+	}
+	x := uint64(1)
+	for i := 0; i < zeros; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		x = x<<1 | uint64(b)
+	}
+	return x - 1, nil
+}
+
+// BitsRemaining reports a lower bound on the number of unread bits.
+func (r *Reader) BitsRemaining() int {
+	return int(r.navl) + (len(r.buf)-r.pos)*8
+}

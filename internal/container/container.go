@@ -1,0 +1,126 @@
+// Package container implements the random-access stream framing used by
+// the STZ core: a sequence of independently addressable byte sections
+// behind a checksummed directory. The directory (section count + lengths)
+// is what allows random-access decompression to seek directly to the
+// sub-block streams it needs and skip the rest.
+package container
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Magic identifies a container stream.
+const Magic = uint32(0x43545a53) // "STZC" little-endian bytes
+
+var (
+	// ErrFormat reports a malformed container.
+	ErrFormat = errors.New("container: malformed stream")
+	// ErrChecksum reports a directory checksum mismatch.
+	ErrChecksum = errors.New("container: directory checksum mismatch")
+)
+
+// Builder accumulates sections.
+type Builder struct {
+	sections [][]byte
+}
+
+// Add appends a section and returns its index.
+func (b *Builder) Add(data []byte) int {
+	b.sections = append(b.sections, data)
+	return len(b.sections) - 1
+}
+
+// Count returns the number of sections added so far.
+func (b *Builder) Count() int { return len(b.sections) }
+
+// Bytes serializes the container: magic, section count, per-section
+// lengths, CRC32 of the directory, then the concatenated payloads.
+func (b *Builder) Bytes() []byte {
+	dirLen := 8 + 8*len(b.sections)
+	total := dirLen + 4
+	for _, s := range b.sections {
+		total += len(s)
+	}
+	out := make([]byte, 0, total)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], Magic)
+	binary.LittleEndian.PutUint32(tmp[4:], uint32(len(b.sections)))
+	out = append(out, tmp[:]...)
+	for _, s := range b.sections {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(len(s)))
+		out = append(out, tmp[:]...)
+	}
+	crc := crc32.ChecksumIEEE(out)
+	binary.LittleEndian.PutUint32(tmp[:4], crc)
+	out = append(out, tmp[:4]...)
+	for _, s := range b.sections {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Archive is a parsed container over a byte slice (sections are views, not
+// copies).
+type Archive struct {
+	buf      []byte
+	offsets  []int // len = count+1, relative to payload start
+	payload0 int
+}
+
+// Open parses and validates the directory.
+func Open(buf []byte) (*Archive, error) {
+	if len(buf) < 12 {
+		return nil, ErrFormat
+	}
+	if binary.LittleEndian.Uint32(buf) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	count := int(binary.LittleEndian.Uint32(buf[4:]))
+	const maxSections = 1 << 20
+	if count < 0 || count > maxSections {
+		return nil, fmt.Errorf("%w: implausible section count %d", ErrFormat, count)
+	}
+	dirLen := 8 + 8*count
+	if len(buf) < dirLen+4 {
+		return nil, ErrFormat
+	}
+	wantCRC := binary.LittleEndian.Uint32(buf[dirLen:])
+	if crc32.ChecksumIEEE(buf[:dirLen]) != wantCRC {
+		return nil, ErrChecksum
+	}
+	offsets := make([]int, count+1)
+	for i := 0; i < count; i++ {
+		l := binary.LittleEndian.Uint64(buf[8+8*i:])
+		if l > uint64(len(buf)) {
+			return nil, fmt.Errorf("%w: section %d length overflow", ErrFormat, i)
+		}
+		offsets[i+1] = offsets[i] + int(l)
+	}
+	payload0 := dirLen + 4
+	if payload0+offsets[count] > len(buf) {
+		return nil, fmt.Errorf("%w: truncated payload", ErrFormat)
+	}
+	return &Archive{buf: buf, offsets: offsets, payload0: payload0}, nil
+}
+
+// Count returns the number of sections.
+func (a *Archive) Count() int { return len(a.offsets) - 1 }
+
+// Section returns the i-th section payload.
+func (a *Archive) Section(i int) ([]byte, error) {
+	if i < 0 || i >= a.Count() {
+		return nil, fmt.Errorf("%w: section %d of %d", ErrFormat, i, a.Count())
+	}
+	return a.buf[a.payload0+a.offsets[i] : a.payload0+a.offsets[i+1]], nil
+}
+
+// SectionLen returns the length of section i without touching its payload.
+func (a *Archive) SectionLen(i int) (int, error) {
+	if i < 0 || i >= a.Count() {
+		return 0, fmt.Errorf("%w: section %d of %d", ErrFormat, i, a.Count())
+	}
+	return a.offsets[i+1] - a.offsets[i], nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stz/internal/grid"
+)
+
+func chunkedConfig(eb float64, chunk int) Config {
+	cfg := DefaultConfig(eb)
+	cfg.CodeChunk = chunk
+	return cfg
+}
+
+func TestChunkedRoundTrip(t *testing.T) {
+	g := testField[float64](28, 28, 28, 50)
+	for _, chunk := range []int{64, 1000, 1 << 20} {
+		enc, err := Compress(g, chunkedConfig(1e-3, chunk))
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		dec, err := Decompress[float64](enc)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		checkBound(t, g, dec, 1e-3, "chunked")
+	}
+}
+
+func TestChunkedMatchesUnchunkedReconstruction(t *testing.T) {
+	// The reconstruction must be identical — chunking only changes the
+	// entropy-coding layout, not the codes.
+	g := testField[float32](24, 24, 24, 51)
+	plain, err := Compress(g, DefaultConfig(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := Compress(g, chunkedConfig(1e-3, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Decompress[float32](plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decompress[float32](chunked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("chunked reconstruction differs at %d", i)
+		}
+	}
+	// Chunking costs some compression ratio (per-chunk tables).
+	if len(chunked) < len(plain) {
+		t.Fatalf("chunked stream (%d) smaller than plain (%d)?", len(chunked), len(plain))
+	}
+}
+
+func TestChunkedRandomAccessConsistency(t *testing.T) {
+	g := testField[float64](32, 32, 32, 52)
+	enc, err := Compress(g, chunkedConfig(1e-3, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader[float64](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := r.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 25; trial++ {
+		z0, y0, x0 := rng.Intn(28), rng.Intn(28), rng.Intn(28)
+		b := grid.Box{Z0: z0, Y0: y0, X0: x0,
+			Z1: z0 + 1 + rng.Intn(8), Y1: y0 + 1 + rng.Intn(8), X1: x0 + 1 + rng.Intn(8)}
+		got, _, err := r.DecompressBox(b)
+		if err != nil {
+			t.Fatalf("box %+v: %v", b, err)
+		}
+		want := full.ExtractBox(b)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("chunked box %+v differs at %d", b, i)
+			}
+		}
+	}
+}
+
+func TestChunkedOutlierResync(t *testing.T) {
+	// Heavy escapes + chunking: the per-chunk outlier bases must resolve
+	// escape indices for boxes starting deep inside the class stream.
+	g := grid.New[float64](24, 24, 24)
+	rng := rand.New(rand.NewSource(54))
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+		if rng.Intn(4) == 0 {
+			g.Data[i] *= 1e13
+		}
+	}
+	enc, err := Compress(g, chunkedConfig(1e-6, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader[float64](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := r.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := grid.Box{Z0: 17, Y0: 9, X0: 5, Z1: 23, Y1: 20, X1: 21}
+	got, _, err := r.DecompressBox(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := full.ExtractBox(b)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("outlier resync failed at %d: %g vs %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestChunkedSliceSkipsChunks(t *testing.T) {
+	// A thin slice must entropy-decode only a fraction of each needed
+	// class stream — the paper's future-work goal realized.
+	g := testField[float32](48, 48, 48, 55)
+	enc, err := Compress(g, chunkedConfig(1e-3, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader[float32](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, st, err := r.DecompressSliceZ(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Ny != 48 {
+		t.Fatal("slice dims wrong")
+	}
+	if st.SkippedChunks[1] == 0 {
+		t.Fatalf("slice skipped no level-3 chunks (decoded %d)", st.DecodedChunks[1])
+	}
+	if st.DecodedChunks[1] >= st.DecodedChunks[1]+st.SkippedChunks[1] {
+		t.Fatal("no chunk savings recorded")
+	}
+	// Verify the slice against a full decompression.
+	full, err := r.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 48; x++ {
+			if sl.At(0, y, x) != full.At(20, y, x) {
+				t.Fatalf("slice mismatch at (%d,%d)", y, x)
+			}
+		}
+	}
+}
+
+func TestChunkedParallelDeterministic(t *testing.T) {
+	g := testField[float64](24, 24, 24, 56)
+	cfg := chunkedConfig(1e-3, 333)
+	a, err := Compress(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	b, err := Compress(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("chunked parallel stream size differs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("chunked parallel stream differs")
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"stz/internal/container"
+	"stz/internal/grid"
+	"stz/internal/huffman"
+	"stz/internal/parallel"
+	"stz/internal/quant"
+	"stz/internal/sz3"
+)
+
+// headerVersion is the core stream format version.
+const headerVersion = 1
+
+// header is the section-0 payload.
+type header struct {
+	Version       byte
+	DType         byte // 4 = float32, 8 = float64
+	PartitionOnly bool
+	Levels        int
+	Predictor     Predictor
+	Residual      ResidualCoder
+	AdaptiveEB    bool
+	EBRatio       float64
+	EB            float64
+	Radius        int32
+	CodeChunk     int
+	Fz, Fy, Fx    int
+}
+
+func (h header) marshal() []byte {
+	buf := make([]byte, 44)
+	buf[0] = h.Version
+	buf[1] = h.DType
+	if h.PartitionOnly {
+		buf[2] = 1
+	}
+	buf[3] = byte(h.Levels)
+	buf[4] = byte(h.Predictor)
+	buf[5] = byte(h.Residual)
+	if h.AdaptiveEB {
+		buf[6] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[8:], uint32(h.Fz))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(h.Fy))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(h.Fx))
+	binary.LittleEndian.PutUint64(buf[20:], math.Float64bits(h.EB))
+	binary.LittleEndian.PutUint64(buf[28:], math.Float64bits(h.EBRatio))
+	binary.LittleEndian.PutUint32(buf[36:], uint32(h.Radius))
+	binary.LittleEndian.PutUint32(buf[40:], uint32(h.CodeChunk))
+	return buf
+}
+
+func unmarshalHeader(buf []byte) (header, error) {
+	var h header
+	if len(buf) < 44 {
+		return h, fmt.Errorf("core: header too short")
+	}
+	h.Version = buf[0]
+	if h.Version != headerVersion {
+		return h, fmt.Errorf("core: unsupported version %d", h.Version)
+	}
+	h.DType = buf[1]
+	h.PartitionOnly = buf[2] != 0
+	h.Levels = int(buf[3])
+	h.Predictor = Predictor(buf[4])
+	h.Residual = ResidualCoder(buf[5])
+	h.AdaptiveEB = buf[6] != 0
+	h.Fz = int(binary.LittleEndian.Uint32(buf[8:]))
+	h.Fy = int(binary.LittleEndian.Uint32(buf[12:]))
+	h.Fx = int(binary.LittleEndian.Uint32(buf[16:]))
+	h.EB = math.Float64frombits(binary.LittleEndian.Uint64(buf[20:]))
+	h.EBRatio = math.Float64frombits(binary.LittleEndian.Uint64(buf[28:]))
+	h.Radius = int32(binary.LittleEndian.Uint32(buf[36:]))
+	h.CodeChunk = int(binary.LittleEndian.Uint32(buf[40:]))
+	if h.DType != 4 && h.DType != 8 {
+		return h, fmt.Errorf("core: bad dtype %d", h.DType)
+	}
+	if h.Fz < 0 || h.Fy < 0 || h.Fx < 0 ||
+		int64(h.Fz)*int64(h.Fy)*int64(h.Fx) > 1<<33 {
+		return h, fmt.Errorf("core: implausible dims %d×%d×%d", h.Fz, h.Fy, h.Fx)
+	}
+	if !h.PartitionOnly && (h.Levels < 2 || h.Levels > 4) {
+		return h, fmt.Errorf("core: bad level count %d", h.Levels)
+	}
+	if !(h.EB > 0) || h.Radius <= 0 {
+		return h, fmt.Errorf("core: bad bound/radius")
+	}
+	return h, nil
+}
+
+func dtypeOf[T grid.Float]() byte {
+	var v T
+	if _, ok := any(v).(float32); ok {
+		return 4
+	}
+	return 8
+}
+
+func putValue[T grid.Float](buf *bytes.Buffer, v T) {
+	switch x := any(v).(type) {
+	case float32:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(x))
+		buf.Write(b[:])
+	case float64:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+		buf.Write(b[:])
+	}
+}
+
+func getValues[T grid.Float](data []byte, n int) ([]T, error) {
+	var v T
+	eb := 8
+	if _, ok := any(v).(float32); ok {
+		eb = 4
+	}
+	if len(data) < n*eb {
+		return nil, fmt.Errorf("core: outlier data truncated")
+	}
+	out := make([]T, n)
+	if eb == 4 {
+		for i := 0; i < n; i++ {
+			out[i] = T(math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:])))
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			out[i] = T(math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:])))
+		}
+	}
+	return out, nil
+}
+
+// Compress encodes g as an STZ stream under cfg.
+func Compress[T grid.Float](g *grid.Grid[T], cfg Config) ([]byte, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if g.Len() == 0 {
+		return nil, fmt.Errorf("core: empty grid")
+	}
+	if cfg.PartitionOnly {
+		return compressPartitionOnly(g, cfg)
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Coarse chain: chain[0] = g, chain[t] = parity class 0 of chain[t-1].
+	levels := cfg.Levels
+	chain := make([]*grid.Grid[T], levels)
+	chain[0] = g
+	for t := 1; t < levels; t++ {
+		chain[t] = chain[t-1].ExtractStride(grid.Offset3{}, 2)
+	}
+
+	var b container.Builder
+	codeChunk := cfg.CodeChunk
+	if cfg.Residual == ResidSZ3 {
+		codeChunk = 0 // the ablation path has no code stream to chunk
+	}
+	hdr := header{
+		Version: headerVersion, DType: dtypeOf[T](),
+		Levels: levels, Predictor: cfg.Predictor, Residual: cfg.Residual,
+		AdaptiveEB: cfg.AdaptiveEB, EBRatio: cfg.ebRatio(), EB: cfg.EB,
+		Radius: cfg.radius(), CodeChunk: codeChunk, Fz: g.Nz, Fy: g.Ny, Fx: g.Nx,
+	}
+	b.Add(hdr.marshal())
+
+	// Level 1: the deepest coarse sub-block through SZ3 (always serial so
+	// that parallel and serial STZ produce identical streams).
+	l1opts := sz3.Options{EB: cfg.levelEB(1), Radius: cfg.radius()}
+	l1blob, err := sz3.Compress(chain[levels-1], l1opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: level-1 SZ3: %w", err)
+	}
+	b.Add(l1blob)
+	coarseRecon, err := sz3.Decompress[T](l1blob)
+	if err != nil {
+		return nil, fmt.Errorf("core: level-1 verify: %w", err)
+	}
+
+	// Predicted levels, coarsest to finest.
+	for t := levels - 1; t >= 1; t-- {
+		fine := chain[t-1]
+		lv := levels - t + 1 // paper level of the classes being coded
+		eb := cfg.levelEB(lv)
+		q := quant.Quantizer{EB: eb, Radius: cfg.radius()}
+		var fineRecon *grid.Grid[T]
+		if t > 1 {
+			fineRecon = grid.New[T](fine.Nz, fine.Ny, fine.Nx)
+			fineRecon.InsertStride(coarseRecon, grid.Offset3{}, 2)
+		}
+
+		needRecon := t > 1 // the finest level's reconstruction has no consumer
+		classes := predictedClasses()
+		secs := make([][]byte, len(classes))
+		errs := make([]error, len(classes))
+		parallel.For(len(classes), workers, func(c int) {
+			secs[c], errs[c] = compressClass(fine, fineRecon, coarseRecon, classes[c], q, cfg, needRecon)
+		})
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		for _, s := range secs {
+			b.Add(s)
+		}
+		if t > 1 {
+			coarseRecon = fineRecon
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// compressClass encodes one parity class of the fine grid, writing the
+// per-point reconstructions into fineRecon (each class touches a disjoint
+// point set, so classes may run concurrently).
+func compressClass[T grid.Float](fine, fineRecon, coarse *grid.Grid[T],
+	off grid.Offset3, q quant.Quantizer, cfg Config, needRecon bool) ([]byte, error) {
+
+	bz, by, bx := classDims(off, fine.Nz, fine.Ny, fine.Nx)
+	n := bz * by * bx
+	sb := grid.Box{Z1: bz, Y1: by, X1: bx}
+	kind := cfg.Predictor
+
+	if cfg.Residual == ResidSZ3 {
+		// Ablation path: residual sub-block through the full SZ3 pipeline.
+		// The residual bound is tightened by 0.1% so that the float rounding
+		// of the final pred+diff recombination stays inside the user bound.
+		diff := grid.New[T](bz, by, bx)
+		forEachClassPred(coarse, off, fine.Nz, fine.Ny, fine.Nx, sb, kind, func(ci, k, j, i, fi int, pred T) {
+			diff.Data[ci] = fine.Data[fi] - pred
+		})
+		blob, err := sz3.Compress(diff, sz3.Options{EB: q.EB * 0.999, Radius: q.Radius})
+		if err != nil {
+			return nil, err
+		}
+		diffRec, err := sz3.Decompress[T](blob)
+		if err != nil {
+			return nil, err
+		}
+		if needRecon {
+			forEachClassPred(coarse, off, fine.Nz, fine.Ny, fine.Nx, sb, kind, func(ci, k, j, i, fi int, pred T) {
+				fineRecon.Data[fi] = pred + diffRec.Data[ci]
+			})
+		}
+		return blob, nil
+	}
+
+	codes := make([]uint16, n)
+	outliers := &bytes.Buffer{}
+	var nOutliers uint32
+	fq := q.Fast()
+	if needRecon {
+		forEachClassPred(coarse, off, fine.Nz, fine.Ny, fine.Nx, sb, kind, func(ci, k, j, i, fi int, pred T) {
+			code, rec, ok := quant.QuantizeFastT(fq, fine.Data[fi], float64(pred))
+			if !ok {
+				putValue(outliers, fine.Data[fi])
+				nOutliers++
+				codes[ci] = 0
+				fineRecon.Data[fi] = fine.Data[fi]
+				return
+			}
+			codes[ci] = code
+			fineRecon.Data[fi] = rec
+		})
+	} else {
+		forEachClassPred(coarse, off, fine.Nz, fine.Ny, fine.Nx, sb, kind, func(ci, k, j, i, fi int, pred T) {
+			code, _, ok := quant.QuantizeFastT(fq, fine.Data[fi], float64(pred))
+			if !ok {
+				putValue(outliers, fine.Data[fi])
+				nOutliers++
+				codes[ci] = 0
+				return
+			}
+			codes[ci] = code
+		})
+	}
+	sec := &bytes.Buffer{}
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], nOutliers)
+	sec.Write(cnt[:])
+	sec.Write(outliers.Bytes())
+
+	if cfg.CodeChunk > 0 {
+		// Random-access Huffman: independent chunks, each with its own code
+		// table, plus a per-chunk directory of (byte length, outlier base).
+		cs := cfg.CodeChunk
+		nChunks := (n + cs - 1) / cs
+		if n == 0 {
+			nChunks = 0
+		}
+		binary.LittleEndian.PutUint32(cnt[:], uint32(nChunks))
+		sec.Write(cnt[:])
+		blobs := make([][]byte, nChunks)
+		bases := make([]uint32, nChunks)
+		var zeros uint32
+		for c := 0; c < nChunks; c++ {
+			lo, hi := c*cs, (c+1)*cs
+			if hi > n {
+				hi = n
+			}
+			bases[c] = zeros
+			for _, code := range codes[lo:hi] {
+				if code == 0 {
+					zeros++
+				}
+			}
+			blobs[c] = huffman.Encode(codes[lo:hi], q.Alphabet())
+		}
+		for c := 0; c < nChunks; c++ {
+			binary.LittleEndian.PutUint32(cnt[:], uint32(len(blobs[c])))
+			sec.Write(cnt[:])
+			binary.LittleEndian.PutUint32(cnt[:], bases[c])
+			sec.Write(cnt[:])
+		}
+		for c := 0; c < nChunks; c++ {
+			sec.Write(blobs[c])
+		}
+		return sec.Bytes(), nil
+	}
+
+	hblob := huffman.Encode(codes, q.Alphabet())
+	sec.Write(hblob)
+	return sec.Bytes(), nil
+}
+
+// compressPartitionOnly is the Fig. 5 "Partition" ablation: the 8 stride-2
+// parity sub-blocks are compressed independently with SZ3.
+func compressPartitionOnly[T grid.Float](g *grid.Grid[T], cfg Config) ([]byte, error) {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var b container.Builder
+	hdr := header{
+		Version: headerVersion, DType: dtypeOf[T](), PartitionOnly: true,
+		Levels: 2, Predictor: cfg.Predictor, Residual: cfg.Residual,
+		EB: cfg.EB, EBRatio: cfg.ebRatio(), Radius: cfg.radius(),
+		Fz: g.Nz, Fy: g.Ny, Fx: g.Nx,
+	}
+	b.Add(hdr.marshal())
+	blocks := grid.PartitionStride2(g)
+	blobs := make([][]byte, len(blocks))
+	errs := make([]error, len(blocks))
+	opts := sz3.Options{EB: cfg.EB, Radius: cfg.radius()}
+	parallel.For(len(blocks), workers, func(i int) {
+		if blocks[i].Len() == 0 {
+			blobs[i] = nil
+			return
+		}
+		blobs[i], errs[i] = sz3.Compress(blocks[i], opts)
+	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	for _, blob := range blobs {
+		b.Add(blob)
+	}
+	return b.Bytes(), nil
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"stz/internal/grid"
+	"stz/internal/parallel"
+	"stz/internal/quant"
+)
+
+// axisNeed computes the coarse-lattice index interval needed along one axis
+// to predict the class-parity-o points of the fine interval [lo, hi), with
+// the cubic stencil reach ([−1, +2] along offset axes, 0 otherwise).
+// ok is false when the class has no points in the interval along this axis.
+func axisNeed(lo, hi, o, cdim int) (k0, k1 int, ok bool) {
+	// Class points: fine f = 2k + o with f in [lo, hi).
+	kmin := (lo - o + 1) / 2
+	if lo-o < 0 {
+		kmin = 0
+	}
+	kmax := (hi - 1 - o) / 2
+	if hi-1-o < 0 {
+		return 0, 0, false
+	}
+	if kmax < kmin {
+		return 0, 0, false
+	}
+	if o == 1 {
+		kmin--
+		kmax += 2
+	}
+	if kmin < 0 {
+		kmin = 0
+	}
+	if kmax > cdim-1 {
+		kmax = cdim - 1
+	}
+	if kmax < kmin {
+		return 0, 0, false
+	}
+	return kmin, kmax + 1, true
+}
+
+// classNeed returns the coarse region required to predict the class points
+// of off inside the fine box b; empty when the class has no points in b.
+func classNeed(b grid.Box, off grid.Offset3, cz, cy, cx int) grid.Box {
+	z0, z1, okz := axisNeed(b.Z0, b.Z1, off.Z, cz)
+	y0, y1, oky := axisNeed(b.Y0, b.Y1, off.Y, cy)
+	x0, x1, okx := axisNeed(b.X0, b.X1, off.X, cx)
+	if !okz || !oky || !okx {
+		return grid.Box{}
+	}
+	return grid.Box{Z0: z0, Y0: y0, X0: x0, Z1: z1, Y1: y1, X1: x1}
+}
+
+// neededCoarse returns the union over all predicted classes — plus the
+// copy-through lattice — of the coarse regions required to reconstruct the
+// fine box b exactly.
+func neededCoarse(b grid.Box, cz, cy, cx int) grid.Box {
+	var u grid.Box
+	for _, off := range predictedClasses() {
+		u = u.Union(classNeed(b, off, cz, cy, cx))
+	}
+	// Copy-through: fine points with all-even coords map to coarse f/2.
+	u = u.Union(classNeed(b, grid.Offset3{}, cz, cy, cx))
+	return u
+}
+
+// ciSpan returns the half-open range of row-major class linear indices
+// touched by the class box sb (class dims by, bx along y and x).
+func ciSpan(sb grid.Box, by, bx int) (int, int) {
+	lo := (sb.Z0*by+sb.Y0)*bx + sb.X0
+	hi := ((sb.Z1-1)*by+sb.Y1-1)*bx + sb.X1
+	return lo, hi
+}
+
+// DecompressBox reconstructs only the region b (clipped to the grid) —
+// random-access decompression. The result grid has the box's dimensions
+// and is bit-identical to the same region of a full decompression.
+func (r *Reader[T]) DecompressBox(b grid.Box) (*grid.Grid[T], *Stats, error) {
+	outs, st, err := r.DecompressBoxes([]grid.Box{b})
+	if err != nil {
+		return nil, st, err
+	}
+	return outs[0], st, nil
+}
+
+// DecompressBoxes reconstructs several regions in one pass: every class
+// stream needed by at least one region is entropy-decoded exactly once,
+// which makes many-small-ROI workflows (e.g. halo extraction) far cheaper
+// than repeated DecompressBox calls. Each result grid has its clipped
+// box's dimensions and is bit-identical to the same region of a full
+// decompression.
+func (r *Reader[T]) DecompressBoxes(boxes []grid.Box) ([]*grid.Grid[T], *Stats, error) {
+	st := &Stats{}
+	t0 := time.Now()
+	defer func() { st.Total = time.Since(t0) }()
+
+	if len(boxes) == 0 {
+		return nil, st, fmt.Errorf("core: no regions requested")
+	}
+	clipped := make([]grid.Box, len(boxes))
+	for i, b := range boxes {
+		clipped[i] = b.Clip(r.hdr.Fz, r.hdr.Fy, r.hdr.Fx)
+		if clipped[i].Empty() {
+			return nil, st, fmt.Errorf("core: empty region request %d", i)
+		}
+	}
+
+	if r.hdr.PartitionOnly {
+		full, err := r.decompressPartitionOnly()
+		if err != nil {
+			return nil, st, err
+		}
+		outs := make([]*grid.Grid[T], len(clipped))
+		for i, b := range clipped {
+			outs[i] = full.ExtractBox(b)
+		}
+		return outs, st, nil
+	}
+
+	dims := r.chainDims()
+	levels := r.hdr.Levels
+
+	// Per-region restriction chains; restricts[t] is the union region of
+	// chain grid t that must be reconstructed.
+	perBox := make([][]grid.Box, len(clipped))
+	restricts := make([]grid.Box, levels)
+	for i, b := range clipped {
+		perBox[i] = make([]grid.Box, levels)
+		perBox[i][0] = b
+		for t := 1; t < levels; t++ {
+			perBox[i][t] = neededCoarse(perBox[i][t-1], dims[t][0], dims[t][1], dims[t][2])
+		}
+		for t := 0; t < levels; t++ {
+			restricts[t] = restricts[t].Union(perBox[i][t])
+		}
+	}
+
+	t1 := time.Now()
+	cur, err := r.decodeLevel1()
+	st.L1SZ3 = time.Since(t1)
+	if err != nil {
+		return nil, st, err
+	}
+
+	// Intermediate chain grids, restricted to the union need.
+	for t := levels - 2; t >= 1; t-- {
+		p := levels - 2 - t
+		fz, fy, fx := dims[t][0], dims[t][1], dims[t][2]
+		q := quant.Quantizer{EB: r.levelEB(p + 2), Radius: r.hdr.Radius}
+
+		tRec := time.Now()
+		fine := grid.New[T](fz, fy, fx)
+		fine.InsertStride(cur, grid.Offset3{}, 2)
+		st.LevelRecon[p] += time.Since(tRec)
+
+		classes := predictedClasses()
+		cboxes := make([]grid.Box, len(classes))
+		for c, off := range classes {
+			cboxes[c] = grid.SubBox(restricts[t], off, 2, fz, fy, fx)
+		}
+		dcs := make([]decodedClass[T], len(classes))
+		errs := make([]error, len(classes))
+		tDec := time.Now()
+		parallel.For(len(classes), r.workers(), func(c int) {
+			if cboxes[c].Empty() {
+				return
+			}
+			bz, by, bx := classDims(classes[c], fz, fy, fx)
+			n := bz * by * bx
+			lo, hi := ciSpan(cboxes[c], by, bx)
+			dcs[c], errs[c] = r.decodeClass(p, c, q, n, lo, hi)
+		})
+		st.LevelDecode[p] += time.Since(tDec)
+		for c := range classes {
+			if cboxes[c].Empty() {
+				st.SkippedClasses[p]++
+			} else {
+				st.DecodedClasses[p]++
+				st.DecodedChunks[p] += dcs[c].decodedChunks
+				st.SkippedChunks[p] += dcs[c].totalChunks - dcs[c].decodedChunks
+			}
+			if errs[c] != nil {
+				return nil, st, errs[c]
+			}
+		}
+		tPre := time.Now()
+		parallel.For(len(classes), r.workers(), func(c int) {
+			if cboxes[c].Empty() {
+				return
+			}
+			errs[c] = r.reconstructClass(cur, classes[c], fz, fy, fx, cboxes[c], dcs[c], q, fine.Data, nil)
+		})
+		st.LevelPredict[p] += time.Since(tPre)
+		for _, e := range errs {
+			if e != nil {
+				return nil, st, e
+			}
+		}
+		cur = fine
+	}
+
+	// Finest level: reconstruct each region into its own output grid.
+	p := levels - 2
+	fz, fy, fx := dims[0][0], dims[0][1], dims[0][2]
+	q := quant.Quantizer{EB: r.levelEB(levels), Radius: r.hdr.Radius}
+	outs := make([]*grid.Grid[T], len(clipped))
+	for i, b := range clipped {
+		outs[i] = grid.New[T](b.Z1-b.Z0, b.Y1-b.Y0, b.X1-b.X0)
+	}
+
+	classes := predictedClasses()
+	// A class stream is needed when any region intersects it.
+	needClass := make([]bool, len(classes))
+	boxClass := make([][]grid.Box, len(clipped))
+	for i, b := range clipped {
+		boxClass[i] = make([]grid.Box, len(classes))
+		for c, off := range classes {
+			boxClass[i][c] = grid.SubBox(b, off, 2, fz, fy, fx)
+			if !boxClass[i][c].Empty() {
+				needClass[c] = true
+			}
+		}
+	}
+	dcs := make([]decodedClass[T], len(classes))
+	errs := make([]error, len(classes))
+	tDec := time.Now()
+	parallel.For(len(classes), r.workers(), func(c int) {
+		if !needClass[c] {
+			return
+		}
+		bz, by, bx := classDims(classes[c], fz, fy, fx)
+		n := bz * by * bx
+		lo, hi := n, 0
+		for i := range clipped {
+			if boxClass[i][c].Empty() {
+				continue
+			}
+			l, h := ciSpan(boxClass[i][c], by, bx)
+			if l < lo {
+				lo = l
+			}
+			if h > hi {
+				hi = h
+			}
+		}
+		dcs[c], errs[c] = r.decodeClass(p, c, q, n, lo, hi)
+	})
+	st.LevelDecode[p] += time.Since(tDec)
+	for c := range classes {
+		if needClass[c] {
+			st.DecodedClasses[p]++
+			st.DecodedChunks[p] += dcs[c].decodedChunks
+			st.SkippedChunks[p] += dcs[c].totalChunks - dcs[c].decodedChunks
+		} else {
+			st.SkippedClasses[p]++
+		}
+		if errs[c] != nil {
+			return nil, st, errs[c]
+		}
+	}
+
+	tPre := time.Now()
+	parallel.For(len(classes), r.workers(), func(c int) {
+		if !needClass[c] {
+			return
+		}
+		off := classes[c]
+		for i, b := range clipped {
+			if boxClass[i][c].Empty() {
+				continue
+			}
+			out := outs[i]
+			bb := b
+			errs[c] = r.reconstructClass(cur, off, fz, fy, fx, boxClass[i][c], dcs[c], q, nil,
+				func(fi, k, j, i2 int, v T) {
+					zf, yf, xf := 2*k+off.Z, 2*j+off.Y, 2*i2+off.X
+					out.Set(zf-bb.Z0, yf-bb.Y0, xf-bb.X0, v)
+				})
+			if errs[c] != nil {
+				return
+			}
+		}
+	})
+	st.LevelPredict[p] += time.Since(tPre)
+	for _, e := range errs {
+		if e != nil {
+			return nil, st, e
+		}
+	}
+
+	// Copy-through of the coarse lattice points inside each box.
+	tRec := time.Now()
+	for i, b := range clipped {
+		out := outs[i]
+		z0 := b.Z0 + (b.Z0 & 1)
+		y0 := b.Y0 + (b.Y0 & 1)
+		x0 := b.X0 + (b.X0 & 1)
+		for zf := z0; zf < b.Z1; zf += 2 {
+			for yf := y0; yf < b.Y1; yf += 2 {
+				srcRow := (zf/2*cur.Ny + yf/2) * cur.Nx
+				dstRow := ((zf-b.Z0)*out.Ny + (yf - b.Y0)) * out.Nx
+				for xf := x0; xf < b.X1; xf += 2 {
+					out.Data[dstRow+xf-b.X0] = cur.Data[srcRow+xf/2]
+				}
+			}
+		}
+	}
+	st.LevelRecon[p] += time.Since(tRec)
+	return outs, st, nil
+}
+
+// DecompressSliceZ reconstructs the single z-plane at z — the paper's 2D
+// slice random-access case, where entire sub-block streams can be skipped.
+func (r *Reader[T]) DecompressSliceZ(z int) (*grid.Grid[T], *Stats, error) {
+	if z < 0 || z >= r.hdr.Fz {
+		return nil, nil, fmt.Errorf("core: slice z=%d out of range [0,%d)", z, r.hdr.Fz)
+	}
+	return r.DecompressBox(grid.Box{Z0: z, Z1: z + 1, Y0: 0, Y1: r.hdr.Fy, X0: 0, X1: r.hdr.Fx})
+}

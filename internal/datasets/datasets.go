@@ -1,0 +1,250 @@
+// Package datasets synthesizes deterministic stand-ins for the four
+// scientific datasets of the paper's evaluation (Table 2): Nyx (cosmology),
+// WarpX (accelerator physics), Magnetic Reconnection (plasma physics) and
+// Miranda (turbulence).
+//
+// The real datasets are external artifacts; per the reproduction rules each
+// is replaced by a synthetic field that exercises the same compressor code
+// paths and preserves the statistical character that drives the paper's
+// results:
+//
+//   - Nyx: a lognormal Gaussian random field (power-law spectrum) with
+//     superimposed compact high-amplitude halos, so that max-value ROI
+//     thresholding (Fig. 10) is meaningful.
+//   - WarpX: an FP64 modulated wave packet (laser pulse + wakefield
+//     oscillations) over weak broadband noise.
+//   - Magnetic Reconnection: tanh current sheets plus a flat-spectrum
+//     perturbation field (the "widespread high-frequency" regime in which
+//     SPERR wins in the paper).
+//   - Miranda: a steep-spectrum, very smooth mixing-layer field (the
+//     high-compressibility regime).
+//
+// All generators are deterministic in (dims, seed).
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"stz/internal/fft"
+	"stz/internal/grid"
+)
+
+// Spec describes one dataset configuration.
+type Spec struct {
+	Name       string
+	Domain     string
+	DType      string // "float32" or "float64"
+	PaperDims  [3]int // dims used in the paper (z, y, x)
+	BenchDims  [3]int // scaled-down dims used by the default harness
+	ElemBytes  int
+	Seed       int64
+	Generate32 func(nz, ny, nx int, seed int64) *grid.Grid[float32]
+	Generate64 func(nz, ny, nx int, seed int64) *grid.Grid[float64]
+}
+
+// All returns the four dataset specs in the paper's Table 2 order.
+func All() []Spec {
+	return []Spec{
+		{
+			Name: "Nyx", Domain: "Cosmology", DType: "float32",
+			PaperDims: [3]int{512, 512, 512}, BenchDims: [3]int{128, 128, 128},
+			ElemBytes: 4, Seed: 1001, Generate32: Nyx,
+		},
+		{
+			Name: "WarpX", Domain: "Accelerator Physics", DType: "float64",
+			PaperDims: [3]int{2048, 256, 256}, BenchDims: [3]int{512, 64, 64},
+			ElemBytes: 8, Seed: 1002, Generate64: WarpX,
+		},
+		{
+			Name: "Mag_Rec", Domain: "Plasma Physics", DType: "float32",
+			PaperDims: [3]int{512, 512, 512}, BenchDims: [3]int{128, 128, 128},
+			ElemBytes: 4, Seed: 1003, Generate32: MagneticReconnection,
+		},
+		{
+			Name: "Miranda", Domain: "Turbulence", DType: "float32",
+			PaperDims: [3]int{1024, 1024, 1024}, BenchDims: [3]int{192, 192, 192},
+			ElemBytes: 4, Seed: 1004, Generate32: Miranda,
+		},
+	}
+}
+
+// gaussianRandomField synthesizes a real nz×ny×nx field with isotropic
+// power spectrum P(k) ∝ k^(−slope), zero mean and unit variance, via
+// inverse FFT of a random Hermitian-free complex spectrum (the real part of
+// the inverse transform of independent complex Gaussians is itself a GRF).
+// Non-power-of-two dims are synthesized on the enclosing power-of-two box
+// and cropped.
+func gaussianRandomField(nz, ny, nx int, slope float64, seed int64) *grid.Grid[float64] {
+	pz, py, px := fft.NextPow2(nz), fft.NextPow2(ny), fft.NextPow2(nx)
+	rng := rand.New(rand.NewSource(seed))
+	spec := make([]complex128, pz*py*px)
+	for z := 0; z < pz; z++ {
+		kz := float64(fft.FreqIndex(z, pz)) / float64(pz)
+		for y := 0; y < py; y++ {
+			ky := float64(fft.FreqIndex(y, py)) / float64(py)
+			row := (z*py + y) * px
+			for x := 0; x < px; x++ {
+				kx := float64(fft.FreqIndex(x, px)) / float64(px)
+				k2 := kz*kz + ky*ky + kx*kx
+				if k2 == 0 {
+					spec[row+x] = 0
+					continue
+				}
+				amp := math.Pow(k2, -slope/4) // sqrt(P), P ∝ k^-slope
+				spec[row+x] = complex(rng.NormFloat64()*amp, rng.NormFloat64()*amp)
+			}
+		}
+	}
+	if err := fft.Inverse3D(spec, pz, py, px); err != nil {
+		panic("datasets: " + err.Error()) // dims are powers of two by construction
+	}
+	out := grid.New[float64](nz, ny, nx)
+	var mean, m2 float64
+	n := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			srow := (z*py + y) * px
+			drow := (z*ny + y) * nx
+			for x := 0; x < nx; x++ {
+				v := real(spec[srow+x])
+				out.Data[drow+x] = v
+				n++
+				d := v - mean
+				mean += d / float64(n)
+				m2 += d * (v - mean)
+			}
+		}
+	}
+	std := math.Sqrt(m2 / float64(n))
+	if std == 0 {
+		std = 1
+	}
+	for i := range out.Data {
+		out.Data[i] = (out.Data[i] - mean) / std
+	}
+	return out
+}
+
+// Nyx generates the cosmology stand-in ("baryon density"): a lognormal
+// density field with ~0.5–1% of voxels inside compact overdense halos.
+// Values are positive with a heavy tail, background mean near 1.
+func Nyx(nz, ny, nx int, seed int64) *grid.Grid[float32] {
+	g := gaussianRandomField(nz, ny, nx, 3.0, seed)
+	out := grid.New[float32](nz, ny, nx)
+	for i, v := range g.Data {
+		out.Data[i] = float32(math.Exp(1.2 * v))
+	}
+	// Superimpose halos: compact Gaussian peaks whose amplitudes exceed the
+	// halo-formation threshold (81.66 in the paper's units).
+	rng := rand.New(rand.NewSource(seed + 7))
+	nHalos := nz * ny * nx / 16384
+	if nHalos < 4 {
+		nHalos = 4
+	}
+	for h := 0; h < nHalos; h++ {
+		cz, cy, cx := rng.Intn(nz), rng.Intn(ny), rng.Intn(nx)
+		amp := 100 + 400*rng.Float64()
+		r := 1.0 + 1.5*rng.Float64()
+		rad := int(3 * r)
+		for dz := -rad; dz <= rad; dz++ {
+			z := cz + dz
+			if z < 0 || z >= nz {
+				continue
+			}
+			for dy := -rad; dy <= rad; dy++ {
+				y := cy + dy
+				if y < 0 || y >= ny {
+					continue
+				}
+				for dx := -rad; dx <= rad; dx++ {
+					x := cx + dx
+					if x < 0 || x >= nx {
+						continue
+					}
+					d2 := float64(dz*dz + dy*dy + dx*dx)
+					out.Data[(z*ny+y)*nx+x] += float32(amp * math.Exp(-d2/(2*r*r)))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Miranda generates the turbulence stand-in: a Rayleigh–Taylor-style
+// mixing-layer density field — two fluids separated by a perturbed
+// interface plus a very smooth (steep-spectrum) large-scale component.
+func Miranda(nz, ny, nx int, seed int64) *grid.Grid[float32] {
+	smooth := gaussianRandomField(nz, ny, nx, 6.0, seed)
+	iface := gaussianRandomField(1, ny, nx, 4.0, seed+13)
+	out := grid.New[float32](nz, ny, nx)
+	for z := 0; z < nz; z++ {
+		zf := float64(z) / float64(nz)
+		for y := 0; y < ny; y++ {
+			row := (z*ny + y) * nx
+			irow := y * nx
+			for x := 0; x < nx; x++ {
+				center := 0.5 + 0.12*iface.Data[irow+x]
+				mix := math.Tanh((zf - center) * 18)
+				v := 1.5 + 0.5*mix + 0.08*smooth.Data[row+x]
+				out.Data[row+x] = float32(v)
+			}
+		}
+	}
+	return out
+}
+
+// MagneticReconnection generates the plasma stand-in: stacked tanh current
+// sheets with a relatively flat-spectrum perturbation field — widespread
+// high-frequency content.
+func MagneticReconnection(nz, ny, nx int, seed int64) *grid.Grid[float32] {
+	pert := gaussianRandomField(nz, ny, nx, 1.5, seed)
+	out := grid.New[float32](nz, ny, nx)
+	for z := 0; z < nz; z++ {
+		zf := float64(z) / float64(nz)
+		// Two oppositely directed current sheets.
+		sheet := math.Tanh((zf-0.3)*25) - math.Tanh((zf-0.7)*25) - 1
+		for y := 0; y < ny; y++ {
+			row := (z*ny + y) * nx
+			yf := float64(y) / float64(ny)
+			for x := 0; x < nx; x++ {
+				xf := float64(x) / float64(nx)
+				island := 0.15 * math.Sin(4*math.Pi*xf) * math.Cos(2*math.Pi*yf)
+				out.Data[row+x] = float32(sheet + island + 0.35*pert.Data[row+x])
+			}
+		}
+	}
+	return out
+}
+
+// WarpX generates the accelerator-physics stand-in (FP64): a laser pulse —
+// carrier modulated by a Gaussian envelope travelling along z — followed by
+// wakefield oscillations, over weak broadband noise. The long axis is z
+// (the paper's WarpX grid is 256×256×2048; we store it as nz long).
+func WarpX(nz, ny, nx int, seed int64) *grid.Grid[float64] {
+	noise := gaussianRandomField(nz, ny, nx, 2.0, seed)
+	out := grid.New[float64](nz, ny, nx)
+	pulseZ := 0.7
+	waveLen := 0.012 // carrier wavelength in domain units
+	for z := 0; z < nz; z++ {
+		zf := float64(z) / float64(nz)
+		carrier := math.Sin(2 * math.Pi * zf / waveLen)
+		envelope := math.Exp(-(zf - pulseZ) * (zf - pulseZ) / (2 * 0.03 * 0.03))
+		// Wakefield behind the pulse: slower oscillation with decay.
+		wake := 0.0
+		if zf < pulseZ {
+			wake = 0.3 * math.Exp(-(pulseZ-zf)*4) * math.Sin(2*math.Pi*(pulseZ-zf)/0.08)
+		}
+		for y := 0; y < ny; y++ {
+			row := (z*ny + y) * nx
+			yf := float64(y)/float64(ny) - 0.5
+			for x := 0; x < nx; x++ {
+				xf := float64(x)/float64(nx) - 0.5
+				r2 := xf*xf + yf*yf
+				radial := math.Exp(-r2 / (2 * 0.08 * 0.08))
+				out.Data[row+x] = 1e9*(carrier*envelope+wake)*radial + 1e5*noise.Data[row+x]
+			}
+		}
+	}
+	return out
+}

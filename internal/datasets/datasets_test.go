@@ -1,0 +1,204 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllSpecs(t *testing.T) {
+	specs := All()
+	if len(specs) != 4 {
+		t.Fatalf("want 4 datasets, got %d", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		names[s.Name] = true
+		if s.DType == "float32" && s.Generate32 == nil {
+			t.Errorf("%s: missing float32 generator", s.Name)
+		}
+		if s.DType == "float64" && s.Generate64 == nil {
+			t.Errorf("%s: missing float64 generator", s.Name)
+		}
+		for _, d := range s.BenchDims {
+			if d <= 0 {
+				t.Errorf("%s: bad bench dims %v", s.Name, s.BenchDims)
+			}
+		}
+	}
+	for _, want := range []string{"Nyx", "WarpX", "Mag_Rec", "Miranda"} {
+		if !names[want] {
+			t.Errorf("missing dataset %s", want)
+		}
+	}
+}
+
+func TestNyxDeterministic(t *testing.T) {
+	a := Nyx(16, 16, 16, 42)
+	b := Nyx(16, 16, 16, 42)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("Nyx not deterministic")
+		}
+	}
+	c := Nyx(16, 16, 16, 43)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fields")
+	}
+}
+
+func TestNyxPositiveWithHalos(t *testing.T) {
+	g := Nyx(32, 32, 32, 1)
+	var over int
+	for _, v := range g.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("non-finite value")
+		}
+		if v <= 0 {
+			t.Fatalf("density must be positive, got %g", v)
+		}
+		if v > 81.66 {
+			over++
+		}
+	}
+	frac := float64(over) / float64(g.Len())
+	// Halos should cover a small but non-zero fraction (paper: 0.69%).
+	if frac == 0 || frac > 0.05 {
+		t.Fatalf("halo fraction %.4f outside (0, 0.05]", frac)
+	}
+}
+
+func TestMirandaSmooth(t *testing.T) {
+	g := Miranda(32, 32, 32, 2)
+	// Measure mean |gradient| relative to range: a smooth field is small.
+	mn, mx := g.Range()
+	rng := float64(mx - mn)
+	var sum float64
+	var n int
+	for z := 0; z < g.Nz; z++ {
+		for y := 0; y < g.Ny; y++ {
+			for x := 1; x < g.Nx; x++ {
+				sum += math.Abs(float64(g.At(z, y, x) - g.At(z, y, x-1)))
+				n++
+			}
+		}
+	}
+	if sum/float64(n)/rng > 0.08 {
+		t.Fatalf("Miranda too rough: mean gradient %.4f of range", sum/float64(n)/rng)
+	}
+}
+
+func TestMagRecRougherThanMiranda(t *testing.T) {
+	roughness := func(data []float32, nz, ny, nx int) float64 {
+		var sum float64
+		var n int
+		mn, mx := float64(data[0]), float64(data[0])
+		for _, v := range data {
+			if float64(v) < mn {
+				mn = float64(v)
+			}
+			if float64(v) > mx {
+				mx = float64(v)
+			}
+		}
+		for z := 0; z < nz; z++ {
+			for y := 0; y < ny; y++ {
+				for x := 1; x < nx; x++ {
+					i := (z*ny+y)*nx + x
+					sum += math.Abs(float64(data[i] - data[i-1]))
+					n++
+				}
+			}
+		}
+		return sum / float64(n) / (mx - mn)
+	}
+	mir := Miranda(32, 32, 32, 3)
+	mag := MagneticReconnection(32, 32, 32, 3)
+	rm := roughness(mir.Data, 32, 32, 32)
+	rg := roughness(mag.Data, 32, 32, 32)
+	if rg <= rm {
+		t.Fatalf("MagRec (%.4f) should be rougher than Miranda (%.4f)", rg, rm)
+	}
+}
+
+func TestWarpXStructure(t *testing.T) {
+	g := WarpX(128, 16, 16, 4)
+	// The pulse region (z around 0.7*nz) must have far larger amplitude on
+	// the axis than the field far ahead of the pulse.
+	cy, cx := 8, 8
+	pulse := 0.0
+	for z := 80; z < 100; z++ {
+		if a := math.Abs(g.At(z, cy, cx)); a > pulse {
+			pulse = a
+		}
+	}
+	front := 0.0
+	for z := 120; z < 128; z++ {
+		if a := math.Abs(g.At(z, cy, cx)); a > front {
+			front = a
+		}
+	}
+	if pulse < 10*front {
+		t.Fatalf("pulse (%g) should dominate the region ahead of it (%g)", pulse, front)
+	}
+	for _, v := range g.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite value")
+		}
+	}
+}
+
+func TestNonPow2Dims(t *testing.T) {
+	g := Nyx(12, 20, 9, 5)
+	if g.Nz != 12 || g.Ny != 20 || g.Nx != 9 {
+		t.Fatalf("dims %d %d %d", g.Nz, g.Ny, g.Nx)
+	}
+	m := Miranda(24, 24, 24, 5)
+	if m.Len() != 24*24*24 {
+		t.Fatal("Miranda dims wrong")
+	}
+}
+
+func TestGRFStats(t *testing.T) {
+	g := gaussianRandomField(32, 32, 32, 3.0, 9)
+	var mean float64
+	for _, v := range g.Data {
+		mean += v
+	}
+	mean /= float64(g.Len())
+	var variance float64
+	for _, v := range g.Data {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(g.Len())
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("GRF mean %g not ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("GRF variance %g not ~1", variance)
+	}
+}
+
+func TestGRFSlopeOrdering(t *testing.T) {
+	// A steeper spectrum must yield a smoother field.
+	rough := func(g []float64, n int) float64 {
+		var s float64
+		for i := 1; i < len(g); i++ {
+			if i%n != 0 {
+				s += math.Abs(g[i] - g[i-1])
+			}
+		}
+		return s
+	}
+	smooth := gaussianRandomField(16, 16, 16, 6.0, 11)
+	flat := gaussianRandomField(16, 16, 16, 1.0, 11)
+	if rough(smooth.Data, 16) >= rough(flat.Data, 16) {
+		t.Fatal("steeper spectrum should be smoother")
+	}
+}

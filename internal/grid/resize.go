@@ -1,0 +1,63 @@
+package grid
+
+// Resize samples g onto a new (nz, ny, nx) lattice with trilinear
+// interpolation, mapping the corner points of both lattices onto each
+// other. It is used to upsample progressive (coarse) reconstructions back
+// to full resolution for image-space comparison (Fig. 13 of the paper) and
+// by the downsampling example.
+func Resize[T Float](g *Grid[T], nz, ny, nx int) *Grid[T] {
+	out := New[T](nz, ny, nx)
+	if g.Len() == 0 || out.Len() == 0 {
+		return out
+	}
+	scale := func(dstN, srcN int) float64 {
+		if dstN <= 1 || srcN <= 1 {
+			return 0
+		}
+		return float64(srcN-1) / float64(dstN-1)
+	}
+	sz, sy, sx := scale(nz, g.Nz), scale(ny, g.Ny), scale(nx, g.Nx)
+	for z := 0; z < nz; z++ {
+		fz := float64(z) * sz
+		z0 := int(fz)
+		tz := fz - float64(z0)
+		z1 := z0 + 1
+		if z1 >= g.Nz {
+			z1 = g.Nz - 1
+		}
+		for y := 0; y < ny; y++ {
+			fy := float64(y) * sy
+			y0 := int(fy)
+			ty := fy - float64(y0)
+			y1 := y0 + 1
+			if y1 >= g.Ny {
+				y1 = g.Ny - 1
+			}
+			for x := 0; x < nx; x++ {
+				fx := float64(x) * sx
+				x0 := int(fx)
+				tx := fx - float64(x0)
+				x1 := x0 + 1
+				if x1 >= g.Nx {
+					x1 = g.Nx - 1
+				}
+				c000 := float64(g.At(z0, y0, x0))
+				c001 := float64(g.At(z0, y0, x1))
+				c010 := float64(g.At(z0, y1, x0))
+				c011 := float64(g.At(z0, y1, x1))
+				c100 := float64(g.At(z1, y0, x0))
+				c101 := float64(g.At(z1, y0, x1))
+				c110 := float64(g.At(z1, y1, x0))
+				c111 := float64(g.At(z1, y1, x1))
+				c00 := c000 + (c001-c000)*tx
+				c01 := c010 + (c011-c010)*tx
+				c10 := c100 + (c101-c100)*tx
+				c11 := c110 + (c111-c110)*tx
+				c0 := c00 + (c01-c00)*ty
+				c1 := c10 + (c11-c10)*ty
+				out.Set(z, y, x, T(c0+(c1-c0)*tz))
+			}
+		}
+	}
+	return out
+}

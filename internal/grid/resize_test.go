@@ -1,0 +1,68 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResizeIdentity(t *testing.T) {
+	g := New[float64](4, 4, 4)
+	fillRandom(g, 1)
+	r := Resize(g, 4, 4, 4)
+	for i := range g.Data {
+		if math.Abs(r.Data[i]-g.Data[i]) > 1e-12 {
+			t.Fatalf("identity resize differs at %d", i)
+		}
+	}
+}
+
+func TestResizeExactOnAffine(t *testing.T) {
+	// Trilinear interpolation reproduces affine fields exactly.
+	g := New[float64](5, 5, 5)
+	f := func(z, y, x float64) float64 { return 2*z - y + 3*x + 1 }
+	for z := 0; z < 5; z++ {
+		for y := 0; y < 5; y++ {
+			for x := 0; x < 5; x++ {
+				g.Set(z, y, x, f(float64(z), float64(y), float64(x)))
+			}
+		}
+	}
+	up := Resize(g, 9, 9, 9)
+	for z := 0; z < 9; z++ {
+		for y := 0; y < 9; y++ {
+			for x := 0; x < 9; x++ {
+				want := f(float64(z)/2, float64(y)/2, float64(x)/2)
+				if math.Abs(up.At(z, y, x)-want) > 1e-9 {
+					t.Fatalf("(%d,%d,%d): got %g want %g", z, y, x, up.At(z, y, x), want)
+				}
+			}
+		}
+	}
+}
+
+func TestResizeDownThenDims(t *testing.T) {
+	g := New[float32](8, 6, 10)
+	fillRandom(g, 2)
+	d := Resize(g, 4, 3, 5)
+	if d.Nz != 4 || d.Ny != 3 || d.Nx != 5 {
+		t.Fatalf("dims %d %d %d", d.Nz, d.Ny, d.Nx)
+	}
+}
+
+func TestResizeDegenerate(t *testing.T) {
+	g := New[float64](1, 1, 4)
+	copy(g.Data, []float64{1, 2, 3, 4})
+	r := Resize(g, 1, 1, 7)
+	if r.Data[0] != 1 || r.Data[6] != 4 {
+		t.Fatalf("endpoints wrong: %v", r.Data)
+	}
+	// Upscaling a single point grid replicates it.
+	p := New[float64](1, 1, 1)
+	p.Data[0] = 9
+	r = Resize(p, 2, 2, 2)
+	for _, v := range r.Data {
+		if v != 9 {
+			t.Fatal("single point not replicated")
+		}
+	}
+}

@@ -1,0 +1,429 @@
+// Package huffman implements a canonical Huffman codec over 16-bit symbols.
+//
+// It is the lossless-encoding stage shared by the SZ3 baseline, the STZ
+// core, and the MGARD-lite and SPERR-lite baselines: quantization codes are
+// histogrammed, a depth-limited canonical code is built, and the code-length
+// table is serialized ahead of the bitstream so each sub-block stream is
+// self-describing and independently decodable.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"stz/internal/bitio"
+)
+
+const (
+	maxCodeLen = 31 // longest admissible code, fits the 5-bit length field
+	fastBits   = 10 // width of the table-driven decode fast path
+)
+
+// ErrCorrupt is returned when a stream fails structural validation.
+var ErrCorrupt = errors.New("huffman: corrupt stream")
+
+type treeNode struct {
+	count       uint64
+	order       int32 // tie-break for deterministic trees
+	left, right int32 // -1 for leaves
+	sym         uint16
+}
+
+type nodeHeap struct {
+	nodes []treeNode
+	idx   []int32
+}
+
+func (h *nodeHeap) Len() int { return len(h.idx) }
+func (h *nodeHeap) Less(i, j int) bool {
+	a, b := &h.nodes[h.idx[i]], &h.nodes[h.idx[j]]
+	if a.count != b.count {
+		return a.count < b.count
+	}
+	return a.order < b.order
+}
+func (h *nodeHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *nodeHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int32)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}
+
+// codeLengths computes Huffman code lengths for the given symbol counts
+// (count > 0 means the symbol is present). Lengths are depth-limited to
+// maxCodeLen by flattening the histogram and rebuilding when necessary.
+func codeLengths(counts []uint64) []uint8 {
+	lengths := make([]uint8, len(counts))
+	work := make([]uint64, len(counts))
+	copy(work, counts)
+	for {
+		maxLen := buildLengths(work, lengths)
+		if maxLen <= maxCodeLen {
+			return lengths
+		}
+		for i, c := range work {
+			if c > 1 {
+				work[i] = (c + 1) / 2
+			}
+		}
+	}
+}
+
+func buildLengths(counts []uint64, lengths []uint8) uint8 {
+	for i := range lengths {
+		lengths[i] = 0
+	}
+	var present int
+	for _, c := range counts {
+		if c > 0 {
+			present++
+		}
+	}
+	switch present {
+	case 0:
+		return 0
+	case 1:
+		for i, c := range counts {
+			if c > 0 {
+				lengths[i] = 1
+			}
+		}
+		return 1
+	}
+	nodes := make([]treeNode, 0, 2*present)
+	h := &nodeHeap{}
+	for i, c := range counts {
+		if c > 0 {
+			nodes = append(nodes, treeNode{count: c, order: int32(len(nodes)), left: -1, right: -1, sym: uint16(i)})
+		}
+	}
+	h.nodes = nodes
+	h.idx = make([]int32, len(nodes))
+	for i := range h.idx {
+		h.idx[i] = int32(i)
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int32)
+		b := heap.Pop(h).(int32)
+		h.nodes = append(h.nodes, treeNode{
+			count: h.nodes[a].count + h.nodes[b].count,
+			order: int32(len(h.nodes)),
+			left:  a, right: b,
+		})
+		heap.Push(h, int32(len(h.nodes)-1))
+	}
+	root := h.idx[0]
+	// Iterative depth assignment.
+	type frame struct {
+		node  int32
+		depth uint8
+	}
+	stack := []frame{{root, 0}}
+	var maxLen uint8
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &h.nodes[f.node]
+		if n.left < 0 {
+			lengths[n.sym] = f.depth
+			if f.depth > maxLen {
+				maxLen = f.depth
+			}
+			continue
+		}
+		stack = append(stack, frame{n.left, f.depth + 1}, frame{n.right, f.depth + 1})
+	}
+	return maxLen
+}
+
+// Table holds a canonical Huffman code: per-symbol lengths and codes.
+type Table struct {
+	lengths []uint8  // indexed by symbol; 0 = absent
+	codes   []uint32 // canonical code, MSB-first
+	maxLen  uint8
+}
+
+// BuildTable constructs a canonical table from symbol counts.
+func BuildTable(counts []uint64) *Table {
+	lengths := codeLengths(counts)
+	return tableFromLengths(lengths)
+}
+
+func tableFromLengths(lengths []uint8) *Table {
+	t := tableHeaderFromLengths(lengths)
+	t.codes = make([]uint32, len(lengths))
+	var blCount [maxCodeLen + 1]uint32
+	for _, l := range lengths {
+		if l > 0 {
+			blCount[l]++
+		}
+	}
+	var nextCode [maxCodeLen + 2]uint32
+	var code uint32
+	for l := uint8(1); l <= t.maxLen; l++ {
+		code = (code + blCount[l-1]) << 1
+		nextCode[l] = code
+	}
+	for sym, l := range lengths {
+		if l > 0 {
+			t.codes[sym] = nextCode[l]
+			nextCode[l]++
+		}
+	}
+	return t
+}
+
+// tableHeaderFromLengths builds a Table without materializing per-symbol
+// codes — sufficient for decoding, where the decoder derives canonical
+// codes on the fly.
+func tableHeaderFromLengths(lengths []uint8) *Table {
+	t := &Table{lengths: lengths}
+	for _, l := range lengths {
+		if l > t.maxLen {
+			t.maxLen = l
+		}
+	}
+	return t
+}
+
+// reverseBits reverses the low n bits of v.
+func reverseBits(v uint32, n uint8) uint32 {
+	return bits.Reverse32(v) >> (32 - n)
+}
+
+// writeTable serializes the code-length table as (numDistinct, then per
+// present symbol: gamma(delta-1 from previous present symbol), 5-bit length).
+func (t *Table) writeTable(w *bitio.Writer) {
+	var distinct uint64
+	for _, l := range t.lengths {
+		if l > 0 {
+			distinct++
+		}
+	}
+	w.WriteGamma(distinct)
+	prev := -1
+	for sym, l := range t.lengths {
+		if l == 0 {
+			continue
+		}
+		w.WriteGamma(uint64(sym - prev - 1))
+		w.WriteBits(uint64(l), 5)
+		prev = sym
+	}
+}
+
+func readTable(r *bitio.Reader, alphabet int) (*Table, error) {
+	distinct, err := r.ReadGamma()
+	if err != nil {
+		return nil, err
+	}
+	if distinct > uint64(alphabet) {
+		return nil, ErrCorrupt
+	}
+	lengths := make([]uint8, alphabet)
+	sym := -1
+	for i := uint64(0); i < distinct; i++ {
+		delta, err := r.ReadGamma()
+		if err != nil {
+			return nil, err
+		}
+		l, err := r.ReadBits(5)
+		if err != nil {
+			return nil, err
+		}
+		sym += int(delta) + 1
+		if sym >= alphabet || l == 0 || l > maxCodeLen {
+			return nil, ErrCorrupt
+		}
+		lengths[sym] = uint8(l)
+	}
+	t := tableHeaderFromLengths(lengths)
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// validate checks the Kraft sum so a corrupt table cannot cause the decoder
+// to mis-walk.
+func (t *Table) validate() error {
+	var kraft uint64
+	var present int
+	for _, l := range t.lengths {
+		if l > 0 {
+			kraft += 1 << (maxCodeLen - uint(l))
+			present++
+		}
+	}
+	if present == 0 {
+		return nil
+	}
+	if present == 1 {
+		return nil // single-symbol code uses one bit by construction
+	}
+	if kraft > 1<<maxCodeLen {
+		return fmt.Errorf("%w: oversubscribed code", ErrCorrupt)
+	}
+	return nil
+}
+
+// decoder is the canonical decoding state derived from a Table.
+type decoder struct {
+	t *Table
+	// fast path: index by the next fastBits bits (transmitted-order, i.e.
+	// reversed), value packs symbol<<8 | length; length 0 = slow path.
+	fast []uint32
+	// slow path canonical walk tables.
+	firstCode  [maxCodeLen + 1]uint32
+	firstIndex [maxCodeLen + 1]int32
+	blCount    [maxCodeLen + 1]int32
+	symByOrder []uint16
+}
+
+func newDecoder(t *Table) *decoder {
+	d := &decoder{t: t}
+	blCount := d.blCount[:]
+	for _, l := range t.lengths {
+		if l > 0 {
+			blCount[l]++
+		}
+	}
+	var code uint32
+	var index int32
+	for l := uint8(1); l <= t.maxLen; l++ {
+		code = (code + uint32(blCount[l-1])) << 1
+		d.firstCode[l] = code
+		d.firstIndex[l] = index
+		index += blCount[l]
+	}
+	d.symByOrder = make([]uint16, index)
+	// Symbols in canonical order: by (length, symbol).
+	var nextIdx [maxCodeLen + 1]int32
+	copy(nextIdx[:], d.firstIndex[:])
+	for sym, l := range t.lengths {
+		if l > 0 {
+			d.symByOrder[nextIdx[l]] = uint16(sym)
+			nextIdx[l]++
+		}
+	}
+	// Fast table; canonical codes are derived on the fly so decoding never
+	// needs the full per-symbol code array.
+	var nextCode [maxCodeLen + 1]uint32
+	copy(nextCode[:], d.firstCode[:])
+	d.fast = make([]uint32, 1<<fastBits)
+	for sym, l := range t.lengths {
+		if l == 0 {
+			continue
+		}
+		code := nextCode[l]
+		nextCode[l]++
+		if l > fastBits {
+			continue
+		}
+		codeRev := reverseBits(code, l)
+		step := uint32(1) << l
+		for v := codeRev; v < 1<<fastBits; v += step {
+			d.fast[v] = uint32(sym)<<8 | uint32(l)
+		}
+	}
+	return d
+}
+
+func (d *decoder) decodeSym(r *bitio.Reader) (uint16, error) {
+	if peek, avail := r.Peek(fastBits); avail > 0 {
+		e := d.fast[peek]
+		if l := e & 0xff; l != 0 && uint(l) <= avail {
+			if err := r.Skip(uint(l)); err != nil {
+				return 0, err
+			}
+			return uint16(e >> 8), nil
+		}
+	}
+	// Canonical bitwise walk.
+	var code uint32
+	for l := uint8(1); l <= d.t.maxLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint32(b)
+		cnt := d.blCount[l]
+		if cnt > 0 && code >= d.firstCode[l] && code < d.firstCode[l]+uint32(cnt) {
+			return d.symByOrder[d.firstIndex[l]+int32(code-d.firstCode[l])], nil
+		}
+	}
+	return 0, ErrCorrupt
+}
+
+// Encode compresses codes (all values must be < alphabet) into a
+// self-describing byte stream: symbol count, code-length table, payload.
+func Encode(codes []uint16, alphabet int) []byte {
+	counts := make([]uint64, alphabet)
+	for _, c := range codes {
+		counts[c]++
+	}
+	t := BuildTable(counts)
+	w := bitio.NewWriter(len(codes)/2 + 64)
+	w.WriteGamma(uint64(len(codes)))
+	t.writeTable(w)
+	// Pack transmitted-order (bit-reversed) code and length per symbol so
+	// the hot loop is one table load + one WriteBits.
+	packed := make([]uint64, len(t.lengths))
+	for sym, l := range t.lengths {
+		if l > 0 {
+			packed[sym] = uint64(reverseBits(t.codes[sym], l))<<8 | uint64(l)
+		}
+	}
+	for _, c := range codes {
+		e := packed[c]
+		w.WriteBits(e>>8, uint(e&0xff))
+	}
+	return w.Bytes()
+}
+
+// Decode reverses Encode. alphabet must match the encoder's.
+func Decode(data []byte, alphabet int) ([]uint16, error) {
+	r := bitio.NewReader(data)
+	n, err := r.ReadGamma()
+	if err != nil {
+		return nil, err
+	}
+	const maxReasonable = 1 << 34
+	if n > maxReasonable {
+		return nil, ErrCorrupt
+	}
+	t, err := readTable(r, alphabet)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint16, n)
+	if n == 0 {
+		return out, nil
+	}
+	d := newDecoder(t)
+	for i := range out {
+		s, err := d.decodeSym(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// CompressedSizeEstimate returns the entropy-based lower bound, in bytes,
+// of Huffman-coding the given counts; used by heuristics and tests.
+func CompressedSizeEstimate(counts []uint64) int {
+	t := BuildTable(counts)
+	var totalBits uint64
+	for sym, c := range counts {
+		totalBits += c * uint64(t.lengths[sym])
+	}
+	return int((totalBits + 7) / 8)
+}

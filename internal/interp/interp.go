@@ -1,0 +1,83 @@
+// Package interp provides the interpolation kernels shared by the SZ3
+// baseline and the STZ hierarchical predictor.
+//
+// The cubic kernel is the not-a-knot cubic-spline midpoint formula used by
+// SZ3 and by STZ's Eq. 6: for a point halfway between p1 and p2, with outer
+// neighbours p0 and p3,
+//
+//	pred = -1/16·p0 + 9/16·p1 + 9/16·p2 − 1/16·p3.
+//
+// The multi-dimensional variants (Eq. 7, Eq. 8 of the paper) combine two or
+// four diagonal cubic splines with equal weight, which reduces to a 9/32 /
+// −1/32 (2D) or 9/64 / −1/64 (3D) stencil over the inner and outer corner
+// points.
+package interp
+
+import "stz/internal/grid"
+
+// Linear returns the midpoint linear interpolation of a and b (Eq. 3).
+func Linear[T grid.Float](a, b T) T {
+	return (a + b) / 2
+}
+
+// Bilinear returns the average of the four surrounding points (Eq. 4).
+func Bilinear[T grid.Float](a, b, c, d T) T {
+	return (a + b + c + d) / 4
+}
+
+// Trilinear returns the average of the eight surrounding points (Eq. 5).
+func Trilinear[T grid.Float](a, b, c, d, e, f, g, h T) T {
+	return (a + b + c + d + e + f + g + h) / 8
+}
+
+// Cubic returns the not-a-knot cubic midpoint interpolation between p1 and
+// p2 using outer neighbours p0, p3 (Eq. 6).
+func Cubic[T grid.Float](p0, p1, p2, p3 T) T {
+	return -(p0+p3)/16 + (p1+p2)*9/16
+}
+
+// CubicCoeffInner and CubicCoeffOuter are the 1D cubic weights, exported
+// for the composed multi-dimensional stencils.
+const (
+	CubicCoeffInner = 9.0 / 16.0
+	CubicCoeffOuter = -1.0 / 16.0
+)
+
+// Bicubic combines two orthogonal diagonal cubic splines (Eq. 7):
+// 9/32 over the four inner corners minus 1/32 over the four outer corners.
+func Bicubic[T grid.Float](inner [4]T, outer [4]T) T {
+	si := inner[0] + inner[1] + inner[2] + inner[3]
+	so := outer[0] + outer[1] + outer[2] + outer[3]
+	return si*9/32 - so/32
+}
+
+// Tricubic combines four diagonal cubic splines (Eq. 8): 9/64 over the
+// eight inner corners minus 1/64 over the eight outer corners.
+func Tricubic[T grid.Float](inner [8]T, outer [8]T) T {
+	var si, so T
+	for i := 0; i < 8; i++ {
+		si += inner[i]
+		so += outer[i]
+	}
+	return si*9/64 - so/64
+}
+
+// Quad1 predicts a point at position 1/2 given samples at −1/2, −3/2, −5/2
+// relative to it (one-sided quadratic extrapolation, used at the trailing
+// boundary where only previous points exist; matches SZ3's boundary rule
+// pred = (3a + 6b − c)/8 ... we use the simpler SZ3 quadratic form).
+func Quad1[T grid.Float](a, b, c T) T {
+	return (3*c + 6*b - a) / 8
+}
+
+// QuadBegin predicts the point between p0 and p1 when only p0, p1, p2 exist
+// (leading boundary, no left outer neighbour).
+func QuadBegin[T grid.Float](p0, p1, p2 T) T {
+	return (3*p0 + 6*p1 - p2) / 8
+}
+
+// QuadEnd predicts the point between p1 and p2 when only p0, p1, p2 exist
+// (trailing boundary, no right outer neighbour).
+func QuadEnd[T grid.Float](p0, p1, p2 T) T {
+	return (-p0 + 6*p1 + 3*p2) / 8
+}

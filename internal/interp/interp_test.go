@@ -1,0 +1,144 @@
+package interp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Linear interpolation must be exact for affine functions.
+func TestLinearExactOnAffine(t *testing.T) {
+	f := func(x float64) float64 { return 3*x - 7 }
+	got := Linear(f(0), f(2))
+	if !almostEq(got, f(1), 1e-12) {
+		t.Fatalf("got %g want %g", got, f(1))
+	}
+}
+
+// The not-a-knot cubic midpoint formula must be exact for cubic polynomials.
+func TestCubicExactOnCubics(t *testing.T) {
+	f := func(x float64) float64 { return 2*x*x*x - 5*x*x + x - 3 }
+	// Points at x = -3, -1, 1, 3 predict x = 0.
+	got := Cubic(f(-3), f(-1), f(1), f(3))
+	if !almostEq(got, f(0), 1e-9) {
+		t.Fatalf("got %g want %g", got, f(0))
+	}
+}
+
+func TestCubicWeightsSumToOne(t *testing.T) {
+	// Constant field must be predicted exactly.
+	if got := Cubic(5.0, 5.0, 5.0, 5.0); !almostEq(got, 5, 1e-12) {
+		t.Fatalf("constant not preserved: %g", got)
+	}
+}
+
+func TestBilinearExactOnAffine2D(t *testing.T) {
+	f := func(y, x float64) float64 { return 2*y - 3*x + 1 }
+	// Corners (0,0),(0,2),(2,0),(2,2) predict center (1,1).
+	got := Bilinear(f(0, 0), f(0, 2), f(2, 0), f(2, 2))
+	if !almostEq(got, f(1, 1), 1e-12) {
+		t.Fatalf("got %g want %g", got, f(1, 1))
+	}
+}
+
+func TestTrilinearExactOnAffine3D(t *testing.T) {
+	f := func(z, y, x float64) float64 { return z - 2*y + 4*x + 0.5 }
+	got := Trilinear(
+		f(0, 0, 0), f(0, 0, 2), f(0, 2, 0), f(0, 2, 2),
+		f(2, 0, 0), f(2, 0, 2), f(2, 2, 0), f(2, 2, 2))
+	if !almostEq(got, f(1, 1, 1), 1e-12) {
+		t.Fatalf("got %g want %g", got, f(1, 1, 1))
+	}
+}
+
+func TestBicubicConstantPreserved(t *testing.T) {
+	var inner, outer [4]float64
+	for i := range inner {
+		inner[i], outer[i] = 9, 9
+	}
+	if got := Bicubic(inner, outer); !almostEq(got, 9, 1e-12) {
+		t.Fatalf("constant not preserved: %g", got)
+	}
+}
+
+// Bicubic (Eq. 7) is the half-sum of two diagonal cubics, so it must be
+// exact for functions that are cubic along both diagonals, e.g. affine.
+func TestBicubicExactOnAffine(t *testing.T) {
+	f := func(y, x float64) float64 { return 3*y + 2*x - 1 }
+	// Point (0,0); inner corners at (±1,±1), outer at (±3,±3).
+	inner := [4]float64{f(-1, -1), f(-1, 1), f(1, -1), f(1, 1)}
+	outer := [4]float64{f(-3, -3), f(-3, 3), f(3, -3), f(3, 3)}
+	got := Bicubic(inner, outer)
+	if !almostEq(got, f(0, 0), 1e-12) {
+		t.Fatalf("got %g want %g", got, f(0, 0))
+	}
+}
+
+func TestTricubicConstantAndAffine(t *testing.T) {
+	var inner, outer [8]float64
+	for i := range inner {
+		inner[i], outer[i] = 4, 4
+	}
+	if got := Tricubic(inner, outer); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("constant not preserved: %g", got)
+	}
+	f := func(z, y, x float64) float64 { return z - y + 2*x + 7 }
+	k := 0
+	for dz := -1; dz <= 1; dz += 2 {
+		for dy := -1; dy <= 1; dy += 2 {
+			for dx := -1; dx <= 1; dx += 2 {
+				inner[k] = f(float64(dz), float64(dy), float64(dx))
+				outer[k] = f(float64(3*dz), float64(3*dy), float64(3*dx))
+				k++
+			}
+		}
+	}
+	got := Tricubic(inner, outer)
+	if !almostEq(got, f(0, 0, 0), 1e-12) {
+		t.Fatalf("affine: got %g want %g", got, f(0, 0, 0))
+	}
+}
+
+func TestQuadraticBoundaries(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2*x + 3 }
+	// QuadBegin: samples at x=0,2,4 predicting x=1.
+	got := QuadBegin(f(0), f(2), f(4))
+	if !almostEq(got, f(1), 1e-9) {
+		t.Fatalf("QuadBegin got %g want %g", got, f(1))
+	}
+	// QuadEnd: samples at x=0,2,4 predicting x=3.
+	got = QuadEnd(f(0), f(2), f(4))
+	if !almostEq(got, f(3), 1e-9) {
+		t.Fatalf("QuadEnd got %g want %g", got, f(3))
+	}
+}
+
+// Interpolating between bounds never escapes the convex hull for linear
+// kernels (property test).
+func TestLinearConvexHull(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		// Keep a+b representable; the kernels operate on physical data.
+		if math.Abs(a) > math.MaxFloat64/4 || math.Abs(b) > math.MaxFloat64/4 {
+			return true
+		}
+		m := Linear(a, b)
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return m >= lo-1e-12*math.Abs(lo) && m <= hi+1e-12*math.Abs(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat32Kernels(t *testing.T) {
+	got := Cubic[float32](1, 2, 3, 4)
+	// -(1+4)/16 + (2+3)*9/16 = -5/16 + 45/16 = 40/16 = 2.5
+	if got != 2.5 {
+		t.Fatalf("float32 cubic got %g", got)
+	}
+}

@@ -1,0 +1,213 @@
+// Package metrics implements the evaluation measures used throughout the
+// paper's §4: PSNR (peak signal-to-noise ratio against the data's value
+// range), RMSE, maximum absolute error, compression ratio / bit-rate
+// accounting, and a windowed Gaussian SSIM computed on 2D slices in "image
+// space" (the paper computes SSIM on rendered slices; we compute it on the
+// normalized data slices, which preserves the structural comparison).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"stz/internal/grid"
+)
+
+// Distortion summarizes pointwise reconstruction error.
+type Distortion struct {
+	RMSE   float64
+	PSNR   float64 // dB, +Inf for an exact reconstruction
+	MaxErr float64
+	Range  float64 // value range of the original data
+}
+
+// Compare computes distortion statistics of recon against orig.
+func Compare[T grid.Float](orig, recon *grid.Grid[T]) (Distortion, error) {
+	if orig.Len() != recon.Len() {
+		return Distortion{}, fmt.Errorf("metrics: length mismatch %d vs %d", orig.Len(), recon.Len())
+	}
+	var sum2, maxErr float64
+	for i, ov := range orig.Data {
+		d := float64(ov) - float64(recon.Data[i])
+		sum2 += d * d
+		if a := math.Abs(d); a > maxErr {
+			maxErr = a
+		}
+	}
+	n := float64(orig.Len())
+	mn, mx := orig.Range()
+	rng := float64(mx) - float64(mn)
+	rmse := math.Sqrt(sum2 / n)
+	psnr := math.Inf(1)
+	if rmse > 0 && rng > 0 {
+		psnr = 20 * math.Log10(rng/rmse)
+	}
+	return Distortion{RMSE: rmse, PSNR: psnr, MaxErr: maxErr, Range: rng}, nil
+}
+
+// Ratio describes the size side of a compression result.
+type Ratio struct {
+	OriginalBytes   int
+	CompressedBytes int
+}
+
+// CR is the compression ratio original/compressed.
+func (r Ratio) CR() float64 {
+	if r.CompressedBytes == 0 {
+		return math.Inf(1)
+	}
+	return float64(r.OriginalBytes) / float64(r.CompressedBytes)
+}
+
+// BitRate is the average number of compressed bits per original element,
+// given the element width in bytes.
+func (r Ratio) BitRate(elemBytes int) float64 {
+	elems := r.OriginalBytes / elemBytes
+	if elems == 0 {
+		return 0
+	}
+	return float64(r.CompressedBytes*8) / float64(elems)
+}
+
+// ssimConsts per Wang et al. 2004 with L = 1 (slices are normalized).
+const (
+	ssimC1 = 0.01 * 0.01
+	ssimC2 = 0.03 * 0.03
+)
+
+// gaussianKernel returns a normalized 1D Gaussian of the given radius with
+// sigma = 1.5 (the SSIM reference configuration, 11-tap at radius 5).
+func gaussianKernel(radius int) []float64 {
+	k := make([]float64, 2*radius+1)
+	var sum float64
+	const sigma = 1.5
+	for i := range k {
+		d := float64(i - radius)
+		k[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += k[i]
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// SSIM2D computes the mean SSIM index between two equal-size 2D images
+// (ny×nx float64 slices, assumed normalized to [0,1]-ish range) using an
+// 11×11 Gaussian window, separable implementation.
+func SSIM2D(a, b []float64, ny, nx int) (float64, error) {
+	if len(a) != ny*nx || len(b) != ny*nx {
+		return 0, fmt.Errorf("metrics: SSIM2D size mismatch")
+	}
+	if ny == 0 || nx == 0 {
+		return 0, fmt.Errorf("metrics: SSIM2D empty image")
+	}
+	radius := 5
+	if m := min(ny, nx); 2*radius+1 > m {
+		radius = (m - 1) / 2
+	}
+	kern := gaussianKernel(radius)
+
+	blur := func(src []float64) []float64 {
+		tmp := make([]float64, ny*nx)
+		dst := make([]float64, ny*nx)
+		// Horizontal pass with edge clamping.
+		for y := 0; y < ny; y++ {
+			row := y * nx
+			for x := 0; x < nx; x++ {
+				var s float64
+				for t := -radius; t <= radius; t++ {
+					xx := x + t
+					if xx < 0 {
+						xx = 0
+					} else if xx >= nx {
+						xx = nx - 1
+					}
+					s += kern[t+radius] * src[row+xx]
+				}
+				tmp[row+x] = s
+			}
+		}
+		// Vertical pass.
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				var s float64
+				for t := -radius; t <= radius; t++ {
+					yy := y + t
+					if yy < 0 {
+						yy = 0
+					} else if yy >= ny {
+						yy = ny - 1
+					}
+					s += kern[t+radius] * tmp[yy*nx+x]
+				}
+				dst[y*nx+x] = s
+			}
+		}
+		return dst
+	}
+
+	aa := make([]float64, ny*nx)
+	bb := make([]float64, ny*nx)
+	ab := make([]float64, ny*nx)
+	for i := range a {
+		aa[i] = a[i] * a[i]
+		bb[i] = b[i] * b[i]
+		ab[i] = a[i] * b[i]
+	}
+	muA := blur(a)
+	muB := blur(b)
+	sAA := blur(aa)
+	sBB := blur(bb)
+	sAB := blur(ab)
+
+	var total float64
+	for i := range muA {
+		ma, mb := muA[i], muB[i]
+		va := sAA[i] - ma*ma
+		vb := sBB[i] - mb*mb
+		cab := sAB[i] - ma*mb
+		num := (2*ma*mb + ssimC1) * (2*cab + ssimC2)
+		den := (ma*ma + mb*mb + ssimC1) * (va + vb + ssimC2)
+		total += num / den
+	}
+	return total / float64(ny*nx), nil
+}
+
+// SSIM3D computes SSIM on every z-slice of the two volumes (after a joint
+// min-max normalization over the original volume) and returns the mean —
+// the "image-space" SSIM the paper reports for renders of slices.
+func SSIM3D[T grid.Float](orig, recon *grid.Grid[T]) (float64, error) {
+	if orig.Len() != recon.Len() || orig.Nz != recon.Nz || orig.Ny != recon.Ny || orig.Nx != recon.Nx {
+		return 0, fmt.Errorf("metrics: SSIM3D shape mismatch")
+	}
+	mn, mx := orig.Range()
+	rng := float64(mx) - float64(mn)
+	if rng <= 0 {
+		rng = 1
+	}
+	ny, nx := orig.Ny, orig.Nx
+	a := make([]float64, ny*nx)
+	b := make([]float64, ny*nx)
+	var total float64
+	for z := 0; z < orig.Nz; z++ {
+		base := z * ny * nx
+		for i := 0; i < ny*nx; i++ {
+			a[i] = (float64(orig.Data[base+i]) - float64(mn)) / rng
+			b[i] = (float64(recon.Data[base+i]) - float64(mn)) / rng
+		}
+		s, err := SSIM2D(a, b, ny, nx)
+		if err != nil {
+			return 0, err
+		}
+		total += s
+	}
+	return total / float64(orig.Nz), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

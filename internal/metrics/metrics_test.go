@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stz/internal/grid"
+)
+
+func TestCompareIdentical(t *testing.T) {
+	g := grid.New[float64](2, 4, 4)
+	rng := rand.New(rand.NewSource(1))
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	d, err := Compare(g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RMSE != 0 || d.MaxErr != 0 || !math.IsInf(d.PSNR, 1) {
+		t.Fatalf("identical: %+v", d)
+	}
+}
+
+func TestCompareKnownError(t *testing.T) {
+	a := grid.New[float64](1, 1, 4)
+	b := grid.New[float64](1, 1, 4)
+	copy(a.Data, []float64{0, 1, 2, 3}) // range 3
+	copy(b.Data, []float64{0.1, 1, 2, 3})
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.MaxErr-0.1) > 1e-12 {
+		t.Fatalf("MaxErr=%g", d.MaxErr)
+	}
+	wantRMSE := math.Sqrt(0.01 / 4)
+	if math.Abs(d.RMSE-wantRMSE) > 1e-12 {
+		t.Fatalf("RMSE=%g want %g", d.RMSE, wantRMSE)
+	}
+	wantPSNR := 20 * math.Log10(3/wantRMSE)
+	if math.Abs(d.PSNR-wantPSNR) > 1e-9 {
+		t.Fatalf("PSNR=%g want %g", d.PSNR, wantPSNR)
+	}
+}
+
+func TestCompareMismatch(t *testing.T) {
+	a := grid.New[float32](1, 1, 4)
+	b := grid.New[float32](1, 1, 5)
+	if _, err := Compare(a, b); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	r := Ratio{OriginalBytes: 4000, CompressedBytes: 40}
+	if r.CR() != 100 {
+		t.Fatalf("CR=%g", r.CR())
+	}
+	// 1000 float32 elements, 40 bytes -> 0.32 bits/elem.
+	if br := r.BitRate(4); math.Abs(br-0.32) > 1e-12 {
+		t.Fatalf("BitRate=%g", br)
+	}
+	if !math.IsInf((Ratio{100, 0}).CR(), 1) {
+		t.Fatal("zero compressed bytes should give +Inf CR")
+	}
+}
+
+func TestSSIMIdentical(t *testing.T) {
+	const ny, nx = 32, 32
+	img := make([]float64, ny*nx)
+	rng := rand.New(rand.NewSource(2))
+	for i := range img {
+		img[i] = rng.Float64()
+	}
+	s, err := SSIM2D(img, img, ny, nx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("identical SSIM=%g", s)
+	}
+}
+
+func TestSSIMDegradesWithNoise(t *testing.T) {
+	const ny, nx = 64, 64
+	rng := rand.New(rand.NewSource(3))
+	img := make([]float64, ny*nx)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			img[y*nx+x] = 0.5 + 0.4*math.Sin(float64(x)/5)*math.Cos(float64(y)/7)
+		}
+	}
+	mild := make([]float64, len(img))
+	heavy := make([]float64, len(img))
+	for i := range img {
+		mild[i] = img[i] + 0.01*rng.NormFloat64()
+		heavy[i] = img[i] + 0.2*rng.NormFloat64()
+	}
+	sMild, _ := SSIM2D(img, mild, ny, nx)
+	sHeavy, _ := SSIM2D(img, heavy, ny, nx)
+	if !(sMild > sHeavy) {
+		t.Fatalf("SSIM ordering wrong: mild=%g heavy=%g", sMild, sHeavy)
+	}
+	if sMild < 0.8 {
+		t.Fatalf("mild noise SSIM too low: %g", sMild)
+	}
+	if sHeavy > 0.8 {
+		t.Fatalf("heavy noise SSIM too high: %g", sHeavy)
+	}
+}
+
+func TestSSIMRange(t *testing.T) {
+	// Unrelated images should land well below 1 but within [-1, 1].
+	const ny, nx = 32, 32
+	rng := rand.New(rand.NewSource(4))
+	a := make([]float64, ny*nx)
+	b := make([]float64, ny*nx)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+	}
+	s, err := SSIM2D(a, b, ny, nx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < -1 || s > 1 {
+		t.Fatalf("SSIM out of range: %g", s)
+	}
+}
+
+func TestSSIMTinyImage(t *testing.T) {
+	// Images smaller than the 11x11 window must still work via radius clamp.
+	a := []float64{0.1, 0.2, 0.3, 0.4}
+	s, err := SSIM2D(a, a, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("tiny identical SSIM=%g", s)
+	}
+}
+
+func TestSSIMErrors(t *testing.T) {
+	if _, err := SSIM2D(make([]float64, 3), make([]float64, 4), 2, 2); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := SSIM2D(nil, nil, 0, 0); err == nil {
+		t.Fatal("empty image accepted")
+	}
+}
+
+func TestSSIM3D(t *testing.T) {
+	g := grid.New[float32](4, 16, 16)
+	rng := rand.New(rand.NewSource(5))
+	for i := range g.Data {
+		g.Data[i] = float32(rng.Float64() * 100)
+	}
+	s, err := SSIM3D(g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-6 {
+		t.Fatalf("identical volume SSIM=%g", s)
+	}
+	noisy := g.Clone()
+	for i := range noisy.Data {
+		noisy.Data[i] += float32(rng.NormFloat64() * 20)
+	}
+	s2, err := SSIM3D(g, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 >= s {
+		t.Fatalf("noisy volume should have lower SSIM: %g vs %g", s2, s)
+	}
+}
+
+func TestGaussianKernelNormalized(t *testing.T) {
+	k := gaussianKernel(5)
+	if len(k) != 11 {
+		t.Fatalf("len=%d", len(k))
+	}
+	var sum float64
+	for _, v := range k {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("kernel sum=%g", sum)
+	}
+	if k[5] <= k[0] {
+		t.Fatal("kernel not peaked at center")
+	}
+}

@@ -1,0 +1,193 @@
+package mgard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stz/internal/grid"
+)
+
+func smoothField[T grid.Float](nz, ny, nx int, seed int64) *grid.Grid[T] {
+	g := grid.New[T](nz, ny, nx)
+	rng := rand.New(rand.NewSource(seed))
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v := math.Sin(float64(z)/6)*math.Cos(float64(y)/5) + 0.4*math.Sin(float64(x)/7) +
+					0.01*rng.NormFloat64()
+				g.Set(z, y, x, T(v))
+			}
+		}
+	}
+	return g
+}
+
+func checkBound[T grid.Float](t *testing.T, a, b *grid.Grid[T], eb float64) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("length mismatch %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Data {
+		if d := math.Abs(float64(a.Data[i]) - float64(b.Data[i])); d > eb {
+			t.Fatalf("bound violated at %d: %g > %g", i, d, eb)
+		}
+	}
+}
+
+func TestRoundTripFloat64(t *testing.T) {
+	g := smoothField[float64](20, 20, 20, 1)
+	const eb = 1e-3
+	enc, err := Compress(g, Options{EB: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float64](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, g, dec, eb)
+}
+
+func TestRoundTripFloat32(t *testing.T) {
+	g := smoothField[float32](16, 18, 14, 2)
+	const eb = 1e-3
+	enc, err := Compress(g, Options{EB: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float32](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, g, dec, eb)
+}
+
+func TestRoundTripOddAndSmallDims(t *testing.T) {
+	for _, dims := range [][3]int{{5, 7, 9}, {2, 2, 2}, {1, 16, 16}, {33, 3, 5}, {1, 1, 50}} {
+		g := smoothField[float64](dims[0], dims[1], dims[2], 3)
+		enc, err := Compress(g, Options{EB: 1e-3})
+		if err != nil {
+			t.Fatalf("dims %v: %v", dims, err)
+		}
+		dec, err := Decompress[float64](enc)
+		if err != nil {
+			t.Fatalf("dims %v: %v", dims, err)
+		}
+		checkBound(t, g, dec, 1e-3)
+	}
+}
+
+func TestProgressive(t *testing.T) {
+	g := smoothField[float64](32, 32, 32, 4)
+	enc, err := Compress(g, Options{EB: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := Levels[float64](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels < 2 {
+		t.Fatalf("levels=%d", levels)
+	}
+	full, err := Decompress[float64](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each coarser reconstruction must equal the corresponding stride
+	// sampling of the full reconstruction (hierarchical consistency).
+	for upto := 1; upto <= levels; upto++ {
+		coarse, err := DecompressProgressive[float64](enc, upto)
+		if err != nil {
+			t.Fatalf("level %d: %v", upto, err)
+		}
+		want := full.ExtractStride(grid.Offset3{}, 1<<uint(upto))
+		if coarse.Len() != want.Len() {
+			t.Fatalf("level %d size %d want %d", upto, coarse.Len(), want.Len())
+		}
+		for i := range want.Data {
+			if coarse.Data[i] != want.Data[i] {
+				t.Fatalf("level %d mismatch at %d", upto, i)
+			}
+		}
+	}
+	if _, err := DecompressProgressive[float64](enc, levels+1); err == nil {
+		t.Fatal("out-of-range level accepted")
+	}
+}
+
+func TestOutlierHeavy(t *testing.T) {
+	g := grid.New[float64](12, 12, 12)
+	rng := rand.New(rand.NewSource(5))
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+		if rng.Intn(8) == 0 {
+			g.Data[i] *= 1e14
+		}
+	}
+	const eb = 1e-6
+	enc, err := Compress(g, Options{EB: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float64](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, g, dec, eb)
+}
+
+func TestParallelDeterministic(t *testing.T) {
+	g := smoothField[float64](24, 24, 24, 6)
+	a, err := Compress(g, Options{EB: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compress(g, Options{EB: 1e-3, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("parallel stream size differs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("parallel stream differs")
+		}
+	}
+}
+
+func TestInvalid(t *testing.T) {
+	g := smoothField[float64](8, 8, 8, 7)
+	if _, err := Compress(g, Options{EB: 0}); err == nil {
+		t.Fatal("zero EB accepted")
+	}
+	if _, err := Decompress[float64]([]byte("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	enc, _ := Compress(g, Options{EB: 1e-3})
+	if _, err := Decompress[float32](enc); err == nil {
+		t.Fatal("dtype mismatch accepted")
+	}
+	for cut := 0; cut < len(enc); cut += 31 {
+		_, _ = Decompress[float64](enc[:cut]) // must not panic
+	}
+}
+
+func TestExplicitLevels(t *testing.T) {
+	g := smoothField[float64](32, 32, 32, 8)
+	enc, err := Compress(g, Options{EB: 1e-3, Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, _ := Levels[float64](enc)
+	if lv != 2 {
+		t.Fatalf("levels=%d want 2", lv)
+	}
+	dec, err := Decompress[float64](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, g, dec, 1e-3)
+}

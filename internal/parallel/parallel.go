@@ -1,0 +1,92 @@
+// Package parallel provides the shared-memory parallel primitives that play
+// the role of OpenMP in the paper's evaluation: a bounded "parallel for"
+// over index ranges and a chunk partitioner used to split grids into
+// independently compressible pieces.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers mirrors the paper's OpenMP configuration of 8 threads,
+// capped by the machine's core count.
+func DefaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		return 8
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) on up to workers goroutines.
+// workers <= 1 executes serially in the calling goroutine.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForBlocks splits [0, n) into nblocks contiguous ranges of near-equal
+// length and runs fn(lo, hi) for each on up to workers goroutines.
+func ForBlocks(n, nblocks, workers int, fn func(lo, hi int)) {
+	if n <= 0 || nblocks <= 0 {
+		return
+	}
+	if nblocks > n {
+		nblocks = n
+	}
+	For(nblocks, workers, func(b int) {
+		lo := b * n / nblocks
+		hi := (b + 1) * n / nblocks
+		fn(lo, hi)
+	})
+}
+
+// Chunks returns the boundaries that ForBlocks would use: nblocks+1
+// monotone offsets covering [0, n].
+func Chunks(n, nblocks int) []int {
+	if nblocks <= 0 {
+		nblocks = 1
+	}
+	if nblocks > n && n > 0 {
+		nblocks = n
+	}
+	if n == 0 {
+		return []int{0, 0}
+	}
+	out := make([]int, nblocks+1)
+	for b := 0; b <= nblocks; b++ {
+		out[b] = b * n / nblocks
+	}
+	return out
+}

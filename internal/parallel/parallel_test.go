@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	For(n, 4, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForSerialFallback(t *testing.T) {
+	var order []int
+	For(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial mode out of order: %v", order)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	ran := false
+	For(0, 4, func(i int) { ran = true })
+	For(-3, 4, func(i int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for empty range")
+	}
+}
+
+func TestForMoreWorkersThanWork(t *testing.T) {
+	var count int32
+	For(3, 100, func(i int) { atomic.AddInt32(&count, 1) })
+	if count != 3 {
+		t.Fatalf("count=%d", count)
+	}
+}
+
+func TestForBlocksPartition(t *testing.T) {
+	const n = 103
+	var hits [n]int32
+	ForBlocks(n, 8, 4, func(lo, hi int) {
+		if lo >= hi {
+			t.Errorf("empty block [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d covered %d times", i, h)
+		}
+	}
+}
+
+func TestChunks(t *testing.T) {
+	c := Chunks(10, 3)
+	if len(c) != 4 || c[0] != 0 || c[3] != 10 {
+		t.Fatalf("chunks=%v", c)
+	}
+	for i := 1; i < len(c); i++ {
+		if c[i] < c[i-1] {
+			t.Fatalf("non-monotone: %v", c)
+		}
+	}
+	if got := Chunks(0, 4); got[len(got)-1] != 0 {
+		t.Fatalf("empty chunks=%v", got)
+	}
+	// More blocks than items collapses to n blocks.
+	c = Chunks(2, 10)
+	if c[len(c)-1] != 2 {
+		t.Fatalf("chunks=%v", c)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	w := DefaultWorkers()
+	if w < 1 || w > 8 {
+		t.Fatalf("workers=%d", w)
+	}
+}

@@ -1,0 +1,132 @@
+// Package quant implements SZ3-style error-bounded linear-scale
+// quantization — the loss-introduction stage of the SZ3 baseline and of the
+// STZ core.
+//
+// A residual diff = value − prediction is mapped to an integer bin
+// q = round(diff / (2·eb)); the reconstruction prediction + 2·eb·q is then
+// guaranteed to be within eb of the value. Bins outside ±(Radius−1) — or
+// bins whose reconstruction fails the bound check after rounding to the
+// storage type — are escaped as "unpredictable": code 0 is emitted and the
+// original value is stored verbatim in a side channel.
+package quant
+
+import (
+	"math"
+
+	"stz/internal/grid"
+)
+
+// DefaultRadius matches SZ3's default of 32768 quantization bins on each
+// side of zero (alphabet 65536 including the escape code).
+const DefaultRadius = 32768
+
+// Quantizer maps residuals to codes under an absolute error bound.
+type Quantizer struct {
+	EB     float64 // absolute error bound (> 0)
+	Radius int32   // codes occupy [1, 2·Radius−1]; 0 escapes
+}
+
+// New returns a quantizer with the default radius.
+func New(eb float64) Quantizer {
+	return Quantizer{EB: eb, Radius: DefaultRadius}
+}
+
+// Alphabet returns the code alphabet size (2·Radius).
+func (q Quantizer) Alphabet() int { return int(q.Radius) * 2 }
+
+// Quantize maps (value, prediction) to a code and the reconstructed value.
+// ok is false when the residual cannot be captured within the bound, in
+// which case the caller must store value verbatim (code 0).
+func (q Quantizer) Quantize(value, pred float64) (code uint16, recon float64, ok bool) {
+	diff := value - pred
+	scaled := diff / (2 * q.EB)
+	if math.IsNaN(scaled) || math.Abs(scaled) >= float64(q.Radius) {
+		return 0, value, false
+	}
+	k := int32(math.Round(scaled))
+	recon = pred + 2*q.EB*float64(k)
+	if math.Abs(recon-value) > q.EB {
+		return 0, value, false
+	}
+	return uint16(k + q.Radius), recon, true
+}
+
+// Dequantize reconstructs the value for a non-escape code.
+func (q Quantizer) Dequantize(code uint16, pred float64) float64 {
+	return pred + 2*q.EB*float64(int32(code)-q.Radius)
+}
+
+// QuantizeT quantizes in the storage type T's domain: the reconstruction is
+// rounded to T before the bound check, so the guarantee survives the final
+// cast (important for float32 data processed with float64 arithmetic).
+func QuantizeT[T grid.Float](q Quantizer, value T, pred float64) (code uint16, recon T, ok bool) {
+	c, r, ok := q.Quantize(float64(value), pred)
+	if !ok {
+		return 0, value, false
+	}
+	rt := T(r)
+	if math.Abs(float64(rt)-float64(value)) > q.EB {
+		return 0, value, false
+	}
+	return c, rt, true
+}
+
+// DequantizeT mirrors QuantizeT for decompression.
+func DequantizeT[T grid.Float](q Quantizer, code uint16, pred float64) T {
+	return T(q.Dequantize(code, pred))
+}
+
+// Fast is a Quantizer with the per-point division replaced by a
+// precomputed reciprocal — the hot-loop form used by the compressors.
+// It produces identical codes and reconstructions apart from the usual
+// one-ulp reciprocal rounding, which the bound re-check absorbs.
+type Fast struct {
+	EB     float64
+	inv    float64
+	radius int32
+}
+
+// Fast derives the hot-loop form.
+func (q Quantizer) Fast() Fast {
+	return Fast{EB: q.EB, inv: 1 / (2 * q.EB), radius: q.Radius}
+}
+
+// Quantize mirrors Quantizer.Quantize.
+func (f Fast) Quantize(value, pred float64) (code uint16, recon float64, ok bool) {
+	scaled := (value - pred) * f.inv
+	// The negated comparison also catches NaN.
+	if !(scaled < float64(f.radius) && scaled > -float64(f.radius)) {
+		return 0, value, false
+	}
+	k := int32(math.Round(scaled))
+	recon = pred + 2*f.EB*float64(k)
+	if d := recon - value; d > f.EB || d < -f.EB || d != d {
+		return 0, value, false
+	}
+	return uint16(k + f.radius), recon, true
+}
+
+// QuantizeFastT is the storage-type-safe form of Fast.Quantize (see
+// QuantizeT).
+func QuantizeFastT[T grid.Float](f Fast, value T, pred float64) (code uint16, recon T, ok bool) {
+	c, r, ok := f.Quantize(float64(value), pred)
+	if !ok {
+		return 0, value, false
+	}
+	rt := T(r)
+	if d := float64(rt) - float64(value); d > f.EB || d < -f.EB || d != d {
+		return 0, value, false
+	}
+	return c, rt, true
+}
+
+// AbsoluteBound converts a value-range-relative bound to an absolute one:
+// eb_abs = rel · (max − min). A degenerate (constant) range falls back to
+// rel itself so the bound stays positive.
+func AbsoluteBound(rel float64, min, max float64) float64 {
+	r := max - min
+	if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return rel
+	}
+	return rel * r
+}

@@ -1,0 +1,156 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripWithinBound(t *testing.T) {
+	q := New(0.01)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		val := rng.NormFloat64() * 10
+		pred := val + rng.NormFloat64() // prediction error ~ N(0,1)
+		code, recon, ok := q.Quantize(val, pred)
+		if !ok {
+			continue
+		}
+		if code == 0 {
+			t.Fatal("escape code returned with ok=true")
+		}
+		if math.Abs(recon-val) > q.EB {
+			t.Fatalf("bound violated: |%g - %g| > %g", recon, val, q.EB)
+		}
+		if got := q.Dequantize(code, pred); got != recon {
+			t.Fatalf("dequantize mismatch: %g vs %g", got, recon)
+		}
+	}
+}
+
+func TestEscapeOnHugeResidual(t *testing.T) {
+	q := Quantizer{EB: 1e-6, Radius: 512}
+	_, recon, ok := q.Quantize(1e9, 0)
+	if ok {
+		t.Fatal("huge residual should escape")
+	}
+	if recon != 1e9 {
+		t.Fatalf("escape must return the value, got %g", recon)
+	}
+}
+
+func TestEscapeOnNaN(t *testing.T) {
+	q := New(0.1)
+	if _, _, ok := q.Quantize(math.NaN(), 0); ok {
+		t.Fatal("NaN must escape")
+	}
+	if _, _, ok := q.Quantize(0, math.NaN()); ok {
+		t.Fatal("NaN prediction must escape")
+	}
+	if _, _, ok := q.Quantize(math.Inf(1), 0); ok {
+		t.Fatal("Inf must escape")
+	}
+}
+
+func TestZeroResidual(t *testing.T) {
+	q := New(0.5)
+	code, recon, ok := q.Quantize(3.0, 3.0)
+	if !ok || recon != 3.0 {
+		t.Fatalf("exact prediction: code=%d recon=%g ok=%v", code, recon, ok)
+	}
+	if int32(code) != q.Radius {
+		t.Fatalf("zero bin should map to radius, got %d", code)
+	}
+}
+
+func TestBoundaryOfRadius(t *testing.T) {
+	q := Quantizer{EB: 1, Radius: 4}
+	// diff = 2*eb*k. k=3 is the largest admissible bin (|k| < radius).
+	code, _, ok := q.Quantize(6, 0)
+	if !ok || code != uint16(3+4) {
+		t.Fatalf("k=3: code=%d ok=%v", code, ok)
+	}
+	// k=4 must escape.
+	if _, _, ok := q.Quantize(8, 0); ok {
+		t.Fatal("k=radius must escape")
+	}
+	// negative side: k=-3 ok, k=-4 escapes.
+	code, _, ok = q.Quantize(-6, 0)
+	if !ok || code != uint16(-3+4) {
+		t.Fatalf("k=-3: code=%d ok=%v", code, ok)
+	}
+	if _, _, ok := q.Quantize(-8, 0); ok {
+		t.Fatal("k=-radius must escape")
+	}
+}
+
+func TestQuickBoundProperty(t *testing.T) {
+	f := func(val, pred float64, ebRaw uint32) bool {
+		if math.IsNaN(val) || math.IsInf(val, 0) || math.IsNaN(pred) || math.IsInf(pred, 0) {
+			return true
+		}
+		eb := float64(ebRaw%1000+1) / 1000.0
+		q := New(eb)
+		code, recon, ok := q.Quantize(val, pred)
+		if !ok {
+			return recon == val
+		}
+		return code != 0 && math.Abs(recon-val) <= eb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeTFloat32CastSafety(t *testing.T) {
+	// After casting to float32, the reconstruction must still be within eb.
+	q := New(1e-4)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		val := float32(rng.NormFloat64() * 1000)
+		pred := float64(val) + rng.NormFloat64()*1e-3
+		code, recon, ok := QuantizeT(q, val, pred)
+		if !ok {
+			if recon != val {
+				t.Fatal("escape must hold the exact value")
+			}
+			continue
+		}
+		if math.Abs(float64(recon)-float64(val)) > q.EB {
+			t.Fatalf("float32 bound violated: val=%g recon=%g", val, recon)
+		}
+		got := DequantizeT[float32](q, code, pred)
+		if got != recon {
+			t.Fatalf("DequantizeT mismatch: %g vs %g", got, recon)
+		}
+	}
+}
+
+func TestAlphabet(t *testing.T) {
+	q := New(1)
+	if q.Alphabet() != 65536 {
+		t.Fatalf("alphabet=%d", q.Alphabet())
+	}
+}
+
+func TestAbsoluteBound(t *testing.T) {
+	if got := AbsoluteBound(0.01, 0, 200); got != 2.0 {
+		t.Fatalf("got %g want 2", got)
+	}
+	if got := AbsoluteBound(0.01, 5, 5); got != 0.01 {
+		t.Fatalf("degenerate range: got %g want 0.01", got)
+	}
+}
+
+func TestDequantizeSymmetry(t *testing.T) {
+	q := Quantizer{EB: 0.25, Radius: 128}
+	for k := int32(-127); k < 128; k++ {
+		code := uint16(k + q.Radius)
+		got := q.Dequantize(code, 10)
+		want := 10 + 2*0.25*float64(k)
+		if got != want {
+			t.Fatalf("k=%d: got %g want %g", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package roi implements the paper's ROI-selection module (§3.3): it scans
+// a grid slice-by-slice or block-by-block, computes per-region statistics
+// (value range or maximum), and selects regions of interest by threshold or
+// top-x% — e.g. maximum-value thresholding for cosmology halos, or range
+// thresholding for fluid interfaces. The selected regions feed directly
+// into STZ's random-access decompression as boxes.
+package roi
+
+import (
+	"fmt"
+	"sort"
+
+	"stz/internal/grid"
+)
+
+// Mode selects the per-region statistic.
+type Mode int
+
+const (
+	// MaxValue selects regions whose maximum exceeds the threshold —
+	// suitable for overdensity halos in cosmology data.
+	MaxValue Mode = iota
+	// ValueRange selects regions whose max−min spread exceeds the
+	// threshold — suitable for interfaces in fluid-dynamics data.
+	ValueRange
+)
+
+func (m Mode) String() string {
+	if m == MaxValue {
+		return "max-value"
+	}
+	return "value-range"
+}
+
+// Region is a candidate region with its statistic.
+type Region struct {
+	Box  grid.Box
+	Stat float64
+}
+
+// ScanBlocks partitions the grid into blockSize³ blocks (clipped at the
+// edges) and computes the per-block statistic.
+func ScanBlocks[T grid.Float](g *grid.Grid[T], blockSize int, mode Mode) ([]Region, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("roi: block size %d", blockSize)
+	}
+	var out []Region
+	for z0 := 0; z0 < g.Nz; z0 += blockSize {
+		for y0 := 0; y0 < g.Ny; y0 += blockSize {
+			for x0 := 0; x0 < g.Nx; x0 += blockSize {
+				b := grid.Box{
+					Z0: z0, Y0: y0, X0: x0,
+					Z1: z0 + blockSize, Y1: y0 + blockSize, X1: x0 + blockSize,
+				}.Clip(g.Nz, g.Ny, g.Nx)
+				out = append(out, Region{Box: b, Stat: boxStat(g, b, mode)})
+			}
+		}
+	}
+	return out, nil
+}
+
+// ScanSlicesZ computes the per-z-slice statistic.
+func ScanSlicesZ[T grid.Float](g *grid.Grid[T], mode Mode) []Region {
+	out := make([]Region, g.Nz)
+	for z := 0; z < g.Nz; z++ {
+		b := grid.SliceZBox(g, z)
+		out[z] = Region{Box: b, Stat: boxStat(g, b, mode)}
+	}
+	return out
+}
+
+func boxStat[T grid.Float](g *grid.Grid[T], b grid.Box, mode Mode) float64 {
+	first := true
+	var mn, mx float64
+	for z := b.Z0; z < b.Z1; z++ {
+		for y := b.Y0; y < b.Y1; y++ {
+			row := (z*g.Ny + y) * g.Nx
+			for x := b.X0; x < b.X1; x++ {
+				v := float64(g.Data[row+x])
+				if first {
+					mn, mx = v, v
+					first = false
+					continue
+				}
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+		}
+	}
+	if mode == MaxValue {
+		return mx
+	}
+	return mx - mn
+}
+
+// Threshold returns the regions whose statistic exceeds thresh.
+func Threshold(regions []Region, thresh float64) []Region {
+	var out []Region
+	for _, r := range regions {
+		if r.Stat > thresh {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TopPercent returns the regions in the top pct percent by statistic
+// (at least one region when pct > 0 and regions is non-empty).
+func TopPercent(regions []Region, pct float64) []Region {
+	if pct <= 0 || len(regions) == 0 {
+		return nil
+	}
+	sorted := make([]Region, len(regions))
+	copy(sorted, regions)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Stat > sorted[j].Stat })
+	n := int(float64(len(sorted)) * pct / 100)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+// Coverage returns the fraction of the grid's points covered by the
+// regions (regions are assumed disjoint, as produced by ScanBlocks).
+func Coverage[T grid.Float](g *grid.Grid[T], regions []Region) float64 {
+	if g.Len() == 0 {
+		return 0
+	}
+	var pts int
+	for _, r := range regions {
+		pts += r.Box.Volume()
+	}
+	return float64(pts) / float64(g.Len())
+}
+
+// BoundingBox returns the union of the selected regions' boxes.
+func BoundingBox(regions []Region) grid.Box {
+	var u grid.Box
+	for _, r := range regions {
+		u = u.Union(r.Box)
+	}
+	return u
+}
+
+// PointCoverage counts the grid points above a point-wise threshold that
+// fall inside the selected regions, returning (covered, total-above) — the
+// recall of the region selection for point-level features such as halos.
+func PointCoverage[T grid.Float](g *grid.Grid[T], regions []Region, thresh float64) (int, int) {
+	var covered, total int
+	for z := 0; z < g.Nz; z++ {
+		for y := 0; y < g.Ny; y++ {
+			row := (z*g.Ny + y) * g.Nx
+			for x := 0; x < g.Nx; x++ {
+				if float64(g.Data[row+x]) <= thresh {
+					continue
+				}
+				total++
+				for _, r := range regions {
+					if r.Box.Contains(z, y, x) {
+						covered++
+						break
+					}
+				}
+			}
+		}
+	}
+	return covered, total
+}

@@ -1,0 +1,143 @@
+package roi
+
+import (
+	"math"
+	"testing"
+
+	"stz/internal/datasets"
+	"stz/internal/grid"
+)
+
+func TestScanBlocksCoversGrid(t *testing.T) {
+	g := grid.New[float64](10, 10, 10)
+	regions, err := ScanBlocks(g, 4, MaxValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ceil(10/4)³ = 27 blocks.
+	if len(regions) != 27 {
+		t.Fatalf("got %d regions", len(regions))
+	}
+	var vol int
+	for _, r := range regions {
+		vol += r.Box.Volume()
+	}
+	if vol != g.Len() {
+		t.Fatalf("blocks cover %d of %d points", vol, g.Len())
+	}
+}
+
+func TestScanBlocksInvalid(t *testing.T) {
+	g := grid.New[float64](4, 4, 4)
+	if _, err := ScanBlocks(g, 0, MaxValue); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+}
+
+func TestMaxValueStat(t *testing.T) {
+	g := grid.New[float64](4, 4, 4)
+	g.Set(1, 2, 3, 42)
+	regions, _ := ScanBlocks(g, 4, MaxValue)
+	if len(regions) != 1 || regions[0].Stat != 42 {
+		t.Fatalf("regions %+v", regions)
+	}
+}
+
+func TestValueRangeStat(t *testing.T) {
+	g := grid.New[float64](1, 1, 8)
+	copy(g.Data, []float64{5, 5, 5, 5, 1, 9, 5, 5})
+	regions, _ := ScanBlocks(g, 4, ValueRange)
+	if len(regions) != 2 {
+		t.Fatalf("got %d regions", len(regions))
+	}
+	if regions[0].Stat != 0 || regions[1].Stat != 8 {
+		t.Fatalf("stats %g %g", regions[0].Stat, regions[1].Stat)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	regions := []Region{{Stat: 1}, {Stat: 5}, {Stat: 10}}
+	sel := Threshold(regions, 4)
+	if len(sel) != 2 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	if len(Threshold(regions, 100)) != 0 {
+		t.Fatal("nothing should pass")
+	}
+}
+
+func TestTopPercent(t *testing.T) {
+	regions := make([]Region, 100)
+	for i := range regions {
+		regions[i].Stat = float64(i)
+	}
+	top := TopPercent(regions, 10)
+	if len(top) != 10 {
+		t.Fatalf("got %d", len(top))
+	}
+	for _, r := range top {
+		if r.Stat < 90 {
+			t.Fatalf("non-top region selected: %g", r.Stat)
+		}
+	}
+	if got := TopPercent(regions, 0.0001); len(got) != 1 {
+		t.Fatalf("tiny pct should return 1, got %d", len(got))
+	}
+	if TopPercent(nil, 10) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+func TestScanSlicesZ(t *testing.T) {
+	g := grid.New[float32](5, 4, 4)
+	g.Set(3, 0, 0, 7)
+	regions := ScanSlicesZ(g, MaxValue)
+	if len(regions) != 5 {
+		t.Fatalf("got %d slices", len(regions))
+	}
+	if regions[3].Stat != 7 || regions[0].Stat != 0 {
+		t.Fatalf("slice stats wrong: %+v", regions)
+	}
+}
+
+func TestCoverageAndBoundingBox(t *testing.T) {
+	g := grid.New[float64](8, 8, 8)
+	regions := []Region{
+		{Box: grid.Box{Z0: 0, Y0: 0, X0: 0, Z1: 4, Y1: 4, X1: 4}},
+		{Box: grid.Box{Z0: 4, Y0: 4, X0: 4, Z1: 8, Y1: 8, X1: 8}},
+	}
+	cov := Coverage(g, regions)
+	if math.Abs(cov-0.25) > 1e-12 {
+		t.Fatalf("coverage %g", cov)
+	}
+	bb := BoundingBox(regions)
+	if bb != (grid.Box{Z0: 0, Y0: 0, X0: 0, Z1: 8, Y1: 8, X1: 8}) {
+		t.Fatalf("bbox %+v", bb)
+	}
+}
+
+// The Fig. 10 scenario: halo thresholding on the Nyx stand-in captures all
+// halo points with a small fraction of the volume.
+func TestNyxHaloSelection(t *testing.T) {
+	g := datasets.Nyx(48, 48, 48, 1001)
+	const haloThresh = 81.66
+	regions, err := ScanBlocks(g, 8, MaxValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := Threshold(regions, haloThresh)
+	if len(sel) == 0 {
+		t.Fatal("no halo regions found")
+	}
+	covered, total := PointCoverage(g, sel, haloThresh)
+	if total == 0 {
+		t.Fatal("no halo points in dataset")
+	}
+	if covered != total {
+		t.Fatalf("halo recall %d/%d", covered, total)
+	}
+	cov := Coverage(g, sel)
+	if cov > 0.3 {
+		t.Fatalf("ROI covers %.1f%% of the volume — too coarse", cov*100)
+	}
+}

@@ -1,0 +1,263 @@
+package sperr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stz/internal/grid"
+)
+
+func TestSymReflection(t *testing.T) {
+	// n=5: valid indices 0..4, reflection period 8.
+	cases := map[int]int{-1: 1, -2: 2, 0: 0, 4: 4, 5: 3, 6: 2, 7: 1, 8: 0}
+	for in, want := range cases {
+		if got := sym(in, 5); got != want {
+			t.Errorf("sym(%d,5)=%d want %d", in, got, want)
+		}
+	}
+	if sym(3, 1) != 0 {
+		t.Error("sym with n=1 must clamp to 0")
+	}
+}
+
+func TestLineRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 3, 5, 8, 17, 64, 100} {
+		line := make([]float64, n)
+		orig := make([]float64, n)
+		scratch := make([]float64, n)
+		for i := range line {
+			line[i] = rng.NormFloat64()
+			orig[i] = line[i]
+		}
+		fwdLine(line, scratch, n)
+		invLine(line, scratch, n)
+		for i := range line {
+			if math.Abs(line[i]-orig[i]) > 1e-10 {
+				t.Fatalf("n=%d: line round-trip error %g at %d", n, line[i]-orig[i], i)
+			}
+		}
+	}
+}
+
+func TestLineDecorrelatesSmoothSignal(t *testing.T) {
+	// A smooth signal must concentrate energy in the low band.
+	const n = 64
+	line := make([]float64, n)
+	scratch := make([]float64, n)
+	for i := range line {
+		line[i] = math.Sin(float64(i) / 9)
+	}
+	fwdLine(line, scratch, n)
+	var lowE, highE float64
+	for i := 0; i < n/2; i++ {
+		lowE += line[i] * line[i]
+	}
+	for i := n / 2; i < n; i++ {
+		highE += line[i] * line[i]
+	}
+	if lowE < 100*highE {
+		t.Fatalf("poor decorrelation: low %g, high %g", lowE, highE)
+	}
+}
+
+func Test3DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const nz, ny, nx = 12, 9, 17
+	work := make([]float64, nz*ny*nx)
+	orig := make([]float64, len(work))
+	for i := range work {
+		work[i] = rng.NormFloat64()
+		orig[i] = work[i]
+	}
+	forward3D(work, nz, ny, nx, 2, 1)
+	inverse3D(work, nz, ny, nx, 2, 1)
+	for i := range work {
+		if math.Abs(work[i]-orig[i]) > 1e-9 {
+			t.Fatalf("3D round-trip error at %d: %g", i, work[i]-orig[i])
+		}
+	}
+}
+
+func smoothField[T grid.Float](nz, ny, nx int, seed int64) *grid.Grid[T] {
+	g := grid.New[T](nz, ny, nx)
+	rng := rand.New(rand.NewSource(seed))
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v := math.Sin(float64(z)/6)*math.Cos(float64(y)/5) + 0.4*math.Sin(float64(x)/7) +
+					0.02*rng.NormFloat64()
+				g.Set(z, y, x, T(v))
+			}
+		}
+	}
+	return g
+}
+
+func checkBound[T grid.Float](t *testing.T, a, b *grid.Grid[T], eb float64) {
+	t.Helper()
+	for i := range a.Data {
+		if d := math.Abs(float64(a.Data[i]) - float64(b.Data[i])); d > eb {
+			t.Fatalf("bound violated at %d: %g > %g", i, d, eb)
+		}
+	}
+}
+
+func TestRoundTripErrorBound(t *testing.T) {
+	g := smoothField[float64](20, 20, 20, 3)
+	for _, tol := range []float64{1e-2, 1e-4} {
+		enc, err := Compress(g, Options{Tolerance: tol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress[float64](enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBound(t, g, dec, tol)
+	}
+}
+
+func TestRoundTripFloat32(t *testing.T) {
+	g := smoothField[float32](16, 18, 22, 4)
+	const tol = 1e-3
+	enc, err := Compress(g, Options{Tolerance: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float32](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, g, dec, tol)
+}
+
+func TestNoisyDataStillBounded(t *testing.T) {
+	g := grid.New[float64](10, 10, 10)
+	rng := rand.New(rand.NewSource(5))
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64() * 50
+	}
+	const tol = 0.01
+	enc, err := Compress(g, Options{Tolerance: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float64](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, g, dec, tol)
+}
+
+func TestOutlierValues(t *testing.T) {
+	g := smoothField[float64](8, 8, 8, 6)
+	g.Data[0] = 1e18
+	g.Data[100] = -1e18
+	const tol = 1e-4
+	enc, err := Compress(g, Options{Tolerance: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress[float64](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, g, dec, tol)
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	g := smoothField[float64](16, 16, 16, 7)
+	a, err := Compress(g, Options{Tolerance: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compress(g, Options{Tolerance: 1e-3, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("parallel stream size differs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("parallel stream differs")
+		}
+	}
+	// Parallel decompression must equal serial decompression exactly.
+	ds, err := Decompress[float64](a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := DecompressWorkers[float64](a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Data {
+		if ds.Data[i] != dp.Data[i] {
+			t.Fatal("parallel decompression differs")
+		}
+	}
+}
+
+func TestSmoothCompressesWell(t *testing.T) {
+	// Noise-free smooth field: the wavelet must concentrate energy and
+	// compress far below the raw size.
+	g := grid.New[float32](32, 32, 32)
+	for z := 0; z < 32; z++ {
+		for y := 0; y < 32; y++ {
+			for x := 0; x < 32; x++ {
+				g.Set(z, y, x, float32(math.Sin(float64(z)/6)*math.Cos(float64(y)/5)+0.4*math.Sin(float64(x)/7)))
+			}
+		}
+	}
+	enc, err := Compress(g, Options{Tolerance: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := float64(g.Len()*4) / float64(len(enc))
+	if cr < 10 {
+		t.Fatalf("smooth field CR only %.1f", cr)
+	}
+}
+
+func TestInvalid(t *testing.T) {
+	g := smoothField[float64](8, 8, 8, 9)
+	if _, err := Compress(g, Options{Tolerance: 0}); err == nil {
+		t.Fatal("zero tolerance accepted")
+	}
+	if _, err := Decompress[float64]([]byte("bogus data!!")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	enc, _ := Compress(g, Options{Tolerance: 1e-3})
+	if _, err := Decompress[float32](enc); err == nil {
+		t.Fatal("dtype mismatch accepted")
+	}
+	for cut := 0; cut < len(enc); cut += 23 {
+		_, _ = Decompress[float64](enc[:cut]) // must not panic
+	}
+}
+
+func TestSmallAndOddDims(t *testing.T) {
+	for _, dims := range [][3]int{{2, 2, 2}, {1, 32, 32}, {5, 7, 11}, {1, 1, 64}} {
+		g := smoothField[float64](dims[0], dims[1], dims[2], 10)
+		enc, err := Compress(g, Options{Tolerance: 1e-3})
+		if err != nil {
+			t.Fatalf("dims %v: %v", dims, err)
+		}
+		dec, err := Decompress[float64](enc)
+		if err != nil {
+			t.Fatalf("dims %v: %v", dims, err)
+		}
+		checkBound(t, g, dec, 1e-3)
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40)} {
+		if unzigzag(zigzag(v)) != v {
+			t.Fatalf("zigzag round trip failed for %d", v)
+		}
+	}
+}

@@ -1,0 +1,501 @@
+// Package sz3 reimplements the SZ3 error-bounded lossy compressor in its
+// interpolation configuration: level-by-level 1D spline interpolation along
+// each axis (cubic not-a-knot where four lattice points exist, linear
+// otherwise), linear-scale quantization of the residuals, and Huffman
+// encoding of the quantization codes.
+//
+// It plays two roles in this repository: it is the paper's main baseline,
+// and the STZ core uses it to compress the coarsest hierarchical level.
+//
+// The "OMP" variant used in the paper's Table 3 is reproduced by
+// CompressChunked: the grid is split into independent z-chunks compressed
+// in parallel, which — exactly as the paper notes for SZ3's OpenMP mode —
+// costs compression ratio because chunks lose cross-boundary correlation.
+package sz3
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"stz/internal/fft"
+	"stz/internal/grid"
+	"stz/internal/huffman"
+	"stz/internal/interp"
+	"stz/internal/parallel"
+	"stz/internal/quant"
+)
+
+// Magic identifies a serial SZ3 stream; MagicChunked a chunked one.
+const (
+	Magic        = uint32(0x335a5301) // "SZ3" + version 1
+	MagicChunked = uint32(0x335a5302)
+)
+
+// ErrFormat reports a malformed or mismatching stream.
+var ErrFormat = errors.New("sz3: malformed stream")
+
+// Options configures compression.
+type Options struct {
+	EB      float64 // absolute error bound, must be > 0
+	Radius  int32   // quantizer radius; 0 selects quant.DefaultRadius
+	Workers int     // >1 enables the chunked "OMP" mode in Compress
+	Chunks  int     // number of chunks in chunked mode; 0 means Workers
+}
+
+// DefaultOptions returns serial-mode options with the given absolute bound.
+func DefaultOptions(eb float64) Options {
+	return Options{EB: eb, Radius: quant.DefaultRadius}
+}
+
+func (o Options) radius() int32 {
+	if o.Radius <= 0 {
+		return quant.DefaultRadius
+	}
+	return o.Radius
+}
+
+// dtypeOf returns the element-type tag (4 or 8) for T.
+func dtypeOf[T grid.Float]() byte {
+	var v T
+	switch any(v).(type) {
+	case float32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+func putValue[T grid.Float](buf *bytes.Buffer, v T) {
+	switch x := any(v).(type) {
+	case float32:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(x))
+		buf.Write(b[:])
+	case float64:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+		buf.Write(b[:])
+	}
+}
+
+func getValue[T grid.Float](data []byte) (T, int, error) {
+	var v T
+	switch any(v).(type) {
+	case float32:
+		if len(data) < 4 {
+			return v, 0, ErrFormat
+		}
+		f := math.Float32frombits(binary.LittleEndian.Uint32(data))
+		return T(f), 4, nil
+	default:
+		if len(data) < 8 {
+			return v, 0, ErrFormat
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(data))
+		return T(f), 8, nil
+	}
+}
+
+// startStride returns the coarsest interpolation stride for a grid whose
+// longest dimension is maxDim: the smallest power of two ≥ maxDim−1, and at
+// least 2.
+func startStride(maxDim int) int {
+	if maxDim <= 2 {
+		return 2
+	}
+	s := fft.NextPow2(maxDim - 1)
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+// predictAxis predicts the value at linear index idx from its neighbours
+// along one axis. step is h lattice spacings in elements, c the coordinate
+// along the axis, h the half-stride, n the axis length.
+func predictAxis[T grid.Float](data []T, idx, step, c, h, n int) T {
+	if c+h < n {
+		if c-3*h >= 0 && c+3*h < n {
+			return interp.Cubic(data[idx-3*step], data[idx-step], data[idx+step], data[idx+3*step])
+		}
+		return interp.Linear(data[idx-step], data[idx+step])
+	}
+	if c-3*h >= 0 {
+		// Linear extrapolation from the two previous lattice points.
+		return data[idx-step]*3/2 - data[idx-3*step]/2
+	}
+	return data[idx-step]
+}
+
+// forEachPredicted enumerates every non-anchor point in SZ3's traversal
+// order (coarse→fine levels; per level, passes along z, then y, then x) and
+// calls fn with the point's linear index and the prediction computed from
+// rec's already-reconstructed entries.
+func forEachPredicted[T grid.Float](rec *grid.Grid[T], fn func(idx int, pred T)) {
+	nz, ny, nx := rec.Nz, rec.Ny, rec.Nx
+	maxDim := nz
+	if ny > maxDim {
+		maxDim = ny
+	}
+	if nx > maxDim {
+		maxDim = nx
+	}
+	if maxDim <= 1 {
+		return
+	}
+	data := rec.Data
+	rowY := nx
+	rowZ := ny * nx
+	for s := startStride(maxDim); s >= 2; s >>= 1 {
+		h := s / 2
+		// Pass along z: z ≡ h (mod s), y ≡ 0 (mod s), x ≡ 0 (mod s).
+		for z := h; z < nz; z += s {
+			zi := z * rowZ
+			for y := 0; y < ny; y += s {
+				base := zi + y*rowY
+				for x := 0; x < nx; x += s {
+					idx := base + x
+					fn(idx, predictAxis(data, idx, h*rowZ, z, h, nz))
+				}
+			}
+		}
+		// Pass along y: z ≡ 0 (mod h), y ≡ h (mod s), x ≡ 0 (mod s).
+		for z := 0; z < nz; z += h {
+			zi := z * rowZ
+			for y := h; y < ny; y += s {
+				base := zi + y*rowY
+				for x := 0; x < nx; x += s {
+					idx := base + x
+					fn(idx, predictAxis(data, idx, h*rowY, y, h, ny))
+				}
+			}
+		}
+		// Pass along x: z ≡ 0 (mod h), y ≡ 0 (mod h), x ≡ h (mod s).
+		for z := 0; z < nz; z += h {
+			zi := z * rowZ
+			for y := 0; y < ny; y += h {
+				base := zi + y*rowY
+				for x := h; x < nx; x += s {
+					idx := base + x
+					fn(idx, predictAxis(data, idx, h, x, h, nx))
+				}
+			}
+		}
+	}
+}
+
+// anchorStride returns the anchor-lattice stride (the coarsest interpolation
+// stride) for the grid.
+func anchorStride[T grid.Float](g *grid.Grid[T]) int {
+	maxDim := g.Nz
+	if g.Ny > maxDim {
+		maxDim = g.Ny
+	}
+	if g.Nx > maxDim {
+		maxDim = g.Nx
+	}
+	if maxDim <= 1 {
+		return 1
+	}
+	return startStride(maxDim)
+}
+
+// forEachAnchor enumerates the anchor lattice (multiples of the coarsest
+// stride in every dimension) in row-major order.
+func forEachAnchor[T grid.Float](g *grid.Grid[T], fn func(idx int)) {
+	s := anchorStride(g)
+	for z := 0; z < g.Nz; z += s {
+		for y := 0; y < g.Ny; y += s {
+			base := (z*g.Ny + y) * g.Nx
+			for x := 0; x < g.Nx; x += s {
+				fn(base + x)
+			}
+		}
+	}
+}
+
+// Compress encodes g under the given options. With Workers > 1 it uses the
+// chunked parallel mode (the paper's SZ3-OMP equivalent); otherwise the
+// serial single-stream mode.
+func Compress[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
+	if o.Workers > 1 {
+		return CompressChunked(g, o)
+	}
+	return compressSerial(g, o)
+}
+
+func compressSerial[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
+	if o.EB <= 0 || math.IsNaN(o.EB) || math.IsInf(o.EB, 0) {
+		return nil, fmt.Errorf("sz3: invalid error bound %g", o.EB)
+	}
+	q := quant.Quantizer{EB: o.EB, Radius: o.radius()}
+	fq := q.Fast()
+	rec := grid.New[T](g.Nz, g.Ny, g.Nx)
+	codes := make([]uint16, 0, g.Len())
+	outliers := &bytes.Buffer{}
+	var nOutliers uint32
+
+	// Anchors are stored verbatim.
+	anchors := &bytes.Buffer{}
+	forEachAnchor(g, func(idx int) {
+		putValue(anchors, g.Data[idx])
+		rec.Data[idx] = g.Data[idx]
+	})
+
+	forEachPredicted(rec, func(idx int, pred T) {
+		code, r, ok := quant.QuantizeFastT(fq, g.Data[idx], float64(pred))
+		if !ok {
+			putValue(outliers, g.Data[idx])
+			nOutliers++
+			codes = append(codes, 0)
+			rec.Data[idx] = g.Data[idx]
+			return
+		}
+		codes = append(codes, code)
+		rec.Data[idx] = r
+	})
+
+	hblob := huffman.Encode(codes, q.Alphabet())
+
+	out := &bytes.Buffer{}
+	var hdr [40]byte
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	hdr[4] = dtypeOf[T]()
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(g.Nz))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(g.Ny))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(g.Nx))
+	binary.LittleEndian.PutUint64(hdr[20:], math.Float64bits(o.EB))
+	binary.LittleEndian.PutUint32(hdr[28:], uint32(o.radius()))
+	binary.LittleEndian.PutUint32(hdr[32:], nOutliers)
+	binary.LittleEndian.PutUint32(hdr[36:], uint32(len(hblob)))
+	out.Write(hdr[:])
+	out.Write(anchors.Bytes())
+	out.Write(outliers.Bytes())
+	out.Write(hblob)
+	return out.Bytes(), nil
+}
+
+// Decompress decodes a stream produced by Compress (either mode). The type
+// parameter must match the stream's element type.
+func Decompress[T grid.Float](data []byte) (*grid.Grid[T], error) {
+	if len(data) < 4 {
+		return nil, ErrFormat
+	}
+	switch binary.LittleEndian.Uint32(data) {
+	case Magic:
+		return decompressSerial[T](data)
+	case MagicChunked:
+		return DecompressChunked[T](data, 0)
+	default:
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+}
+
+func decompressSerial[T grid.Float](data []byte) (*grid.Grid[T], error) {
+	if len(data) < 40 {
+		return nil, ErrFormat
+	}
+	if binary.LittleEndian.Uint32(data) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	if data[4] != dtypeOf[T]() {
+		return nil, fmt.Errorf("%w: element type mismatch", ErrFormat)
+	}
+	nz := int(binary.LittleEndian.Uint32(data[8:]))
+	ny := int(binary.LittleEndian.Uint32(data[12:]))
+	nx := int(binary.LittleEndian.Uint32(data[16:]))
+	eb := math.Float64frombits(binary.LittleEndian.Uint64(data[20:]))
+	radius := int32(binary.LittleEndian.Uint32(data[28:]))
+	nOutliers := int(binary.LittleEndian.Uint32(data[32:]))
+	hlen := int(binary.LittleEndian.Uint32(data[36:]))
+	if nz < 0 || ny < 0 || nx < 0 || radius <= 0 || eb <= 0 {
+		return nil, ErrFormat
+	}
+	const maxElems = 1 << 33
+	if int64(nz)*int64(ny)*int64(nx) > maxElems {
+		return nil, fmt.Errorf("%w: implausible dims", ErrFormat)
+	}
+	rec := grid.New[T](nz, ny, nx)
+	q := quant.Quantizer{EB: eb, Radius: radius}
+
+	pos := 40
+	var ferr error
+	forEachAnchor(rec, func(idx int) {
+		if ferr != nil {
+			return
+		}
+		v, n, err := getValue[T](data[pos:])
+		if err != nil {
+			ferr = err
+			return
+		}
+		rec.Data[idx] = v
+		pos += n
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+
+	elemBytes := 8
+	if dtypeOf[T]() == 4 {
+		elemBytes = 4
+	}
+	outBytes := nOutliers * elemBytes
+	if pos+outBytes+hlen > len(data) {
+		return nil, ErrFormat
+	}
+	outlierData := data[pos : pos+outBytes]
+	hblob := data[pos+outBytes : pos+outBytes+hlen]
+
+	codes, err := huffman.Decode(hblob, q.Alphabet())
+	if err != nil {
+		return nil, fmt.Errorf("sz3: %w", err)
+	}
+
+	ci, oi := 0, 0
+	forEachPredicted(rec, func(idx int, pred T) {
+		if ferr != nil {
+			return
+		}
+		if ci >= len(codes) {
+			ferr = fmt.Errorf("%w: code stream exhausted", ErrFormat)
+			return
+		}
+		code := codes[ci]
+		ci++
+		if code == 0 {
+			v, n, err := getValue[T](outlierData[oi:])
+			if err != nil {
+				ferr = err
+				return
+			}
+			oi += n
+			rec.Data[idx] = v
+			return
+		}
+		rec.Data[idx] = quant.DequantizeT[T](q, code, float64(pred))
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	if ci != len(codes) {
+		return nil, fmt.Errorf("%w: %d unused codes", ErrFormat, len(codes)-ci)
+	}
+	return rec, nil
+}
+
+// CompressChunked is the SZ3-OMP equivalent: the grid is split along its z
+// axis into independent chunks compressed in parallel.
+func CompressChunked[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
+	if o.EB <= 0 || math.IsNaN(o.EB) || math.IsInf(o.EB, 0) {
+		return nil, fmt.Errorf("sz3: invalid error bound %g", o.EB)
+	}
+	workers := o.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	nChunks := o.Chunks
+	if nChunks <= 0 {
+		nChunks = workers
+	}
+	bounds := parallel.Chunks(g.Nz, nChunks)
+	nChunks = len(bounds) - 1
+	blobs := make([][]byte, nChunks)
+	errs := make([]error, nChunks)
+	serialOpts := o
+	serialOpts.Workers = 0
+	parallel.For(nChunks, workers, func(c int) {
+		lo, hi := bounds[c], bounds[c+1]
+		sub := g.ExtractBox(grid.Box{Z0: lo, Z1: hi, Y0: 0, Y1: g.Ny, X0: 0, X1: g.Nx})
+		blobs[c], errs[c] = compressSerial(sub, serialOpts)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &bytes.Buffer{}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], MagicChunked)
+	hdr[4] = dtypeOf[T]()
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(g.Nz))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(g.Ny))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(g.Nx))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(nChunks))
+	out.Write(hdr[:])
+	for _, b := range blobs {
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(b)))
+		out.Write(l[:])
+	}
+	for _, b := range blobs {
+		out.Write(b)
+	}
+	return out.Bytes(), nil
+}
+
+// DecompressChunked decodes a chunked stream, using up to workers
+// goroutines (0 selects parallel.DefaultWorkers).
+func DecompressChunked[T grid.Float](data []byte, workers int) (*grid.Grid[T], error) {
+	if len(data) < 24 || binary.LittleEndian.Uint32(data) != MagicChunked {
+		return nil, fmt.Errorf("%w: bad chunked magic", ErrFormat)
+	}
+	if data[4] != dtypeOf[T]() {
+		return nil, fmt.Errorf("%w: element type mismatch", ErrFormat)
+	}
+	nz := int(binary.LittleEndian.Uint32(data[8:]))
+	ny := int(binary.LittleEndian.Uint32(data[12:]))
+	nx := int(binary.LittleEndian.Uint32(data[16:]))
+	nChunks := int(binary.LittleEndian.Uint32(data[20:]))
+	if nChunks <= 0 || nChunks > nz+1 {
+		return nil, fmt.Errorf("%w: bad chunk count", ErrFormat)
+	}
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	pos := 24
+	lens := make([]int, nChunks)
+	for c := range lens {
+		if pos+4 > len(data) {
+			return nil, ErrFormat
+		}
+		lens[c] = int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+	}
+	offs := make([]int, nChunks+1)
+	offs[0] = pos
+	for c, l := range lens {
+		offs[c+1] = offs[c] + l
+	}
+	if offs[nChunks] > len(data) {
+		return nil, ErrFormat
+	}
+	out := grid.New[T](nz, ny, nx)
+	bounds := parallel.Chunks(nz, nChunks)
+	if len(bounds)-1 != nChunks {
+		return nil, fmt.Errorf("%w: chunk bounds mismatch", ErrFormat)
+	}
+	errs := make([]error, nChunks)
+	parallel.For(nChunks, workers, func(c int) {
+		sub, err := decompressSerial[T](data[offs[c]:offs[c+1]])
+		if err != nil {
+			errs[c] = err
+			return
+		}
+		lo, hi := bounds[c], bounds[c+1]
+		if sub.Nz != hi-lo || sub.Ny != ny || sub.Nx != nx {
+			errs[c] = fmt.Errorf("%w: chunk dims mismatch", ErrFormat)
+			return
+		}
+		copy(out.Data[lo*ny*nx:hi*ny*nx], sub.Data)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
