@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"stz/internal/bench"
+	"stz/internal/codec"
 	"stz/internal/core"
 	"stz/internal/datasets"
 	"stz/internal/grid"
@@ -343,4 +344,34 @@ func BenchmarkFig13Progressive(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCodecRegistry times every registered backend through the
+// unified chunk-parallel pipeline (internal/codec.Encode/Decode) on Nyx —
+// the code path behind `stz compress -codec <name>`.
+func BenchmarkCodecRegistry(b *testing.B) {
+	load()
+	for _, name := range codec.Names() {
+		cfg := codec.Config{EB: 1e-3, Mode: codec.ModeRel, Workers: 4, Chunks: 4}
+		b.Run("Encode/"+name, func(b *testing.B) {
+			b.SetBytes(int64(4 * nyxG.Len()))
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Encode(name, nyxG, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		enc, err := codec.Encode(name, nyxG, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("Decode/"+name, func(b *testing.B) {
+			b.SetBytes(int64(4 * nyxG.Len()))
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Decode[float32](enc, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -1,14 +1,21 @@
 // Command stz is the command-line front end of the STZ streaming
-// compressor.
+// compressor and the unified codec registry.
 //
 //	stz gen        -dataset Nyx -dims 64x64x64 -out nyx.f32
 //	stz compress   -in nyx.f32 -dims 64x64x64 -dtype f32 -eb 1e-3 -rel -out nyx.stz
+//	stz compress   -in nyx.f32 -dims 64x64x64 -codec zfp -eb 1e-3 -out nyx.zfp
 //	stz info       -in nyx.stz
 //	stz decompress -in nyx.stz -out full.f32
 //	stz decompress -in nyx.stz -level 1 -out coarse.f32        (progressive)
 //	stz decompress -in nyx.stz -box 0:32,0:32,0:32 -out roi.f32 (random access)
 //	stz decompress -in nyx.stz -slice 17 -out slice.f32
 //	stz roi        -in nyx.f32 -dims 64x64x64 -dtype f32 -mode max -threshold 81.66
+//	stz codecs
+//
+// The -codec flag selects the compressor: "stz" (default) is the paper's
+// hierarchical pipeline; any registry name (sz3, zfp, sperr, mgard) routes
+// through the unified chunk-parallel pipeline of internal/codec. Decompress
+// and info sniff the stream format, so one invocation handles both.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 
+	"stz/internal/codec"
 	"stz/internal/core"
 	"stz/internal/datasets"
 	"stz/internal/grid"
@@ -48,6 +56,8 @@ func main() {
 		err = cmdROI(os.Args[2:])
 	case "render":
 		err = cmdRender(os.Args[2:])
+	case "codecs":
+		err = cmdCodecs()
 	default:
 		usage()
 		os.Exit(2)
@@ -59,7 +69,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: stz <gen|compress|decompress|info|roi|render> [flags]
+	fmt.Fprintln(os.Stderr, `usage: stz <gen|compress|decompress|info|roi|render|codecs> [flags]
 run "stz <command> -h" for command flags`)
 }
 
@@ -253,6 +263,31 @@ func cmdGen(args []string) error {
 	return fmt.Errorf("gen: unknown dataset %q", *name)
 }
 
+// compressGrid routes one grid through the selected compressor: "stz" is
+// the core hierarchical pipeline, anything else a registry codec via the
+// unified chunk-parallel pipeline.
+func compressGrid[T grid.Float](g *grid.Grid[T], codecName string,
+	eb float64, rel bool, levels, workers, chunks int, base string) ([]byte, error) {
+
+	if codecName == "stz" {
+		bound := eb
+		if rel {
+			mn, mx := g.Range()
+			bound = quant.AbsoluteBound(eb, float64(mn), float64(mx))
+		}
+		cfg := core.DefaultConfig(bound)
+		cfg.Levels = levels
+		cfg.Workers = workers
+		cfg.BaseCodec = base
+		return core.Compress(g, cfg)
+	}
+	ccfg := codec.Config{EB: eb, Workers: workers, Chunks: chunks}
+	if rel {
+		ccfg.Mode = codec.ModeRel
+	}
+	return codec.Encode(codecName, g, ccfg)
+}
+
 func cmdCompress(args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
 	in := fs.String("in", "", "input raw file")
@@ -261,8 +296,11 @@ func cmdCompress(args []string) error {
 	dtype := fs.String("dtype", "f32", "element type: f32 or f64")
 	eb := fs.Float64("eb", 1e-3, "error bound")
 	rel := fs.Bool("rel", false, "eb is relative to the value range")
-	levels := fs.Int("levels", 3, "hierarchy levels (2, 3 or 4)")
+	levels := fs.Int("levels", 3, "hierarchy levels (2, 3 or 4; stz codec only)")
 	workers := fs.Int("workers", 1, "parallel workers")
+	codecName := fs.String("codec", "stz", "compressor: stz, or a registry codec (sz3, zfp, sperr, mgard)")
+	chunks := fs.Int("chunks", 0, "z-slab chunks for registry codecs (0 = auto from -workers)")
+	base := fs.String("base", "", "base codec for the stz coarsest level (default sz3)")
 	fs.Parse(args)
 	if *in == "" || *out == "" || *dims == "" {
 		return fmt.Errorf("compress: -in, -out and -dims required")
@@ -279,15 +317,7 @@ func cmdCompress(args []string) error {
 		if err != nil {
 			return err
 		}
-		bound := *eb
-		if *rel {
-			mn, mx := g.Range()
-			bound = quant.AbsoluteBound(*eb, float64(mn), float64(mx))
-		}
-		cfg := core.DefaultConfig(bound)
-		cfg.Levels = *levels
-		cfg.Workers = *workers
-		enc, err = core.Compress(g, cfg)
+		enc, err = compressGrid(g, *codecName, *eb, *rel, *levels, *workers, *chunks, *base)
 		if err != nil {
 			return err
 		}
@@ -297,15 +327,7 @@ func cmdCompress(args []string) error {
 		if err != nil {
 			return err
 		}
-		bound := *eb
-		if *rel {
-			mn, mx := g.Range()
-			bound = quant.AbsoluteBound(*eb, mn, mx)
-		}
-		cfg := core.DefaultConfig(bound)
-		cfg.Levels = *levels
-		cfg.Workers = *workers
-		enc, err = core.Compress(g, cfg)
+		enc, err = compressGrid(g, *codecName, *eb, *rel, *levels, *workers, *chunks, *base)
 		if err != nil {
 			return err
 		}
@@ -321,6 +343,28 @@ func cmdCompress(args []string) error {
 	return nil
 }
 
+// cmdCodecs prints the registry capability matrix.
+func cmdCodecs() error {
+	fmt.Printf("%-8s %-4s %-12s %-13s %-10s %-10s %s\n",
+		"name", "id", "progressive", "random-access", "par-comp", "par-dec", "dtypes")
+	for _, c := range codec.All() {
+		caps := c.Caps()
+		dt := ""
+		if caps.Float32 {
+			dt += "f32 "
+		}
+		if caps.Float64 {
+			dt += "f64"
+		}
+		fmt.Printf("%-8s %-4d %-12v %-13v %-10v %-10v %s\n",
+			c.Name(), c.ID(), caps.Progressive, caps.RandomAccess,
+			caps.ParallelCompress, caps.ParallelDecompress, dt)
+	}
+	fmt.Println("\n\"stz\" (the default -codec) is the paper's hierarchical compressor: progressive,")
+	fmt.Println("random-access, parallel, with -base selecting its coarsest-level codec.")
+	return nil
+}
+
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("in", "", "input .stz file")
@@ -332,6 +376,20 @@ func cmdInfo(args []string) error {
 	if err != nil {
 		return err
 	}
+	if codec.IsEncoded(data) {
+		hdr, err := codec.ParseHeader(data)
+		if err != nil {
+			return err
+		}
+		dt := "f64"
+		if hdr.DType == 4 {
+			dt = "f32"
+		}
+		fmt.Printf("codec: %s  dims: %dx%dx%d  dtype: %s\n", hdr.Codec, hdr.Nz, hdr.Ny, hdr.Nx, dt)
+		fmt.Printf("eb: %g (%s)  resolved abs eb: %g\n", hdr.EBRequested, hdr.Mode, hdr.EBAbs)
+		fmt.Printf("chunks: %d  compressed size: %d bytes\n", hdr.Chunks(), len(data))
+		return nil
+	}
 	hdr, err := peekHeader(data)
 	if err != nil {
 		return err
@@ -340,7 +398,8 @@ func cmdInfo(args []string) error {
 	if hdr.DType == 4 {
 		dt = "f32"
 	}
-	fmt.Printf("dims: %dx%dx%d  dtype: %s  levels: %d\n", hdr.Fz, hdr.Fy, hdr.Fx, dt, hdr.Levels)
+	fmt.Printf("codec: stz (base %s)  dims: %dx%dx%d  dtype: %s  levels: %d\n",
+		hdr.BaseCodec, hdr.Fz, hdr.Fy, hdr.Fx, dt, hdr.Levels)
 	fmt.Printf("eb: %g  adaptive: %v (ratio %.2f)  predictor: %s  residual: %s\n",
 		hdr.EB, hdr.AdaptiveEB, hdr.EBRatio, hdr.Predictor, hdr.Residual)
 	fmt.Printf("partition-only: %v  compressed size: %d bytes\n", hdr.PartitionOnly, len(data))
@@ -376,6 +435,19 @@ func cmdDecompress(args []string) error {
 	if err != nil {
 		return err
 	}
+	if codec.IsEncoded(data) {
+		if *level > 0 || *boxSpec != "" || *slice >= 0 || *stats {
+			return fmt.Errorf("decompress: -level/-box/-slice/-stats require an stz stream; this is a registry-codec stream")
+		}
+		hdr, err := codec.ParseHeader(data)
+		if err != nil {
+			return err
+		}
+		if hdr.DType == 4 {
+			return decodeEncoded(data, *out, *workers, writeRaw32)
+		}
+		return decodeEncoded(data, *out, *workers, writeRaw64)
+	}
 	hdr, err := peekHeader(data)
 	if err != nil {
 		return err
@@ -384,6 +456,21 @@ func cmdDecompress(args []string) error {
 		return decompressAs[float32](data, *out, *level, *boxSpec, *slice, *workers, *stats, writeRaw32)
 	}
 	return decompressAs[float64](data, *out, *level, *boxSpec, *slice, *workers, *stats, writeRaw64)
+}
+
+// decodeEncoded reconstructs a unified registry-codec stream.
+func decodeEncoded[T grid.Float](data []byte, out string, workers int,
+	write func(string, *grid.Grid[T]) error) error {
+
+	g, err := codec.Decode[T](data, workers)
+	if err != nil {
+		return err
+	}
+	if err := write(out, g); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %dx%dx%d\n", out, g.Nz, g.Ny, g.Nx)
+	return nil
 }
 
 func decompressAs[T grid.Float](data []byte, out string, level int, boxSpec string,

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"stz/internal/codec"
 	"stz/internal/grid"
 )
 
@@ -120,5 +122,59 @@ func TestCommandsEndToEnd(t *testing.T) {
 	}
 	if err := cmdRender([]string{"-in", raw, "-dims", "16x16x16", "-cmap", "nope", "-out", png}); err == nil {
 		t.Fatal("unknown colormap accepted")
+	}
+}
+
+// TestCodecFlagRoundTrip drives the acceptance path: stz -codec
+// {sz3,zfp,sperr,mgard} must round-trip a float32 and a float64 grid
+// within the configured absolute error bound via the registry.
+func TestCodecFlagRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const eb = 0.05
+	for _, dtype := range []string{"f32", "f64"} {
+		raw := filepath.Join(dir, "in."+dtype)
+		dataset := "Nyx" // float32
+		if dtype == "f64" {
+			dataset = "WarpX" // the evaluation's float64 field
+		}
+		if err := cmdGen([]string{"-dataset", dataset, "-dims", "16x12x14", "-out", raw}); err != nil {
+			t.Fatal(err)
+		}
+		read := func(path string) *grid.Grid[float64] {
+			t.Helper()
+			if dtype == "f32" {
+				g, err := readRaw32(path, 16, 12, 14)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return grid.ToFloat64(g)
+			}
+			g, err := readRaw64(path, 16, 12, 14)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}
+		orig := read(raw)
+		for _, name := range codec.Names() {
+			enc := filepath.Join(dir, name+"."+dtype+".enc")
+			dec := filepath.Join(dir, name+"."+dtype+".dec")
+			if err := cmdCompress([]string{"-in", raw, "-dims", "16x12x14", "-dtype", dtype,
+				"-codec", name, "-eb", "0.05", "-workers", "2", "-out", enc}); err != nil {
+				t.Fatalf("%s/%s: compress: %v", name, dtype, err)
+			}
+			if err := cmdInfo([]string{"-in", enc}); err != nil {
+				t.Fatalf("%s/%s: info: %v", name, dtype, err)
+			}
+			if err := cmdDecompress([]string{"-in", enc, "-out", dec, "-workers", "2"}); err != nil {
+				t.Fatalf("%s/%s: decompress: %v", name, dtype, err)
+			}
+			got := read(dec)
+			for i := range orig.Data {
+				if e := math.Abs(orig.Data[i] - got.Data[i]); e > eb*(1+1e-12) {
+					t.Fatalf("%s/%s: error %g at %d exceeds bound %g", name, dtype, e, i, eb)
+				}
+			}
+		}
 	}
 }

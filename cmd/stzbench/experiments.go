@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"stz/internal/bench"
+	"stz/internal/codec"
 	"stz/internal/core"
 	"stz/internal/datasets"
 	"stz/internal/grid"
@@ -547,6 +548,66 @@ func expChunked() error {
 			fmt.Sprintf("%.1f%%", 100*(1-float64(len(plain))/float64(len(enc)))),
 			fmt.Sprintf("%d/%d", st.DecodedChunks[1], st.DecodedChunks[1]+st.SkippedChunks[1]),
 			dur(el))
+	}
+	return nil
+}
+
+// ------------------------------------------------------------- codecs
+
+// expCodecs exercises the unified codec registry (internal/codec): it
+// prints the capability matrix and runs every registered backend through
+// the chunk-parallel Encode/Decode pipeline on one dataset, reporting
+// compression ratio, max error and throughput per backend — the
+// multi-backend sweep a single CLI invocation can now reproduce with
+// "stz compress -codec <name>".
+func expCodecs() error {
+	header("codecs", "Unified codec registry: capability matrix + chunked pipeline sweep")
+	row("Codec", "ID", "Progressive", "RandomAccess", "Par.Decomp")
+	for _, c := range codec.All() {
+		caps := c.Caps()
+		row(c.Name(), fmt.Sprintf("%d", c.ID()),
+			yn(caps.Progressive), yn(caps.RandomAccess), yn(caps.ParallelDecompress))
+	}
+
+	g := gen32(datasets.All()[0]) // Nyx
+	mn, mx := g.Range()
+	cfg := codec.Config{EB: 1e-3, Mode: codec.ModeRel, Workers: *flagWorkers}
+	abs := cfg.Resolve(float64(mn), float64(mx)).EB
+	fmt.Printf("\nNyx %dx%dx%d, rel eb 1e-3 (abs %.3g), %d workers, auto-chunked:\n\n",
+		g.Nz, g.Ny, g.Nx, abs, *flagWorkers)
+	row("Codec", "CR", "MaxErr/EB", "Comp MB/s", "Dec MB/s", "Chunks")
+	rawMB := float64(4*g.Len()) / (1 << 20)
+	for _, name := range codec.Names() {
+		t0 := time.Now()
+		enc, err := codec.Encode(name, g, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tc := time.Since(t0)
+		hdr, err := codec.ParseHeader(enc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		t0 = time.Now()
+		dec, err := codec.Decode[float32](enc, *flagWorkers)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		td := time.Since(t0)
+		worst := 0.0
+		for i := range g.Data {
+			if e := float64(g.Data[i]) - float64(dec.Data[i]); e > worst {
+				worst = e
+			} else if -e > worst {
+				worst = -e
+			}
+		}
+		row(name,
+			fmt.Sprintf("%.1f", float64(4*g.Len())/float64(len(enc))),
+			fmt.Sprintf("%.3f", worst/abs),
+			fmt.Sprintf("%.1f", rawMB/tc.Seconds()),
+			fmt.Sprintf("%.1f", rawMB/td.Seconds()),
+			fmt.Sprintf("%d", hdr.Chunks()))
 	}
 	return nil
 }

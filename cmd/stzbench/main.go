@@ -11,8 +11,9 @@
 //	table3  — compression/decompression times, serial and 8-way parallel
 //	table4  — random-access decompression time breakdown on Miranda
 //	fig13   — progressive decompression on Miranda (Fig. 13)
+//	codecs  — unified registry capability matrix + chunk-parallel sweep
 //
-// Usage: stzbench -exp all|table1|...|fig13 [-scale tiny|bench] [-workers 8]
+// Usage: stzbench -exp all|table1|...|fig13|codecs [-scale tiny|bench] [-workers 8]
 package main
 
 import (
@@ -44,8 +45,9 @@ func main() {
 		// Design-choice ablations beyond the paper's figures.
 		"ebratio": expEBRatio,
 		"chunked": expChunked,
+		"codecs":  expCodecs,
 	}
-	order := []string{"table1", "table2", "fig3", "fig5", "fig10", "fig11", "fig12", "table3", "table4", "fig13", "ebratio", "chunked"}
+	order := []string{"table1", "table2", "fig3", "fig5", "fig10", "fig11", "fig12", "table3", "table4", "fig13", "ebratio", "chunked", "codecs"}
 
 	want := strings.ToLower(*flagExp)
 	if want == "all" {

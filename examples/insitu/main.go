@@ -2,9 +2,13 @@
 // as it is produced (the paper's motivating scenario — storage bandwidth
 // cannot keep up with compute). Each step's field is compressed with the
 // parallel mode, streamed to storage, and per-step statistics are logged.
+// The compressor is selected with -codec: "stz" (default) or any unified
+// registry backend (sz3, zfp, sperr, mgard), showing how the registry lets
+// one in-situ loop swap compressors without code changes.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -12,11 +16,33 @@ import (
 	"path/filepath"
 	"time"
 
+	"stz/internal/codec"
 	"stz/internal/core"
 	"stz/internal/grid"
 	"stz/internal/metrics"
 	"stz/internal/quant"
 )
+
+var flagCodec = flag.String("codec", "stz", "compressor: stz or a registry codec (sz3, zfp, sperr, mgard)")
+
+// compressSnapshot routes one snapshot through the selected compressor.
+func compressSnapshot(g *grid.Grid[float32], eb float64) ([]byte, error) {
+	if *flagCodec == "stz" {
+		cfg := core.DefaultConfig(eb)
+		cfg.Workers = 4
+		return core.Compress(g, cfg)
+	}
+	return codec.Encode(*flagCodec, g, codec.Config{EB: eb, Workers: 4})
+}
+
+// decompressSnapshot inverts compressSnapshot (the format is sniffed, as
+// `stz decompress` does, so restart tooling needs no codec bookkeeping).
+func decompressSnapshot(enc []byte) (*grid.Grid[float32], error) {
+	if codec.IsEncoded(enc) {
+		return codec.Decode[float32](enc, 4)
+	}
+	return core.Decompress[float32](enc)
+}
 
 // simulate advances a toy advection–diffusion field one step.
 func simulate(g *grid.Grid[float32], step int) {
@@ -38,6 +64,7 @@ func simulate(g *grid.Grid[float32], step int) {
 }
 
 func main() {
+	flag.Parse()
 	const steps = 5
 	dir, err := os.MkdirTemp("", "stz-insitu")
 	if err != nil {
@@ -63,11 +90,9 @@ func main() {
 		simulate(g, step)
 		mn, mx := g.Range()
 		eb := quant.AbsoluteBound(1e-3, float64(mn), float64(mx))
-		cfg := core.DefaultConfig(eb)
-		cfg.Workers = 4
 
 		t0 := time.Now()
-		enc, err := core.Compress(g, cfg)
+		enc, err := compressSnapshot(g, eb)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,7 +102,7 @@ func main() {
 			log.Fatal(err)
 		}
 
-		dec, err := core.Decompress[float32](enc)
+		dec, err := decompressSnapshot(enc)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -90,5 +115,7 @@ func main() {
 	}
 	fmt.Printf("\ntotal: %d KB raw -> %d KB compressed (CR %.1f) across %d snapshots\n",
 		totalRaw>>10, totalComp>>10, float64(totalRaw)/float64(totalComp), steps)
-	fmt.Println("Every snapshot remains progressively and randomly accessible on disk.")
+	if *flagCodec == "stz" {
+		fmt.Println("Every snapshot remains progressively and randomly accessible on disk.")
+	}
 }

@@ -1,12 +1,14 @@
 // Quickstart: compress a synthetic scientific field with STZ, decompress
 // it, and verify the error bound — the smallest end-to-end use of the
-// public API.
+// public API — then run the same field through every backend in the
+// unified codec registry for comparison.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"stz/internal/codec"
 	"stz/internal/core"
 	"stz/internal/datasets"
 	"stz/internal/metrics"
@@ -44,4 +46,24 @@ func main() {
 		len(enc), ratio.CR(), ratio.BitRate(4))
 	fmt.Printf("PSNR:        %.1f dB\n", d.PSNR)
 	fmt.Printf("max error:   %.3g (bound %.3g) — bound holds: %v\n", d.MaxErr, eb, d.MaxErr <= eb)
+
+	// 5. The same grid through every registered backend, via the unified
+	//    chunk-parallel pipeline (what `stz compress -codec <name>` runs).
+	fmt.Println("\nregistry backends at the same bound:")
+	for _, name := range codec.Names() {
+		enc, err := codec.Encode(name, g, codec.Config{EB: eb, Workers: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dec, err := codec.Decode[float32](enc, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := metrics.Compare(g, dec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s CR %5.1f   PSNR %5.1f dB   max error %.3g\n",
+			name, float64(g.Len()*4)/float64(len(enc)), d.PSNR, d.MaxErr)
+	}
 }

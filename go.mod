@@ -1,0 +1,3 @@
+module stz
+
+go 1.24

@@ -1,0 +1,117 @@
+package codec
+
+import (
+	"encoding/binary"
+
+	"stz/internal/grid"
+	"stz/internal/mgard"
+	"stz/internal/sperr"
+	"stz/internal/sz3"
+	"stz/internal/zfp"
+)
+
+// Stable on-disk codec identifiers (never reuse or renumber; FORMAT.md).
+const (
+	IDSZ3   uint8 = 1
+	IDZFP   uint8 = 2
+	IDSPERR uint8 = 3
+	IDMGARD uint8 = 4
+)
+
+// backend adapts a pair of generic compress/decompress functions to the
+// Codec interface (interfaces cannot have generic methods, so the
+// instantiations are stored per element type).
+type backend struct {
+	name string
+	id   uint8
+	caps Caps
+	c32  func(*grid.Grid[float32], Config) ([]byte, error)
+	d32  func([]byte, int) (*grid.Grid[float32], error)
+	c64  func(*grid.Grid[float64], Config) ([]byte, error)
+	d64  func([]byte, int) (*grid.Grid[float64], error)
+}
+
+func (b *backend) Name() string { return b.name }
+func (b *backend) ID() uint8    { return b.id }
+func (b *backend) Caps() Caps   { return b.caps }
+
+func (b *backend) Compress32(g *grid.Grid[float32], cfg Config) ([]byte, error) {
+	return b.c32(g, cfg)
+}
+func (b *backend) Decompress32(data []byte, workers int) (*grid.Grid[float32], error) {
+	return b.d32(data, workers)
+}
+func (b *backend) Compress64(g *grid.Grid[float64], cfg Config) ([]byte, error) {
+	return b.c64(g, cfg)
+}
+func (b *backend) Decompress64(data []byte, workers int) (*grid.Grid[float64], error) {
+	return b.d64(data, workers)
+}
+
+func sz3Compress[T grid.Float](g *grid.Grid[T], cfg Config) ([]byte, error) {
+	return sz3.Compress(g, sz3.Options{EB: cfg.EB, Radius: cfg.radius(), Workers: cfg.Workers})
+}
+
+// sz3Decompress dispatches on the stream magic: Options.Workers > 1
+// produces the chunked "OMP" stream variant.
+func sz3Decompress[T grid.Float](data []byte, workers int) (*grid.Grid[T], error) {
+	if len(data) >= 4 && binary.LittleEndian.Uint32(data) == sz3.MagicChunked {
+		return sz3.DecompressChunked[T](data, workers)
+	}
+	return sz3.Decompress[T](data)
+}
+
+func zfpCompress[T grid.Float](g *grid.Grid[T], cfg Config) ([]byte, error) {
+	return zfp.Compress(g, zfp.Options{Tolerance: cfg.EB, Workers: cfg.Workers})
+}
+
+func zfpDecompress[T grid.Float](data []byte, _ int) (*grid.Grid[T], error) {
+	return zfp.Decompress[T](data)
+}
+
+func sperrCompress[T grid.Float](g *grid.Grid[T], cfg Config) ([]byte, error) {
+	return sperr.Compress(g, sperr.Options{Tolerance: cfg.EB, Workers: cfg.Workers})
+}
+
+func sperrDecompress[T grid.Float](data []byte, workers int) (*grid.Grid[T], error) {
+	return sperr.DecompressWorkers[T](data, workers)
+}
+
+func mgardCompress[T grid.Float](g *grid.Grid[T], cfg Config) ([]byte, error) {
+	return mgard.Compress(g, mgard.Options{EB: cfg.EB, Workers: cfg.Workers})
+}
+
+func mgardDecompress[T grid.Float](data []byte, _ int) (*grid.Grid[T], error) {
+	return mgard.Decompress[T](data)
+}
+
+func init() {
+	Register(&backend{
+		name: "sz3", id: IDSZ3,
+		caps: Caps{ParallelCompress: true, ParallelDecompress: true,
+			MaxDims: 3, Float32: true, Float64: true},
+		c32: sz3Compress[float32], d32: sz3Decompress[float32],
+		c64: sz3Compress[float64], d64: sz3Decompress[float64],
+	})
+	Register(&backend{
+		name: "sperr", id: IDSPERR,
+		caps: Caps{Progressive: true, ParallelCompress: true, ParallelDecompress: true,
+			MaxDims: 3, Float32: true, Float64: true},
+		c32: sperrCompress[float32], d32: sperrDecompress[float32],
+		c64: sperrCompress[float64], d64: sperrDecompress[float64],
+	})
+	Register(&backend{
+		name: "zfp", id: IDZFP,
+		caps: Caps{RandomAccess: true, ParallelCompress: true,
+			MaxDims: 3, Float32: true, Float64: true},
+		c32: zfpCompress[float32], d32: zfpDecompress[float32],
+		c64: zfpCompress[float64], d64: zfpDecompress[float64],
+	})
+	Register(&backend{
+		name: "mgard", id: IDMGARD,
+		caps: Caps{Progressive: true, ParallelCompress: true,
+			MaxDims: 3, Float32: true, Float64: true},
+		c32: mgardCompress[float32], d32: mgardDecompress[float32],
+		c64: mgardCompress[float64], d64: mgardDecompress[float64],
+	})
+}

@@ -1,0 +1,325 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"stz/internal/container"
+	"stz/internal/grid"
+	"stz/internal/parallel"
+)
+
+// EncMagic identifies the section-0 header of a unified encoded stream
+// ("SZXC" as little-endian bytes).
+const EncMagic = uint32(0x43585a53)
+
+// encVersion is the on-disk version of the unified header (docs/FORMAT.md).
+const encVersion = 1
+
+// chunkMinDepth is the minimum z-slab depth the automatic chunk planner
+// will produce: thinner slabs lose too much cross-boundary correlation for
+// too little extra parallelism.
+const chunkMinDepth = 8
+
+// ErrFormat reports a malformed unified stream header.
+var ErrFormat = errors.New("codec: malformed encoded stream")
+
+// Header is the decoded section-0 metadata of a unified encoded stream.
+type Header struct {
+	CodecID    uint8
+	Codec      string // registry name, or "#<id>" when unregistered
+	DType      byte   // 4 = float32, 8 = float64
+	Mode       ErrorMode
+	Nz, Ny, Nx int
+	// EBRequested is the bound as configured (in Mode units); EBAbs is the
+	// resolved absolute bound actually enforced point-wise.
+	EBRequested float64
+	EBAbs       float64
+	// ChunkBounds are the z-slab boundaries: chunk i covers z-planes
+	// [ChunkBounds[i], ChunkBounds[i+1]) and is stored in section i+1.
+	ChunkBounds []int
+}
+
+// Chunks returns the number of z-slabs in the stream.
+func (h Header) Chunks() int { return len(h.ChunkBounds) - 1 }
+
+func (h Header) marshal() []byte {
+	buf := make([]byte, 40+4*len(h.ChunkBounds))
+	binary.LittleEndian.PutUint32(buf[0:], EncMagic)
+	buf[4] = encVersion
+	buf[5] = h.CodecID
+	buf[6] = h.DType
+	buf[7] = byte(h.Mode)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(h.Nz))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(h.Ny))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(h.Nx))
+	binary.LittleEndian.PutUint64(buf[20:], math.Float64bits(h.EBRequested))
+	binary.LittleEndian.PutUint64(buf[28:], math.Float64bits(h.EBAbs))
+	binary.LittleEndian.PutUint32(buf[36:], uint32(len(h.ChunkBounds)-1))
+	for i, zb := range h.ChunkBounds {
+		binary.LittleEndian.PutUint32(buf[40+4*i:], uint32(zb))
+	}
+	return buf
+}
+
+func unmarshalEncHeader(buf []byte) (Header, error) {
+	var h Header
+	if len(buf) < 44 {
+		return h, fmt.Errorf("%w: header too short", ErrFormat)
+	}
+	if binary.LittleEndian.Uint32(buf) != EncMagic {
+		return h, fmt.Errorf("%w: bad header magic", ErrFormat)
+	}
+	if buf[4] != encVersion {
+		return h, fmt.Errorf("%w: unsupported version %d", ErrFormat, buf[4])
+	}
+	h.CodecID = buf[5]
+	h.DType = buf[6]
+	h.Mode = ErrorMode(buf[7])
+	h.Nz = int(binary.LittleEndian.Uint32(buf[8:]))
+	h.Ny = int(binary.LittleEndian.Uint32(buf[12:]))
+	h.Nx = int(binary.LittleEndian.Uint32(buf[16:]))
+	h.EBRequested = math.Float64frombits(binary.LittleEndian.Uint64(buf[20:]))
+	h.EBAbs = math.Float64frombits(binary.LittleEndian.Uint64(buf[28:]))
+	nChunks := int(binary.LittleEndian.Uint32(buf[36:]))
+	if h.DType != 4 && h.DType != 8 {
+		return h, fmt.Errorf("%w: bad dtype %d", ErrFormat, h.DType)
+	}
+	if h.Mode > ModeRel {
+		return h, fmt.Errorf("%w: bad error mode %d", ErrFormat, h.Mode)
+	}
+	if h.Nz < 0 || h.Ny < 0 || h.Nx < 0 ||
+		int64(h.Nz)*int64(h.Ny)*int64(h.Nx) > 1<<33 {
+		return h, fmt.Errorf("%w: implausible dims %d×%d×%d", ErrFormat, h.Nz, h.Ny, h.Nx)
+	}
+	if nChunks < 1 || nChunks > h.Nz+1 || len(buf) < 40+4*(nChunks+1) {
+		return h, fmt.Errorf("%w: implausible chunk count %d", ErrFormat, nChunks)
+	}
+	h.ChunkBounds = make([]int, nChunks+1)
+	for i := range h.ChunkBounds {
+		h.ChunkBounds[i] = int(binary.LittleEndian.Uint32(buf[40+4*i:]))
+	}
+	for i := 0; i < nChunks; i++ {
+		if h.ChunkBounds[i] > h.ChunkBounds[i+1] {
+			return h, fmt.Errorf("%w: non-monotone chunk bounds", ErrFormat)
+		}
+	}
+	if h.ChunkBounds[0] != 0 || h.ChunkBounds[nChunks] != h.Nz {
+		return h, fmt.Errorf("%w: chunk bounds do not cover [0, %d)", ErrFormat, h.Nz)
+	}
+	if c, err := LookupID(h.CodecID); err == nil {
+		h.Codec = c.Name()
+	} else {
+		h.Codec = fmt.Sprintf("#%d", h.CodecID)
+	}
+	return h, nil
+}
+
+// perChunkWorkers splits a worker budget across chunks: each chunk task
+// gets an equal share of the pool for backend-internal parallelism.
+func perChunkWorkers(workers, nChunks int) int {
+	if workers <= nChunks {
+		return 1
+	}
+	return workers / nChunks
+}
+
+// planChunkBounds chooses the z-slab boundaries. An explicit cfg.Chunks is
+// honoured (clamped to the plane count); otherwise one slab per worker is
+// used, but never thinner than chunkMinDepth planes.
+func planChunkBounds(nz int, cfg Config) []int {
+	n := cfg.Chunks
+	if n <= 0 {
+		n = cfg.Workers
+		if maxN := nz / chunkMinDepth; n > maxN {
+			n = maxN
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return parallel.Chunks(nz, n)
+}
+
+// Encode compresses g with the named codec and frames the result into the
+// container format behind a versioned header (docs/FORMAT.md). With
+// cfg.Chunks != 1 and a deep enough grid, the grid is split into z-slabs
+// compressed concurrently on up to cfg.Workers goroutines — the unified
+// equivalent of the paper's per-backend "OMP" modes, with the same
+// trade-off: chunks lose cross-boundary correlation, costing some ratio.
+func Encode[T grid.Float](name string, g *grid.Grid[T], cfg Config) ([]byte, error) {
+	c, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if g.Len() == 0 {
+		return nil, fmt.Errorf("codec: empty grid")
+	}
+	ebRequested, mode := cfg.EB, cfg.Mode
+	if cfg.Mode == ModeRel {
+		mn, mx := g.Range()
+		cfg = cfg.Resolve(float64(mn), float64(mx))
+		if err := cfg.validate(); err != nil {
+			return nil, fmt.Errorf("codec: relative bound resolves to %g on range [%g, %g]",
+				cfg.EB, mn, mx)
+		}
+	}
+	bounds := planChunkBounds(g.Nz, cfg)
+	nChunks := len(bounds) - 1
+
+	hdr := Header{
+		CodecID: c.ID(), DType: dtypeOf[T](), Mode: mode,
+		Nz: g.Nz, Ny: g.Ny, Nx: g.Nx,
+		EBRequested: ebRequested, EBAbs: cfg.EB, ChunkBounds: bounds,
+	}
+	var b container.Builder
+	b.Add(hdr.marshal())
+
+	if nChunks == 1 {
+		blob, err := Compress(c, g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		b.Add(blob)
+		return b.Bytes(), nil
+	}
+
+	// Chunked pipeline: z-slabs are contiguous in the row-major layout, so
+	// each chunk grid is a zero-copy view; the pool supplies the chunk
+	// parallelism, and any worker surplus beyond the chunk count is handed
+	// to the backend's internal mode.
+	chunkCfg := cfg
+	chunkCfg.Workers = perChunkWorkers(cfg.Workers, nChunks)
+	chunkCfg.Chunks = 1
+	plane := g.Ny * g.Nx
+	blobs := make([][]byte, nChunks)
+	errs := make([]error, nChunks)
+	parallel.For(nChunks, cfg.Workers, func(i int) {
+		lo, hi := bounds[i], bounds[i+1]
+		slab, err := grid.FromData(g.Data[lo*plane:hi*plane], hi-lo, g.Ny, g.Nx)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		blobs[i], errs[i] = Compress(c, slab, chunkCfg)
+	})
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("codec: chunk %d: %w", i, e)
+		}
+	}
+	for _, blob := range blobs {
+		b.Add(blob)
+	}
+	return b.Bytes(), nil
+}
+
+// openEncoded parses the container framing and unified header.
+func openEncoded(data []byte) (*container.Archive, Header, error) {
+	arc, err := container.Open(data)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	if arc.Count() < 2 {
+		return nil, Header{}, fmt.Errorf("%w: no payload sections", ErrFormat)
+	}
+	hsec, err := arc.Section(0)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	hdr, err := unmarshalEncHeader(hsec)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	if arc.Count() != hdr.Chunks()+1 {
+		return nil, Header{}, fmt.Errorf("%w: want %d sections, have %d",
+			ErrFormat, hdr.Chunks()+1, arc.Count())
+	}
+	return arc, hdr, nil
+}
+
+// ParseHeader returns the unified header of an encoded stream without
+// decompressing any payload.
+func ParseHeader(data []byte) (Header, error) {
+	_, hdr, err := openEncoded(data)
+	return hdr, err
+}
+
+// IsEncoded reports whether data carries the unified encoded framing (as
+// opposed to, e.g., a core STZ stream, which shares the outer container
+// magic but not the section-0 header magic).
+func IsEncoded(data []byte) bool {
+	arc, err := container.Open(data)
+	if err != nil || arc.Count() < 1 {
+		return false
+	}
+	hsec, err := arc.Section(0)
+	if err != nil || len(hsec) < 4 {
+		return false
+	}
+	return binary.LittleEndian.Uint32(hsec) == EncMagic
+}
+
+// Decode reconstructs the grid from a unified encoded stream, decoding
+// chunks concurrently on up to workers goroutines.
+func Decode[T grid.Float](data []byte, workers int) (*grid.Grid[T], error) {
+	arc, hdr, err := openEncoded(data)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.DType != dtypeOf[T]() {
+		return nil, fmt.Errorf("codec: stream element type mismatch")
+	}
+	c, err := LookupID(hdr.CodecID)
+	if err != nil {
+		return nil, err
+	}
+	nChunks := hdr.Chunks()
+	if nChunks == 1 {
+		sec, err := arc.Section(1)
+		if err != nil {
+			return nil, err
+		}
+		g, err := Decompress[T](c, sec, workers)
+		if err != nil {
+			return nil, err
+		}
+		if g.Nz != hdr.Nz || g.Ny != hdr.Ny || g.Nx != hdr.Nx {
+			return nil, fmt.Errorf("%w: payload dims mismatch", ErrFormat)
+		}
+		return g, nil
+	}
+	out := grid.New[T](hdr.Nz, hdr.Ny, hdr.Nx)
+	plane := hdr.Ny * hdr.Nx
+	inner := perChunkWorkers(workers, nChunks)
+	errs := make([]error, nChunks)
+	parallel.For(nChunks, workers, func(i int) {
+		sec, err := arc.Section(i + 1)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		slab, err := Decompress[T](c, sec, inner)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		lo, hi := hdr.ChunkBounds[i], hdr.ChunkBounds[i+1]
+		if slab.Nz != hi-lo || slab.Ny != hdr.Ny || slab.Nx != hdr.Nx {
+			errs[i] = fmt.Errorf("%w: chunk %d dims mismatch", ErrFormat, i)
+			return
+		}
+		copy(out.Data[lo*plane:hi*plane], slab.Data)
+	})
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("codec: chunk %d: %w", i, e)
+		}
+	}
+	return out, nil
+}

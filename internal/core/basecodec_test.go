@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"stz/internal/codec"
+	"stz/internal/datasets"
+)
+
+// TestBaseCodecRouting compresses with each registry codec as the level-1
+// substrate and checks the header records it and the bound still holds.
+func TestBaseCodecRouting(t *testing.T) {
+	g := datasets.Nyx(16, 16, 16, 11)
+	const eb = 0.05
+	for _, name := range codec.Names() {
+		cfg := DefaultConfig(eb)
+		cfg.BaseCodec = name
+		enc, err := Compress(g, cfg)
+		if err != nil {
+			t.Fatalf("%s: compress: %v", name, err)
+		}
+		r, err := NewReader[float32](enc)
+		if err != nil {
+			t.Fatalf("%s: reader: %v", name, err)
+		}
+		if got := r.Header().BaseCodec; got != name {
+			t.Errorf("header base codec %q, want %q", got, name)
+		}
+		dec, err := r.Decompress()
+		if err != nil {
+			t.Fatalf("%s: decompress: %v", name, err)
+		}
+		var worst float64
+		for i := range g.Data {
+			if e := math.Abs(float64(g.Data[i]) - float64(dec.Data[i])); e > worst {
+				worst = e
+			}
+		}
+		if worst > eb*(1+1e-12) {
+			t.Errorf("%s: max error %g exceeds bound %g", name, worst, eb)
+		}
+	}
+}
+
+func TestBaseCodecUnknownRejected(t *testing.T) {
+	g := datasets.Nyx(8, 8, 8, 1)
+	cfg := DefaultConfig(0.1)
+	cfg.BaseCodec = "gzip"
+	if _, err := Compress(g, cfg); err == nil {
+		t.Error("unknown base codec accepted")
+	}
+}

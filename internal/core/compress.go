@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"stz/internal/codec"
 	"stz/internal/container"
 	"stz/internal/grid"
 	"stz/internal/huffman"
@@ -14,8 +15,9 @@ import (
 	"stz/internal/sz3"
 )
 
-// headerVersion is the core stream format version.
-const headerVersion = 1
+// headerVersion is the core stream format version. Version 2 added the
+// base-codec ID byte; version-1 streams are still readable (implicit SZ3).
+const headerVersion = 2
 
 // header is the section-0 payload.
 type header struct {
@@ -26,6 +28,7 @@ type header struct {
 	Predictor     Predictor
 	Residual      ResidualCoder
 	AdaptiveEB    bool
+	BaseID        uint8 // registry ID of the base-level codec
 	EBRatio       float64
 	EB            float64
 	Radius        int32
@@ -46,6 +49,7 @@ func (h header) marshal() []byte {
 	if h.AdaptiveEB {
 		buf[6] = 1
 	}
+	buf[7] = h.BaseID
 	binary.LittleEndian.PutUint32(buf[8:], uint32(h.Fz))
 	binary.LittleEndian.PutUint32(buf[12:], uint32(h.Fy))
 	binary.LittleEndian.PutUint32(buf[16:], uint32(h.Fx))
@@ -62,7 +66,7 @@ func unmarshalHeader(buf []byte) (header, error) {
 		return h, fmt.Errorf("core: header too short")
 	}
 	h.Version = buf[0]
-	if h.Version != headerVersion {
+	if h.Version < 1 || h.Version > headerVersion {
 		return h, fmt.Errorf("core: unsupported version %d", h.Version)
 	}
 	h.DType = buf[1]
@@ -71,6 +75,10 @@ func unmarshalHeader(buf []byte) (header, error) {
 	h.Predictor = Predictor(buf[4])
 	h.Residual = ResidualCoder(buf[5])
 	h.AdaptiveEB = buf[6] != 0
+	h.BaseID = buf[7]
+	if h.Version == 1 || h.BaseID == 0 {
+		h.BaseID = codec.IDSZ3 // pre-registry streams are always SZ3-based
+	}
 	h.Fz = int(binary.LittleEndian.Uint32(buf[8:]))
 	h.Fy = int(binary.LittleEndian.Uint32(buf[12:]))
 	h.Fx = int(binary.LittleEndian.Uint32(buf[16:]))
@@ -166,23 +174,25 @@ func Compress[T grid.Float](g *grid.Grid[T], cfg Config) ([]byte, error) {
 	if cfg.Residual == ResidSZ3 {
 		codeChunk = 0 // the ablation path has no code stream to chunk
 	}
+	base := codec.MustLookup(cfg.baseCodec())
 	hdr := header{
 		Version: headerVersion, DType: dtypeOf[T](),
 		Levels: levels, Predictor: cfg.Predictor, Residual: cfg.Residual,
-		AdaptiveEB: cfg.AdaptiveEB, EBRatio: cfg.ebRatio(), EB: cfg.EB,
-		Radius: cfg.radius(), CodeChunk: codeChunk, Fz: g.Nz, Fy: g.Ny, Fx: g.Nx,
+		AdaptiveEB: cfg.AdaptiveEB, BaseID: base.ID(), EBRatio: cfg.ebRatio(),
+		EB: cfg.EB, Radius: cfg.radius(), CodeChunk: codeChunk,
+		Fz: g.Nz, Fy: g.Ny, Fx: g.Nx,
 	}
 	b.Add(hdr.marshal())
 
-	// Level 1: the deepest coarse sub-block through SZ3 (always serial so
-	// that parallel and serial STZ produce identical streams).
-	l1opts := sz3.Options{EB: cfg.levelEB(1), Radius: cfg.radius()}
-	l1blob, err := sz3.Compress(chain[levels-1], l1opts)
+	// Level 1: the deepest coarse sub-block through the base codec (always
+	// serial so that parallel and serial STZ produce identical streams).
+	l1cfg := codec.Config{EB: cfg.levelEB(1), Radius: cfg.radius()}
+	l1blob, err := codec.Compress(base, chain[levels-1], l1cfg)
 	if err != nil {
-		return nil, fmt.Errorf("core: level-1 SZ3: %w", err)
+		return nil, fmt.Errorf("core: level-1 %s: %w", base.Name(), err)
 	}
 	b.Add(l1blob)
-	coarseRecon, err := sz3.Decompress[T](l1blob)
+	coarseRecon, err := codec.Decompress[T](base, l1blob, 1)
 	if err != nil {
 		return nil, fmt.Errorf("core: level-1 verify: %w", err)
 	}
@@ -341,24 +351,25 @@ func compressPartitionOnly[T grid.Float](g *grid.Grid[T], cfg Config) ([]byte, e
 	if workers < 1 {
 		workers = 1
 	}
+	base := codec.MustLookup(cfg.baseCodec())
 	var b container.Builder
 	hdr := header{
 		Version: headerVersion, DType: dtypeOf[T](), PartitionOnly: true,
 		Levels: 2, Predictor: cfg.Predictor, Residual: cfg.Residual,
-		EB: cfg.EB, EBRatio: cfg.ebRatio(), Radius: cfg.radius(),
-		Fz: g.Nz, Fy: g.Ny, Fx: g.Nx,
+		BaseID: base.ID(), EB: cfg.EB, EBRatio: cfg.ebRatio(),
+		Radius: cfg.radius(), Fz: g.Nz, Fy: g.Ny, Fx: g.Nx,
 	}
 	b.Add(hdr.marshal())
 	blocks := grid.PartitionStride2(g)
 	blobs := make([][]byte, len(blocks))
 	errs := make([]error, len(blocks))
-	opts := sz3.Options{EB: cfg.EB, Radius: cfg.radius()}
+	opts := codec.Config{EB: cfg.EB, Radius: cfg.radius()}
 	parallel.For(len(blocks), workers, func(i int) {
 		if blocks[i].Len() == 0 {
 			blobs[i] = nil
 			return
 		}
-		blobs[i], errs[i] = sz3.Compress(blocks[i], opts)
+		blobs[i], errs[i] = codec.Compress(base, blocks[i], opts)
 	})
 	for _, e := range errs {
 		if e != nil {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 
+	"stz/internal/codec"
 	"stz/internal/quant"
 )
 
@@ -108,6 +109,11 @@ type Config struct {
 	// then entropy-decodes only the chunks its region touches, at a small
 	// compression-ratio cost (one code table per chunk).
 	CodeChunk int
+	// BaseCodec names the registry codec (internal/codec) that compresses
+	// the coarsest hierarchical level and the PartitionOnly sub-blocks.
+	// Empty selects "sz3", the paper's substrate. The codec ID is recorded
+	// in the stream header so decompression resolves it automatically.
+	BaseCodec string
 }
 
 // DefaultConfig returns the paper's recommended configuration: 3 levels,
@@ -148,9 +154,20 @@ func (c Config) levelEB(lv int) float64 {
 	return c.EB / math.Pow(c.ebRatio(), float64(c.Levels-lv))
 }
 
+// baseCodec returns the registry name of the base-level codec.
+func (c Config) baseCodec() string {
+	if c.BaseCodec == "" {
+		return "sz3"
+	}
+	return c.BaseCodec
+}
+
 func (c Config) validate() error {
 	if !(c.EB > 0) || math.IsInf(c.EB, 0) {
 		return fmt.Errorf("core: invalid error bound %g", c.EB)
+	}
+	if _, err := codec.Lookup(c.baseCodec()); err != nil {
+		return fmt.Errorf("core: base codec: %w", err)
 	}
 	if c.PartitionOnly {
 		return nil

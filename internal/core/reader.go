@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"stz/internal/codec"
 	"stz/internal/container"
 	"stz/internal/grid"
 	"stz/internal/huffman"
@@ -25,6 +26,9 @@ type Header struct {
 	EB            float64
 	Radius        int32
 	PartitionOnly bool
+	// BaseCodec is the registry name of the base-level codec ("sz3"
+	// unless Config.BaseCodec overrode it).
+	BaseCodec string
 }
 
 // Stats is the per-stage timing breakdown of a decompression, matching the
@@ -50,8 +54,9 @@ type Stats struct {
 type Reader[T grid.Float] struct {
 	Workers int
 
-	arc *container.Archive
-	hdr header
+	arc  *container.Archive
+	hdr  header
+	base codec.Codec
 }
 
 // NewReader parses and validates the stream framing and header.
@@ -81,7 +86,11 @@ func NewReader[T grid.Float](data []byte) (*Reader[T], error) {
 	if arc.Count() != wantSecs {
 		return nil, fmt.Errorf("core: want %d sections, have %d", wantSecs, arc.Count())
 	}
-	return &Reader[T]{Workers: 1, arc: arc, hdr: hdr}, nil
+	base, err := codec.LookupID(hdr.BaseID)
+	if err != nil {
+		return nil, fmt.Errorf("core: base codec: %w", err)
+	}
+	return &Reader[T]{Workers: 1, arc: arc, hdr: hdr, base: base}, nil
 }
 
 // Header returns the stream metadata.
@@ -91,6 +100,7 @@ func (r *Reader[T]) Header() Header {
 		DType: h.DType, Fz: h.Fz, Fy: h.Fy, Fx: h.Fx, Levels: h.Levels,
 		Predictor: h.Predictor, Residual: h.Residual, AdaptiveEB: h.AdaptiveEB,
 		EBRatio: h.EBRatio, EB: h.EB, Radius: h.Radius, PartitionOnly: h.PartitionOnly,
+		BaseCodec: r.base.Name(),
 	}
 }
 
@@ -362,7 +372,7 @@ func (r *Reader[T]) decodeLevel1() (*grid.Grid[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := sz3.Decompress[T](sec)
+	g, err := codec.Decompress[T](r.base, sec, 1)
 	if err != nil {
 		return nil, fmt.Errorf("core: level 1: %w", err)
 	}
@@ -463,7 +473,7 @@ func (r *Reader[T]) Progressive(lv int) (*grid.Grid[T], error) {
 			if err != nil {
 				return nil, err
 			}
-			return sz3.Decompress[T](sec)
+			return codec.Decompress[T](r.base, sec, 1)
 		}
 		return r.decompressPartitionOnly()
 	}
@@ -495,7 +505,7 @@ func (r *Reader[T]) decompressPartitionOnly() (*grid.Grid[T], error) {
 			blocks[i] = grid.New[T](0, 0, 0)
 			return
 		}
-		blocks[i], errs[i] = sz3.Decompress[T](sec)
+		blocks[i], errs[i] = codec.Decompress[T](r.base, sec, 1)
 	})
 	for _, e := range errs {
 		if e != nil {
