@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark series point in the github-action-benchmark
+// go-tool extracted format.
+type Entry struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	Extra string  `json:"extra,omitempty"`
+}
+
+// parseBench extracts entries from `go test -bench` text output. Each
+// benchmark line yields one entry per (value, unit) pair after the
+// iteration count: the ns/op metric keeps the bare benchmark name, and
+// secondary metrics (B/op, allocs/op, custom units) are suffixed with
+// " - <unit>", mirroring the series names github-action-benchmark builds.
+func parseBench(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		extra := fmt.Sprintf("%d times", iters)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			entryName := name
+			if unit != "ns/op" {
+				entryName = name + " - " + unit
+			}
+			out = append(out, Entry{Name: entryName, Value: v, Unit: unit, Extra: extra})
+		}
+	}
+	return mergeMin(out), sc.Err()
+}
+
+// mergeMin collapses repeated entries of the same name (as produced by
+// `go test -count N`) to their minimum — the standard low-noise estimate
+// for gating — preserving first-seen order.
+func mergeMin(entries []Entry) []Entry {
+	idx := make(map[string]int, len(entries))
+	reps := make(map[string]int, len(entries))
+	var out []Entry
+	for _, e := range entries {
+		i, ok := idx[e.Name]
+		if !ok {
+			idx[e.Name] = len(out)
+			reps[e.Name] = 1
+			out = append(out, e)
+			continue
+		}
+		reps[e.Name]++
+		if e.Value < out[i].Value {
+			out[i].Value = e.Value
+		}
+	}
+	for name, i := range idx {
+		if n := reps[name]; n > 1 {
+			out[i].Extra = fmt.Sprintf("min of %d runs", n)
+		}
+	}
+	return out
+}
+
+// Regression is one benchmark that slowed down beyond the threshold.
+type Regression struct {
+	Name     string
+	Old, New float64
+	Ratio    float64
+}
+
+// compareEntries gates new against old: any ns/op entry whose value grew
+// beyond threshold× the baseline (and is above minNs, a noise floor for
+// ultra-short benchmarks) is a regression. It returns the regressions plus
+// human-readable notes about entries present in only one file.
+func compareEntries(old, new []Entry, threshold, minNs float64) ([]Regression, []string) {
+	baseline := make(map[string]Entry, len(old))
+	for _, e := range old {
+		if e.Unit == "ns/op" {
+			baseline[e.Name] = e
+		}
+	}
+	var regs []Regression
+	var notes []string
+	seen := make(map[string]bool)
+	for _, e := range new {
+		if e.Unit != "ns/op" {
+			continue
+		}
+		seen[e.Name] = true
+		b, ok := baseline[e.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("new benchmark (no baseline): %s", e.Name))
+			continue
+		}
+		if e.Value <= minNs || b.Value <= 0 {
+			continue
+		}
+		if ratio := e.Value / b.Value; ratio > threshold {
+			regs = append(regs, Regression{Name: e.Name, Old: b.Value, New: e.Value, Ratio: ratio})
+		}
+	}
+	for name := range baseline {
+		if !seen[name] {
+			notes = append(notes, fmt.Sprintf("benchmark disappeared: %s", name))
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
+	sort.Strings(notes)
+	return regs, notes
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "-", "go test -bench output (- for stdin)")
+	out := fs.String("out", "-", "output JSON file (- for stdout)")
+	fs.Parse(args)
+	r, err := readInput(*in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	entries, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", *in)
+	}
+	return writeJSON(*out, entries)
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	oldPath := fs.String("old", "", "baseline JSON (from convert)")
+	newPath := fs.String("new", "", "current JSON (from convert)")
+	threshold := fs.Float64("threshold", 1.30, "failure ratio: new/old ns/op above this fails")
+	minNs := fs.Float64("min-ns", 0, "ignore benchmarks at or below this many ns/op (noise floor)")
+	fs.Parse(args)
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("compare: -old and -new required")
+	}
+	load := func(path string) ([]Entry, error) {
+		r, err := readInput(path)
+		if err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		var entries []Entry
+		if err := json.NewDecoder(r).Decode(&entries); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return entries, nil
+	}
+	oldE, err := load(*oldPath)
+	if err != nil {
+		return err
+	}
+	newE, err := load(*newPath)
+	if err != nil {
+		return err
+	}
+	regs, notes := compareEntries(oldE, newE, *threshold, *minNs)
+	for _, n := range notes {
+		fmt.Println("note:", n)
+	}
+	if len(regs) == 0 {
+		fmt.Printf("ok: no ns/op regressions beyond %.2fx across %d benchmarks\n",
+			*threshold, len(newE))
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Printf("REGRESSION %s: %.0f -> %.0f ns/op (%.2fx > %.2fx)\n",
+			r.Name, r.Old, r.New, r.Ratio, *threshold)
+	}
+	return fmt.Errorf("%d benchmark(s) regressed beyond %.2fx", len(regs), *threshold)
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: stz
+BenchmarkCodecRegistry/sz3-8         	       1	  52034811 ns/op	 1204 B/op	      25 allocs/op
+BenchmarkCodecRegistry/zfp-8         	       3	   1200000 ns/op
+BenchmarkTable2Datasets-8            	       1	 903122382 ns/op	       5.000 custom_metric
+garbage line that is ignored
+Benchmark	notenoughfields
+PASS
+ok  	stz	4.766s
+`
+
+func TestParseBench(t *testing.T) {
+	entries, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Entry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	e, ok := byName["BenchmarkCodecRegistry/sz3-8"]
+	if !ok || e.Value != 52034811 || e.Unit != "ns/op" || e.Extra != "1 times" {
+		t.Fatalf("sz3 ns/op entry wrong: %+v (ok=%v)", e, ok)
+	}
+	if e := byName["BenchmarkCodecRegistry/sz3-8 - B/op"]; e.Value != 1204 || e.Unit != "B/op" {
+		t.Fatalf("B/op entry wrong: %+v", e)
+	}
+	if e := byName["BenchmarkCodecRegistry/sz3-8 - allocs/op"]; e.Value != 25 {
+		t.Fatalf("allocs/op entry wrong: %+v", e)
+	}
+	if e := byName["BenchmarkTable2Datasets-8 - custom_metric"]; e.Value != 5 {
+		t.Fatalf("custom metric entry wrong: %+v", e)
+	}
+	if _, ok := byName["Benchmark"]; ok {
+		t.Fatal("malformed line parsed")
+	}
+}
+
+func TestParseBenchMergesCountedRuns(t *testing.T) {
+	// `go test -count 3` repeats each benchmark line; the min is kept.
+	repeated := `BenchmarkX-8	10	300 ns/op
+BenchmarkX-8	10	250 ns/op
+BenchmarkX-8	10	400 ns/op
+`
+	entries, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d entries, want 1 merged: %+v", len(entries), entries)
+	}
+	if entries[0].Value != 250 || entries[0].Extra != "min of 3 runs" {
+		t.Fatalf("merged entry %+v, want min 250 of 3 runs", entries[0])
+	}
+}
+
+func TestCompareEntries(t *testing.T) {
+	old := []Entry{
+		{Name: "BenchmarkA", Value: 100, Unit: "ns/op"},
+		{Name: "BenchmarkB", Value: 200, Unit: "ns/op"},
+		{Name: "BenchmarkGone", Value: 50, Unit: "ns/op"},
+		{Name: "BenchmarkA - B/op", Value: 10, Unit: "B/op"},
+	}
+	cur := []Entry{
+		{Name: "BenchmarkA", Value: 160, Unit: "ns/op"},      // 1.6x: regression
+		{Name: "BenchmarkB", Value: 210, Unit: "ns/op"},      // 1.05x: fine
+		{Name: "BenchmarkNew", Value: 999, Unit: "ns/op"},    // no baseline: note only
+		{Name: "BenchmarkA - B/op", Value: 99, Unit: "B/op"}, // never gated
+	}
+	regs, notes := compareEntries(old, cur, 1.30, 0)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkA" {
+		t.Fatalf("regressions = %+v, want exactly BenchmarkA", regs)
+	}
+	if regs[0].Ratio < 1.59 || regs[0].Ratio > 1.61 {
+		t.Fatalf("ratio %.3f", regs[0].Ratio)
+	}
+	if len(notes) != 2 {
+		t.Fatalf("notes = %v, want new+disappeared", notes)
+	}
+	// A noise floor suppresses the tiny regression.
+	regs2, _ := compareEntries(old, cur, 1.30, 500)
+	if len(regs2) != 0 {
+		t.Fatalf("min-ns floor ignored: %+v", regs2)
+	}
+}
+
+func TestConvertCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "bench.txt")
+	oldJSON := filepath.Join(dir, "old.json")
+	newJSON := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(txt, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdConvert([]string{"-in", txt, "-out", oldJSON}); err != nil {
+		t.Fatal(err)
+	}
+	// Identical files: the gate passes.
+	if err := cmdConvert([]string{"-in", txt, "-out", newJSON}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompare([]string{"-old", oldJSON, "-new", newJSON}); err != nil {
+		t.Fatalf("identical runs failed the gate: %v", err)
+	}
+	// A 2x slowdown fails it.
+	slow := strings.ReplaceAll(sampleBench, "1200000 ns/op", "2400000 ns/op")
+	if err := os.WriteFile(txt, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdConvert([]string{"-in", txt, "-out", newJSON}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompare([]string{"-old", oldJSON, "-new", newJSON, "-threshold", "1.30"}); err == nil {
+		t.Fatal("2x regression passed the gate")
+	}
+	// Empty input is an error.
+	if err := os.WriteFile(txt, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdConvert([]string{"-in", txt, "-out", newJSON}); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -263,29 +264,21 @@ func cmdGen(args []string) error {
 	return fmt.Errorf("gen: unknown dataset %q", *name)
 }
 
-// compressGrid routes one grid through the selected compressor: "stz" is
-// the core hierarchical pipeline, anything else a registry codec via the
-// unified chunk-parallel pipeline.
-func compressGrid[T grid.Float](g *grid.Grid[T], codecName string,
-	eb float64, rel bool, levels, workers, chunks int, base string) ([]byte, error) {
+// compressGrid routes one grid through the core hierarchical pipeline
+// (registry codecs take the streaming path in streamCompressFile instead).
+func compressGrid[T grid.Float](g *grid.Grid[T], eb float64, rel bool,
+	levels, workers int, base string) ([]byte, error) {
 
-	if codecName == "stz" {
-		bound := eb
-		if rel {
-			mn, mx := g.Range()
-			bound = quant.AbsoluteBound(eb, float64(mn), float64(mx))
-		}
-		cfg := core.DefaultConfig(bound)
-		cfg.Levels = levels
-		cfg.Workers = workers
-		cfg.BaseCodec = base
-		return core.Compress(g, cfg)
-	}
-	ccfg := codec.Config{EB: eb, Workers: workers, Chunks: chunks}
+	bound := eb
 	if rel {
-		ccfg.Mode = codec.ModeRel
+		mn, mx := g.Range()
+		bound = quant.AbsoluteBound(eb, float64(mn), float64(mx))
 	}
-	return codec.Encode(codecName, g, ccfg)
+	cfg := core.DefaultConfig(bound)
+	cfg.Levels = levels
+	cfg.Workers = workers
+	cfg.BaseCodec = base
+	return core.Compress(g, cfg)
 }
 
 func cmdCompress(args []string) error {
@@ -309,31 +302,56 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *dtype != "f32" && *dtype != "f64" {
+		return fmt.Errorf("compress: dtype must be f32 or f64")
+	}
+
+	// Registry codecs stream the file through the bounded-memory pipeline:
+	// the grid is never fully resident, and the archive is byte-identical
+	// to the buffered codec.Encode path.
+	if *codecName != "stz" {
+		var encBytes int64
+		if *dtype == "f32" {
+			encBytes, err = streamCompressFile[float32](*in, *out, *codecName,
+				nz, ny, nx, *eb, *rel, *workers, *chunks)
+		} else {
+			encBytes, err = streamCompressFile[float64](*in, *out, *codecName,
+				nz, ny, nx, *eb, *rel, *workers, *chunks)
+		}
+		if err != nil {
+			return err
+		}
+		origBytes := int64(nz) * int64(ny) * int64(nx) * 4
+		if *dtype == "f64" {
+			origBytes *= 2
+		}
+		fmt.Printf("%s: %d -> %d bytes (CR %.1f)\n", *out, origBytes, encBytes,
+			float64(origBytes)/float64(encBytes))
+		return nil
+	}
+
 	var enc []byte
 	var origBytes int
-	switch *dtype {
-	case "f32":
+	if *dtype == "f32" {
 		g, err := readRaw32(*in, nz, ny, nx)
 		if err != nil {
 			return err
 		}
-		enc, err = compressGrid(g, *codecName, *eb, *rel, *levels, *workers, *chunks, *base)
+		enc, err = compressGrid(g, *eb, *rel, *levels, *workers, *base)
 		if err != nil {
 			return err
 		}
 		origBytes = 4 * g.Len()
-	case "f64":
+	} else {
 		g, err := readRaw64(*in, nz, ny, nx)
 		if err != nil {
 			return err
 		}
-		enc, err = compressGrid(g, *codecName, *eb, *rel, *levels, *workers, *chunks, *base)
+		enc, err = compressGrid(g, *eb, *rel, *levels, *workers, *base)
 		if err != nil {
 			return err
 		}
 		origBytes = 8 * g.Len()
-	default:
-		return fmt.Errorf("compress: dtype must be f32 or f64")
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		return err
@@ -372,23 +390,36 @@ func cmdInfo(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("info: -in required")
 	}
-	data, err := os.ReadFile(*in)
+	// Registry archives need only the directory and header section, so
+	// sniff and print without loading the payload (which may be huge).
+	f, err := os.Open(*in)
 	if err != nil {
 		return err
 	}
-	if codec.IsEncoded(data) {
-		hdr, err := codec.ParseHeader(data)
+	s, serr := codec.OpenStream(bufio.NewReader(f))
+	if serr == nil {
+		defer f.Close()
+		fi, err := f.Stat()
 		if err != nil {
 			return err
 		}
+		hdr := s.Header()
 		dt := "f64"
 		if hdr.DType == 4 {
 			dt = "f32"
 		}
 		fmt.Printf("codec: %s  dims: %dx%dx%d  dtype: %s\n", hdr.Codec, hdr.Nz, hdr.Ny, hdr.Nx, dt)
 		fmt.Printf("eb: %g (%s)  resolved abs eb: %g\n", hdr.EBRequested, hdr.Mode, hdr.EBAbs)
-		fmt.Printf("chunks: %d  compressed size: %d bytes\n", hdr.Chunks(), len(data))
+		fmt.Printf("chunks: %d  compressed size: %d bytes\n", hdr.Chunks(), fi.Size())
 		return nil
+	}
+	f.Close()
+	if sniffEncoded(*in) {
+		return serr
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
 	}
 	hdr, err := peekHeader(data)
 	if err != nil {
@@ -431,22 +462,41 @@ func cmdDecompress(args []string) error {
 	if *in == "" || *out == "" {
 		return fmt.Errorf("decompress: -in and -out required")
 	}
-	data, err := os.ReadFile(*in)
+	// Sniff the format by attempting to open the unified streaming framing;
+	// registry-codec archives decode incrementally with bounded memory.
+	f, err := os.Open(*in)
 	if err != nil {
 		return err
 	}
-	if codec.IsEncoded(data) {
+	s, serr := codec.OpenStream(bufio.NewReaderSize(f, 1<<20))
+	if serr == nil {
+		defer f.Close()
 		if *level > 0 || *boxSpec != "" || *slice >= 0 || *stats {
 			return fmt.Errorf("decompress: -level/-box/-slice/-stats require an stz stream; this is a registry-codec stream")
 		}
-		hdr, err := codec.ParseHeader(data)
+		hdr := s.Header()
+		if hdr.DType == 4 {
+			err = streamDecodeToFile[float32](s, *out, *workers)
+		} else {
+			err = streamDecodeToFile[float64](s, *out, *workers)
+		}
 		if err != nil {
 			return err
 		}
-		if hdr.DType == 4 {
-			return decodeEncoded(data, *out, *workers, writeRaw32)
-		}
-		return decodeEncoded(data, *out, *workers, writeRaw64)
+		fmt.Printf("%s: %dx%dx%d\n", *out, hdr.Nz, hdr.Ny, hdr.Nx)
+		return nil
+	}
+	f.Close()
+	if sniffEncoded(*in) {
+		// The file is a unified registry archive that failed to open:
+		// report that error rather than confusing the core path with it.
+		return serr
+	}
+	// Not a unified archive: fall back to the buffered STZ core path,
+	// which owns progressive/random-access decoding.
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
 	}
 	hdr, err := peekHeader(data)
 	if err != nil {
@@ -456,21 +506,6 @@ func cmdDecompress(args []string) error {
 		return decompressAs[float32](data, *out, *level, *boxSpec, *slice, *workers, *stats, writeRaw32)
 	}
 	return decompressAs[float64](data, *out, *level, *boxSpec, *slice, *workers, *stats, writeRaw64)
-}
-
-// decodeEncoded reconstructs a unified registry-codec stream.
-func decodeEncoded[T grid.Float](data []byte, out string, workers int,
-	write func(string, *grid.Grid[T]) error) error {
-
-	g, err := codec.Decode[T](data, workers)
-	if err != nil {
-		return err
-	}
-	if err := write(out, g); err != nil {
-		return err
-	}
-	fmt.Printf("%s: %dx%dx%d\n", out, g.Nz, g.Ny, g.Nx)
-	return nil
 }
 
 func decompressAs[T grid.Float](data []byte, out string, level int, boxSpec string,

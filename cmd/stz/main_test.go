@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"math"
 	"os"
 	"path/filepath"
@@ -122,6 +123,73 @@ func TestCommandsEndToEnd(t *testing.T) {
 	}
 	if err := cmdRender([]string{"-in", raw, "-dims", "16x16x16", "-cmap", "nope", "-out", png}); err == nil {
 		t.Fatal("unknown colormap accepted")
+	}
+}
+
+// TestStreamingMatchesBufferedEncode is the acceptance check for the
+// streaming rewire: compressing a raw file through the CLI (which now
+// streams registry codecs with bounded memory) must produce archives
+// byte-identical to the buffered codec.Encode path, in both absolute and
+// two-pass relative mode, and streaming decompression must reproduce
+// codec.Decode's output exactly.
+func TestStreamingMatchesBufferedEncode(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "in.f32")
+	if err := cmdGen([]string{"-dataset", "Miranda", "-dims", "24x10x12", "-out", raw}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := readRaw32(raw, 24, 10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		label string
+		args  []string
+		cfg   codec.Config
+	}{
+		{"abs", []string{"-eb", "0.05"}, codec.Config{EB: 0.05}},
+		{"abs-chunked", []string{"-eb", "0.05", "-workers", "2", "-chunks", "3"},
+			codec.Config{EB: 0.05, Workers: 2, Chunks: 3}},
+		{"rel", []string{"-eb", "1e-3", "-rel", "-chunks", "2"},
+			codec.Config{EB: 1e-3, Mode: codec.ModeRel, Chunks: 2}},
+	} {
+		for _, name := range codec.Names() {
+			enc := filepath.Join(dir, name+"."+tc.label+".enc")
+			args := append([]string{"-in", raw, "-dims", "24x10x12", "-codec", name, "-out", enc}, tc.args...)
+			if err := cmdCompress(args); err != nil {
+				t.Fatalf("%s/%s: compress: %v", name, tc.label, err)
+			}
+			got, err := os.ReadFile(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := codec.Encode(name, g, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s/%s: streamed archive differs from codec.Encode (%d vs %d bytes)",
+					name, tc.label, len(got), len(want))
+			}
+
+			dec := filepath.Join(dir, name+"."+tc.label+".dec")
+			if err := cmdDecompress([]string{"-in", enc, "-out", dec, "-workers", "2"}); err != nil {
+				t.Fatalf("%s/%s: decompress: %v", name, tc.label, err)
+			}
+			wantGrid, err := codec.Decode[float32](want, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotGrid, err := readRaw32(dec, 24, 10, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantGrid.Data {
+				if gotGrid.Data[i] != wantGrid.Data[i] {
+					t.Fatalf("%s/%s: streamed reconstruction differs at %d", name, tc.label, i)
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,86 @@
+// Command stzd serves the unified codec registry over HTTP: a streaming,
+// bounded-memory compression service in front of internal/codec.
+//
+//	stzd -addr :8321 -max-body 1073741824 -max-inflight 4 -workers 8
+//
+// Endpoints:
+//
+//	POST /v1/compress?codec=zfp&dims=64x64x64&dtype=f32&eb=1e-3[&mode=rel][&chunks=8]
+//	     body: raw little-endian values, row-major (x fastest)
+//	     response: SZXC archive (identical to codec.Encode / stz compress)
+//	POST /v1/decompress
+//	     body: SZXC archive; response: raw little-endian values
+//	GET  /v1/codecs      registry capability matrix as JSON
+//	GET  /healthz        liveness probe
+//
+// Every parameter may also be supplied as an X-Stz-* header (X-Stz-Codec,
+// X-Stz-Dims, X-Stz-Dtype, X-Stz-Error-Bound, X-Stz-Mode, X-Stz-Chunks).
+// Both data endpoints stream with bounded in-flight memory: compress
+// responds with chunked transfer (the archive size is unknowable up
+// front), decompress pre-declares the exact Content-Length from the
+// stream header and writes the body as slabs decode. Concurrency is
+// capped by -max-inflight (saturated requests receive 503 after a short
+// admission wait) and request lifetimes by -timeout, so stalled clients
+// cannot pin job slots.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stz/internal/parallel"
+)
+
+func main() {
+	addr := flag.String("addr", ":8321", "listen address")
+	maxBody := flag.Int64("max-body", 1<<30, "per-request raw/archive byte limit")
+	maxInflight := flag.Int("max-inflight", 4, "concurrent compression jobs")
+	workers := flag.Int("workers", parallel.DefaultWorkers(), "codec workers per job")
+	window := flag.Int("window", 0, "streaming window in z-slabs (0 = auto)")
+	timeout := flag.Duration("timeout", 5*time.Minute,
+		"per-request read and write deadline; bounds how long a stalled client can hold a job slot (0 = none)")
+	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
+	flag.Parse()
+
+	h := newServer(options{
+		maxBody:     *maxBody,
+		maxInflight: *maxInflight,
+		workers:     *workers,
+		window:      *window,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *timeout,
+		WriteTimeout:      *timeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("stzd listening on %s (max-body %d, max-inflight %d, workers %d)",
+		*addr, *maxBody, *maxInflight, *workers)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("stzd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("stzd: shutting down (grace %s)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("stzd: shutdown: %v", err)
+	}
+}

@@ -1,0 +1,435 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"stz/internal/codec"
+	"stz/internal/grid"
+	"stz/internal/rawio"
+)
+
+// options configures the service.
+type options struct {
+	// maxBody caps the request body and the decompressed output size, in
+	// bytes.
+	maxBody int64
+	// maxInflight bounds concurrently running compression/decompression
+	// jobs; excess requests wait briefly, then receive 503.
+	maxInflight int
+	// workers is the per-job codec worker budget.
+	workers int
+	// window is the bounded streaming window (slabs in flight per job);
+	// 0 lets the codec layer choose.
+	window int
+	// admissionWait is how long a request waits for a job slot before 503.
+	admissionWait time.Duration
+}
+
+func (o options) withDefaults() options {
+	if o.maxBody <= 0 {
+		o.maxBody = 1 << 30
+	}
+	if o.maxInflight <= 0 {
+		o.maxInflight = 4
+	}
+	if o.workers <= 0 {
+		o.workers = 1
+	}
+	if o.admissionWait <= 0 {
+		o.admissionWait = 100 * time.Millisecond
+	}
+	return o
+}
+
+// server is the stzd request handler: a mux over the v1 endpoints with a
+// semaphore-bounded job pool.
+type server struct {
+	opts options
+	sem  chan struct{}
+	mux  *http.ServeMux
+}
+
+func newServer(o options) *server {
+	o = o.withDefaults()
+	s := &server{opts: o, sem: make(chan struct{}, o.maxInflight)}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/codecs", s.handleCodecs)
+	s.mux.HandleFunc("POST /v1/compress", s.handleCompress)
+	s.mux.HandleFunc("POST /v1/decompress", s.handleDecompress)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// acquire claims a job slot, waiting up to admissionWait.
+func (s *server) acquire(r *http.Request) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	t := time.NewTimer(s.opts.admissionWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+func (s *server) release() { <-s.sem }
+
+// httpError writes a JSON error payload.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// param reads a request parameter from the query string, falling back to
+// the X-Stz-* header of the same meaning.
+func param(r *http.Request, name, header string) string {
+	if v := r.URL.Query().Get(name); v != "" {
+		return v
+	}
+	return r.Header.Get(header)
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"status": "ok", "inflight": len(s.sem)})
+}
+
+func (s *server) handleCodecs(w http.ResponseWriter, _ *http.Request) {
+	type capsJSON struct {
+		Name               string `json:"name"`
+		ID                 uint8  `json:"id"`
+		Progressive        bool   `json:"progressive"`
+		RandomAccess       bool   `json:"random_access"`
+		ParallelCompress   bool   `json:"parallel_compress"`
+		ParallelDecompress bool   `json:"parallel_decompress"`
+		Float32            bool   `json:"float32"`
+		Float64            bool   `json:"float64"`
+	}
+	var out []capsJSON
+	for _, c := range codec.All() {
+		caps := c.Caps()
+		out = append(out, capsJSON{
+			Name: c.Name(), ID: c.ID(),
+			Progressive: caps.Progressive, RandomAccess: caps.RandomAccess,
+			ParallelCompress: caps.ParallelCompress, ParallelDecompress: caps.ParallelDecompress,
+			Float32: caps.Float32, Float64: caps.Float64,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"codecs": out})
+}
+
+// compressParams are the validated inputs of one compress request.
+type compressParams struct {
+	codecName  string
+	nz, ny, nx int
+	dtype      string // "f32" or "f64"
+	cfg        codec.Config
+	rel        bool
+	relEB      float64
+}
+
+func parseCompressParams(r *http.Request, maxBody int64) (compressParams, error) {
+	var p compressParams
+	p.codecName = param(r, "codec", "X-Stz-Codec")
+	if p.codecName == "" {
+		return p, fmt.Errorf("missing codec parameter")
+	}
+	dims := param(r, "dims", "X-Stz-Dims")
+	if dims == "" {
+		return p, fmt.Errorf("missing dims parameter (ZxYxX)")
+	}
+	parts := strings.Split(dims, "x")
+	if len(parts) != 3 {
+		return p, fmt.Errorf("dims must be ZxYxX, got %q", dims)
+	}
+	var d [3]int
+	for i, s := range parts {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			return p, fmt.Errorf("bad dimension %q", s)
+		}
+		d[i] = v
+	}
+	p.nz, p.ny, p.nx = d[0], d[1], d[2]
+	elems, err := codec.CheckDims(p.nz, p.ny, p.nx)
+	if err != nil {
+		return p, err
+	}
+	p.dtype = param(r, "dtype", "X-Stz-Dtype")
+	if p.dtype == "" {
+		p.dtype = "f32"
+	}
+	if p.dtype != "f32" && p.dtype != "f64" {
+		return p, fmt.Errorf("dtype must be f32 or f64")
+	}
+	elem := int64(4)
+	if p.dtype == "f64" {
+		elem = 8
+	}
+	if elems > maxBody/elem {
+		return p, fmt.Errorf("grid of %d bytes exceeds the per-request limit of %d", elems*elem, maxBody)
+	}
+	ebStr := param(r, "eb", "X-Stz-Error-Bound")
+	if ebStr == "" {
+		return p, fmt.Errorf("missing eb parameter")
+	}
+	eb, err := strconv.ParseFloat(ebStr, 64)
+	if err != nil || !(eb > 0) {
+		return p, fmt.Errorf("invalid error bound %q", ebStr)
+	}
+	p.cfg = codec.Config{EB: eb}
+	switch mode := param(r, "mode", "X-Stz-Mode"); mode {
+	case "", "abs":
+	case "rel":
+		p.rel, p.relEB = true, eb
+		p.cfg.Mode = codec.ModeRel
+	default:
+		return p, fmt.Errorf("mode must be abs or rel, got %q", mode)
+	}
+	if c := param(r, "chunks", "X-Stz-Chunks"); c != "" {
+		n, err := strconv.Atoi(c)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("invalid chunks %q", c)
+		}
+		p.cfg.Chunks = n
+	}
+	return p, nil
+}
+
+func (s *server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	p, err := parseCompressParams(r, s.opts.maxBody)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, err := codec.Lookup(p.codecName); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.acquire(r) {
+		httpError(w, http.StatusServiceUnavailable, "compression pool saturated; retry")
+		return
+	}
+	defer s.release()
+	p.cfg.Workers = s.opts.workers
+	body := http.MaxBytesReader(w, r.Body, s.opts.maxBody)
+	if p.dtype == "f32" {
+		err = compressRequest[float32](w, body, p, s.opts.window)
+	} else {
+		err = compressRequest[float64](w, body, p, s.opts.window)
+	}
+	if err != nil {
+		// Nothing has been written yet (the streaming writer buffers the
+		// archive until Close), so a clean error status is still possible.
+		if errors.Is(err, errBodyWrite) {
+			log.Printf("compress: client write failed: %v", err)
+			return
+		}
+		httpError(w, requestErrorStatus(err), "%v", err)
+	}
+}
+
+// requestErrorStatus maps an ingest failure to a status code: bodies that
+// tripped the MaxBytesReader limit are 413, everything else is a 400.
+func requestErrorStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// errBodyWrite marks failures while writing the response body, after the
+// status line is out.
+var errBodyWrite = errors.New("response write")
+
+// compressRequest streams the request body through the bounded-memory
+// codec writer and emits the archive. Relative-mode requests must see the
+// whole grid to resolve the bound, so they buffer it first (still subject
+// to the body limit).
+func compressRequest[T grid.Float](w http.ResponseWriter, body io.Reader, p compressParams, window int) error {
+	vr := rawio.NewReader[T](body, 0)
+	n := p.nz * p.ny * p.nx
+
+	if p.rel {
+		g := grid.New[T](p.nz, p.ny, p.nx)
+		if err := vr.ReadExactly(g.Data); err != nil {
+			return fmt.Errorf("reading grid: %w", err)
+		}
+		if err := ensureDrained(vr); err != nil {
+			return err
+		}
+		enc, err := codec.Encode(p.codecName, g, p.cfg)
+		if err != nil {
+			return err
+		}
+		setArchiveHeaders(w, p)
+		if _, err := w.Write(enc); err != nil {
+			return fmt.Errorf("%w: %v", errBodyWrite, err)
+		}
+		return nil
+	}
+
+	sw, err := codec.NewWriter[T](&deferredResponse{w: w, p: p}, p.codecName, p.nz, p.ny, p.nx, p.cfg)
+	if err != nil {
+		return err
+	}
+	sw.Window = window
+	buf := make([]T, min(n, 64*1024))
+	remaining := n
+	for remaining > 0 {
+		k := min(remaining, len(buf))
+		if err := vr.ReadExactly(buf[:k]); err != nil {
+			return fmt.Errorf("reading grid: %w", err)
+		}
+		if err := sw.Write(buf[:k]); err != nil {
+			return err
+		}
+		remaining -= k
+	}
+	if err := ensureDrained(vr); err != nil {
+		return err
+	}
+	return sw.Close()
+}
+
+// ensureDrained rejects bodies with trailing bytes beyond the grid extent.
+func ensureDrained[T grid.Float](vr *rawio.Reader[T]) error {
+	var probe [1]T
+	k, err := vr.Read(probe[:])
+	if k != 0 {
+		return fmt.Errorf("request body larger than the declared grid")
+	}
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("reading request body: %w", err)
+	}
+	return nil
+}
+
+func setArchiveHeaders(w http.ResponseWriter, p compressParams) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Stz-Codec", p.codecName)
+	w.Header().Set("X-Stz-Dims", fmt.Sprintf("%dx%dx%d", p.nz, p.ny, p.nx))
+	w.Header().Set("X-Stz-Dtype", p.dtype)
+}
+
+// deferredResponse delays the success headers until the codec writer emits
+// its first archive byte (at Close), so ingest errors can still produce a
+// clean 4xx.
+type deferredResponse struct {
+	w       http.ResponseWriter
+	p       compressParams
+	started bool
+}
+
+func (d *deferredResponse) Write(b []byte) (int, error) {
+	if !d.started {
+		d.started = true
+		setArchiveHeaders(d.w, d.p)
+	}
+	n, err := d.w.Write(b)
+	if err != nil {
+		err = fmt.Errorf("%w: %v", errBodyWrite, err)
+	}
+	return n, err
+}
+
+func (s *server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	if !s.acquire(r) {
+		httpError(w, http.StatusServiceUnavailable, "compression pool saturated; retry")
+		return
+	}
+	defer s.release()
+	body := http.MaxBytesReader(w, r.Body, s.opts.maxBody)
+	st, err := codec.OpenStream(body)
+	if err != nil {
+		httpError(w, requestErrorStatus(err), "%v", err)
+		return
+	}
+	hdr := st.Header()
+	elem := int64(8)
+	if hdr.DType == 4 {
+		elem = 4
+	}
+	rawBytes := int64(hdr.Nz) * int64(hdr.Ny) * int64(hdr.Nx) * elem
+	if rawBytes > s.opts.maxBody {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"decompressed grid of %d bytes exceeds the per-request limit of %d", rawBytes, s.opts.maxBody)
+		return
+	}
+	if hdr.DType == 4 {
+		err = decompressRequest[float32](w, st, hdr, s.opts)
+	} else {
+		err = decompressRequest[float64](w, st, hdr, s.opts)
+	}
+	if err != nil {
+		if errors.Is(err, errBodyWrite) {
+			log.Printf("decompress: client write failed: %v", err)
+			return
+		}
+		httpError(w, requestErrorStatus(err), "%v", err)
+	}
+}
+
+// decompressRequest streams decoded planes to the client. The first slab
+// window is decoded before the status line goes out so malformed payloads
+// still get a 4xx; later failures can only abort the stream.
+func decompressRequest[T grid.Float](w http.ResponseWriter, st *codec.Stream, hdr codec.Header, o options) error {
+	sr, err := codec.NewStreamReader[T](st)
+	if err != nil {
+		return err
+	}
+	sr.Workers = o.workers
+	sr.Window = o.window
+	n := hdr.Nz * hdr.Ny * hdr.Nx
+	buf := make([]T, min(n, 64*1024))
+	k, err := sr.Read(buf)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	dtype := "f64"
+	if hdr.DType == 4 {
+		dtype = "f32"
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Stz-Codec", hdr.Codec)
+	w.Header().Set("X-Stz-Dims", fmt.Sprintf("%dx%dx%d", hdr.Nz, hdr.Ny, hdr.Nx))
+	w.Header().Set("X-Stz-Dtype", dtype)
+	w.Header().Set("Content-Length", strconv.FormatInt(int64(n)*int64(rawio.ElemSize[T]()), 10))
+	vw := rawio.NewWriter[T](w, 0)
+	for {
+		if k > 0 {
+			if werr := vw.Write(buf[:k]); werr != nil {
+				return fmt.Errorf("%w: %v", errBodyWrite, werr)
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		k, err = sr.Read(buf)
+		if err != nil && err != io.EOF {
+			// Mid-stream decode failure: the status is already committed,
+			// so the best we can do is truncate the response.
+			return fmt.Errorf("%w: decode failed mid-stream: %v", errBodyWrite, err)
+		}
+	}
+}

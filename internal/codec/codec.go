@@ -162,3 +162,20 @@ func dtypeOf[T grid.Float]() byte {
 	}
 	return 8
 }
+
+// maxGridElems bounds the element count accepted from untrusted dims.
+const maxGridElems = int64(1) << 33
+
+// CheckDims validates grid dimensions from untrusted input and returns
+// the element count. Each dimension must be positive and the product must
+// not exceed 2³³ elements; the multiplication is performed overflow-safe,
+// so dimensions crafted to wrap the product cannot slip through.
+func CheckDims(nz, ny, nx int) (int64, error) {
+	z, y, x := int64(nz), int64(ny), int64(nx)
+	if z < 1 || y < 1 || x < 1 ||
+		z > maxGridElems || y > maxGridElems || x > maxGridElems ||
+		z > maxGridElems/y || z*y > maxGridElems/x {
+		return 0, fmt.Errorf("codec: implausible dims %d×%d×%d", nz, ny, nx)
+	}
+	return z * y * x, nil
+}

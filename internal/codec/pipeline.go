@@ -90,20 +90,22 @@ func unmarshalEncHeader(buf []byte) (Header, error) {
 	if h.Mode > ModeRel {
 		return h, fmt.Errorf("%w: bad error mode %d", ErrFormat, h.Mode)
 	}
-	if h.Nz < 0 || h.Ny < 0 || h.Nx < 0 ||
-		int64(h.Nz)*int64(h.Ny)*int64(h.Nx) > 1<<33 {
-		return h, fmt.Errorf("%w: implausible dims %d×%d×%d", ErrFormat, h.Nz, h.Ny, h.Nx)
+	if _, err := CheckDims(h.Nz, h.Ny, h.Nx); err != nil {
+		return h, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
-	if nChunks < 1 || nChunks > h.Nz+1 || len(buf) < 40+4*(nChunks+1) {
+	if nChunks < 1 || nChunks > h.Nz || len(buf) < 40+4*(nChunks+1) {
 		return h, fmt.Errorf("%w: implausible chunk count %d", ErrFormat, nChunks)
 	}
 	h.ChunkBounds = make([]int, nChunks+1)
 	for i := range h.ChunkBounds {
 		h.ChunkBounds[i] = int(binary.LittleEndian.Uint32(buf[40+4*i:]))
 	}
+	// The bounds come from untrusted input and are used to slice payload
+	// and output buffers, so they must be strictly increasing (no empty,
+	// overlapping or reversed slabs) and cover [0, Nz] exactly.
 	for i := 0; i < nChunks; i++ {
-		if h.ChunkBounds[i] > h.ChunkBounds[i+1] {
-			return h, fmt.Errorf("%w: non-monotone chunk bounds", ErrFormat)
+		if h.ChunkBounds[i] >= h.ChunkBounds[i+1] {
+			return h, fmt.Errorf("%w: chunk bounds not strictly increasing", ErrFormat)
 		}
 	}
 	if h.ChunkBounds[0] != 0 || h.ChunkBounds[nChunks] != h.Nz {

@@ -15,6 +15,9 @@ import (
 // Magic identifies a container stream.
 const Magic = uint32(0x43545a53) // "STZC" little-endian bytes
 
+// maxSections bounds the directory size accepted from untrusted input.
+const maxSections = 1 << 20
+
 var (
 	// ErrFormat reports a malformed container.
 	ErrFormat = errors.New("container: malformed stream")
@@ -79,7 +82,6 @@ func Open(buf []byte) (*Archive, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
 	}
 	count := int(binary.LittleEndian.Uint32(buf[4:]))
-	const maxSections = 1 << 20
 	if count < 0 || count > maxSections {
 		return nil, fmt.Errorf("%w: implausible section count %d", ErrFormat, count)
 	}

@@ -1,0 +1,148 @@
+// Package rawio streams raw little-endian floating-point values between
+// byte streams and []T buffers. It is the I/O substrate shared by the stz
+// CLI and the stzd service: both move grids as flat LE value streams, and
+// both need to do so incrementally (plane-sized pieces) rather than
+// materializing whole files or request bodies.
+package rawio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"stz/internal/grid"
+)
+
+// ElemSize returns the on-wire width of T in bytes (4 or 8).
+func ElemSize[T grid.Float]() int {
+	var v T
+	if _, ok := any(v).(float32); ok {
+		return 4
+	}
+	return 8
+}
+
+// PutValues encodes src into dst, which must hold ElemSize*len(src) bytes.
+func PutValues[T grid.Float](dst []byte, src []T) {
+	switch s := any(src).(type) {
+	case []float32:
+		for i, v := range s {
+			binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+		}
+	case []float64:
+		for i, v := range s {
+			binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+		}
+	}
+}
+
+// GetValues decodes len(dst) values from src, which must hold
+// ElemSize*len(dst) bytes.
+func GetValues[T grid.Float](dst []T, src []byte) {
+	switch d := any(dst).(type) {
+	case []float32:
+		for i := range d {
+			d[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+		}
+	case []float64:
+		for i := range d {
+			d[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+		}
+	}
+}
+
+// Reader decodes values off a byte stream.
+type Reader[T grid.Float] struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader wraps r. bufValues sizes the internal byte buffer (values per
+// read); 0 selects a 64Ki-value buffer.
+func NewReader[T grid.Float](r io.Reader, bufValues int) *Reader[T] {
+	if bufValues <= 0 {
+		bufValues = 64 * 1024
+	}
+	return &Reader[T]{r: r, buf: make([]byte, bufValues*ElemSize[T]())}
+}
+
+// Read fills dst with as many values as the underlying stream yields,
+// returning io.EOF at a clean end and io.ErrUnexpectedEOF when the stream
+// ends inside a value.
+func (r *Reader[T]) Read(dst []T) (int, error) {
+	elem := ElemSize[T]()
+	total := 0
+	for len(dst) > 0 {
+		want := len(dst) * elem
+		if want > len(r.buf) {
+			want = len(r.buf)
+		}
+		n, err := io.ReadFull(r.r, r.buf[:want])
+		if n%elem != 0 && (err == io.ErrUnexpectedEOF || err == io.EOF) {
+			return total, io.ErrUnexpectedEOF
+		}
+		k := n / elem
+		GetValues(dst[:k], r.buf[:k*elem])
+		dst = dst[k:]
+		total += k
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF // a whole number of values arrived before the end
+		}
+		if err != nil {
+			if err == io.EOF && total > 0 {
+				return total, nil
+			}
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadExactly fills dst completely or reports how the stream fell short.
+func (r *Reader[T]) ReadExactly(dst []T) error {
+	pos := 0
+	for pos < len(dst) {
+		n, err := r.Read(dst[pos:])
+		pos += n
+		if err == io.EOF {
+			return fmt.Errorf("rawio: short input: %d of %d values", pos, len(dst))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Writer encodes values onto a byte stream.
+type Writer[T grid.Float] struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter wraps w. bufValues sizes the internal byte buffer; 0 selects a
+// 64Ki-value buffer.
+func NewWriter[T grid.Float](w io.Writer, bufValues int) *Writer[T] {
+	if bufValues <= 0 {
+		bufValues = 64 * 1024
+	}
+	return &Writer[T]{w: w, buf: make([]byte, bufValues*ElemSize[T]())}
+}
+
+// Write encodes all of src.
+func (w *Writer[T]) Write(src []T) error {
+	elem := ElemSize[T]()
+	for len(src) > 0 {
+		k := len(w.buf) / elem
+		if k > len(src) {
+			k = len(src)
+		}
+		PutValues(w.buf[:k*elem], src[:k])
+		if _, err := w.w.Write(w.buf[:k*elem]); err != nil {
+			return err
+		}
+		src = src[k:]
+	}
+	return nil
+}

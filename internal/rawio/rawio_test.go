@@ -1,0 +1,70 @@
+package rawio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	vals := make([]float32, 1000)
+	for i := range vals {
+		vals[i] = float32(i) * 0.25
+	}
+	var buf bytes.Buffer
+	w := NewWriter[float32](&buf, 7) // tiny buffer to force chunking
+	if err := w.Write(vals); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 4*len(vals) {
+		t.Fatalf("wrote %d bytes, want %d", buf.Len(), 4*len(vals))
+	}
+	r := NewReader[float32](&buf, 13)
+	got := make([]float32, len(vals))
+	if err := r.ReadExactly(got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d: %g != %g", i, got[i], vals[i])
+		}
+	}
+	if n, err := r.Read(got[:1]); n != 0 || err != io.EOF {
+		t.Fatalf("post-EOF read: n=%d err=%v", n, err)
+	}
+}
+
+func TestRoundTripFloat64(t *testing.T) {
+	vals := []float64{1.5, -2.25, 0, 1e300, -1e-300}
+	var buf bytes.Buffer
+	if err := NewWriter[float64](&buf, 0).Write(vals); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, len(vals))
+	if err := NewReader[float64](&buf, 0).ReadExactly(got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d: %g != %g", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestShortAndRaggedInput(t *testing.T) {
+	// 10 bytes = 2.5 float32 values: the ragged tail must error.
+	r := NewReader[float32](bytes.NewReader(make([]byte, 10)), 0)
+	dst := make([]float32, 4)
+	if err := r.ReadExactly(dst); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+	// 8 bytes = 2 whole values, asking for 4: clean short input.
+	r2 := NewReader[float32](bytes.NewReader(make([]byte, 8)), 0)
+	if err := r2.ReadExactly(dst); err == nil {
+		t.Fatal("short input accepted")
+	}
+	n, err := NewReader[float32](bytes.NewReader(make([]byte, 8)), 0).Read(dst)
+	if n != 2 || err != nil {
+		t.Fatalf("partial read: n=%d err=%v, want 2 values", n, err)
+	}
+}
