@@ -6,18 +6,25 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 )
 
 // Entry is one benchmark series point in the github-action-benchmark
-// go-tool extracted format.
+// go-tool extracted format. The primary (ns/op) entry of a benchmark run
+// with -benchmem additionally carries the memory metrics, so memory
+// baselines travel in the same JSON file the timing gate already caches.
 type Entry struct {
 	Name  string  `json:"name"`
 	Value float64 `json:"value"`
 	Unit  string  `json:"unit"`
 	Extra string  `json:"extra,omitempty"`
+	// MemBytesPerOp / AllocsPerOp mirror the B/op and allocs/op columns of
+	// the same benchmark line; nil when the run lacked -benchmem.
+	MemBytesPerOp *float64 `json:"mem_bytes_per_op,omitempty"`
+	AllocsPerOp   *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // parseBench extracts entries from `go test -bench` text output. Each
@@ -45,6 +52,7 @@ func parseBench(r io.Reader) ([]Entry, error) {
 			continue
 		}
 		extra := fmt.Sprintf("%d times", iters)
+		primary := -1 // index in out of this line's ns/op entry
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -56,6 +64,20 @@ func parseBench(r io.Reader) ([]Entry, error) {
 				entryName = name + " - " + unit
 			}
 			out = append(out, Entry{Name: entryName, Value: v, Unit: unit, Extra: extra})
+			switch unit {
+			case "ns/op":
+				primary = len(out) - 1
+			case "B/op":
+				if primary >= 0 {
+					b := v
+					out[primary].MemBytesPerOp = &b
+				}
+			case "allocs/op":
+				if primary >= 0 {
+					a := v
+					out[primary].AllocsPerOp = &a
+				}
+			}
 		}
 	}
 	return mergeMin(out), sc.Err()
@@ -80,6 +102,8 @@ func mergeMin(entries []Entry) []Entry {
 		if e.Value < out[i].Value {
 			out[i].Value = e.Value
 		}
+		out[i].MemBytesPerOp = minPtr(out[i].MemBytesPerOp, e.MemBytesPerOp)
+		out[i].AllocsPerOp = minPtr(out[i].AllocsPerOp, e.AllocsPerOp)
 	}
 	for name, i := range idx {
 		if n := reps[name]; n > 1 {
@@ -89,18 +113,34 @@ func mergeMin(entries []Entry) []Entry {
 	return out
 }
 
-// Regression is one benchmark that slowed down beyond the threshold.
+// minPtr returns the smaller of two optional metrics (nil = absent).
+func minPtr(a, b *float64) *float64 {
+	if a == nil {
+		return b
+	}
+	if b == nil || *a <= *b {
+		return a
+	}
+	return b
+}
+
+// Regression is one benchmark metric that worsened beyond its threshold.
 type Regression struct {
 	Name     string
+	Unit     string // "ns/op" or "allocs/op"
 	Old, New float64
 	Ratio    float64
 }
 
-// compareEntries gates new against old: any ns/op entry whose value grew
-// beyond threshold× the baseline (and is above minNs, a noise floor for
-// ultra-short benchmarks) is a regression. It returns the regressions plus
-// human-readable notes about entries present in only one file.
-func compareEntries(old, new []Entry, threshold, minNs float64) ([]Regression, []string) {
+// compareEntries gates new against old on two axes: any ns/op entry whose
+// value grew beyond threshold× the baseline (and is above minNs, a noise
+// floor for ultra-short benchmarks) is a regression, and any entry whose
+// allocs/op grew beyond allocThreshold× the baseline (and is above
+// minAllocs — pool-warm-up jitter on nearly allocation-free benchmarks
+// must not trip the gate) is a memory regression. It returns the
+// regressions plus human-readable notes about entries present in only one
+// file.
+func compareEntries(old, new []Entry, threshold, minNs, allocThreshold, minAllocs float64) ([]Regression, []string) {
 	baseline := make(map[string]Entry, len(old))
 	for _, e := range old {
 		if e.Unit == "ns/op" {
@@ -120,11 +160,26 @@ func compareEntries(old, new []Entry, threshold, minNs float64) ([]Regression, [
 			notes = append(notes, fmt.Sprintf("new benchmark (no baseline): %s", e.Name))
 			continue
 		}
-		if e.Value <= minNs || b.Value <= 0 {
-			continue
+		if e.Value > minNs && b.Value > 0 {
+			if ratio := e.Value / b.Value; ratio > threshold {
+				regs = append(regs, Regression{Name: e.Name, Unit: "ns/op", Old: b.Value, New: e.Value, Ratio: ratio})
+			}
 		}
-		if ratio := e.Value / b.Value; ratio > threshold {
-			regs = append(regs, Regression{Name: e.Name, Old: b.Value, New: e.Value, Ratio: ratio})
+		if allocThreshold > 0 && e.AllocsPerOp != nil && b.AllocsPerOp != nil &&
+			*e.AllocsPerOp > minAllocs {
+			// A zero-alloc baseline is the steady state the pools exist to
+			// hold; any later climb above the noise floor is a regression
+			// even though no finite ratio exists.
+			ratio := math.Inf(1)
+			if *b.AllocsPerOp > 0 {
+				ratio = *e.AllocsPerOp / *b.AllocsPerOp
+			}
+			if ratio > allocThreshold {
+				regs = append(regs, Regression{
+					Name: e.Name, Unit: "allocs/op",
+					Old: *b.AllocsPerOp, New: *e.AllocsPerOp, Ratio: ratio,
+				})
+			}
 		}
 	}
 	for name := range baseline {
@@ -163,6 +218,10 @@ func cmdCompare(args []string) error {
 	newPath := fs.String("new", "", "current JSON (from convert)")
 	threshold := fs.Float64("threshold", 1.30, "failure ratio: new/old ns/op above this fails")
 	minNs := fs.Float64("min-ns", 0, "ignore benchmarks at or below this many ns/op (noise floor)")
+	allocThreshold := fs.Float64("alloc-threshold", 1.30,
+		"failure ratio: new/old allocs/op above this fails (0 disables the memory gate)")
+	minAllocs := fs.Float64("min-allocs", 10,
+		"ignore allocs/op gating at or below this many allocations (noise floor)")
 	fs.Parse(args)
 	if *oldPath == "" || *newPath == "" {
 		return fmt.Errorf("compare: -old and -new required")
@@ -187,18 +246,18 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	regs, notes := compareEntries(oldE, newE, *threshold, *minNs)
+	regs, notes := compareEntries(oldE, newE, *threshold, *minNs, *allocThreshold, *minAllocs)
 	for _, n := range notes {
 		fmt.Println("note:", n)
 	}
 	if len(regs) == 0 {
-		fmt.Printf("ok: no ns/op regressions beyond %.2fx across %d benchmarks\n",
+		fmt.Printf("ok: no ns/op or allocs/op regressions beyond %.2fx across %d benchmarks\n",
 			*threshold, len(newE))
 		return nil
 	}
 	for _, r := range regs {
-		fmt.Printf("REGRESSION %s: %.0f -> %.0f ns/op (%.2fx > %.2fx)\n",
-			r.Name, r.Old, r.New, r.Ratio, *threshold)
+		fmt.Printf("REGRESSION %s: %.0f -> %.0f %s (%.2fx)\n",
+			r.Name, r.Old, r.New, r.Unit, r.Ratio)
 	}
-	return fmt.Errorf("%d benchmark(s) regressed beyond %.2fx", len(regs), *threshold)
+	return fmt.Errorf("%d benchmark metric(s) regressed", len(regs))
 }

@@ -32,6 +32,15 @@ func TestParseBench(t *testing.T) {
 	if !ok || e.Value != 52034811 || e.Unit != "ns/op" || e.Extra != "1 times" {
 		t.Fatalf("sz3 ns/op entry wrong: %+v (ok=%v)", e, ok)
 	}
+	if e.MemBytesPerOp == nil || *e.MemBytesPerOp != 1204 {
+		t.Fatalf("MemBytesPerOp not captured on primary entry: %+v", e)
+	}
+	if e.AllocsPerOp == nil || *e.AllocsPerOp != 25 {
+		t.Fatalf("AllocsPerOp not captured on primary entry: %+v", e)
+	}
+	if z := byName["BenchmarkCodecRegistry/zfp-8"]; z.MemBytesPerOp != nil || z.AllocsPerOp != nil {
+		t.Fatalf("mem fields invented for a run without -benchmem: %+v", z)
+	}
 	if e := byName["BenchmarkCodecRegistry/sz3-8 - B/op"]; e.Value != 1204 || e.Unit != "B/op" {
 		t.Fatalf("B/op entry wrong: %+v", e)
 	}
@@ -77,7 +86,7 @@ func TestCompareEntries(t *testing.T) {
 		{Name: "BenchmarkNew", Value: 999, Unit: "ns/op"},    // no baseline: note only
 		{Name: "BenchmarkA - B/op", Value: 99, Unit: "B/op"}, // never gated
 	}
-	regs, notes := compareEntries(old, cur, 1.30, 0)
+	regs, notes := compareEntries(old, cur, 1.30, 0, 1.30, 10)
 	if len(regs) != 1 || regs[0].Name != "BenchmarkA" {
 		t.Fatalf("regressions = %+v, want exactly BenchmarkA", regs)
 	}
@@ -88,9 +97,57 @@ func TestCompareEntries(t *testing.T) {
 		t.Fatalf("notes = %v, want new+disappeared", notes)
 	}
 	// A noise floor suppresses the tiny regression.
-	regs2, _ := compareEntries(old, cur, 1.30, 500)
+	regs2, _ := compareEntries(old, cur, 1.30, 500, 1.30, 10)
 	if len(regs2) != 0 {
 		t.Fatalf("min-ns floor ignored: %+v", regs2)
+	}
+}
+
+func fp(v float64) *float64 { return &v }
+
+func TestCompareAllocRegression(t *testing.T) {
+	old := []Entry{
+		{Name: "BenchmarkA", Value: 100, Unit: "ns/op", AllocsPerOp: fp(100), MemBytesPerOp: fp(4096)},
+		{Name: "BenchmarkTiny", Value: 100, Unit: "ns/op", AllocsPerOp: fp(2)},
+		{Name: "BenchmarkNoMem", Value: 100, Unit: "ns/op"},
+	}
+	cur := []Entry{
+		// Timing fine, allocations doubled: memory regression.
+		{Name: "BenchmarkA", Value: 105, Unit: "ns/op", AllocsPerOp: fp(200), MemBytesPerOp: fp(8192)},
+		// 2 -> 8 allocs is under the min-allocs floor: ignored.
+		{Name: "BenchmarkTiny", Value: 100, Unit: "ns/op", AllocsPerOp: fp(8)},
+		// No -benchmem data on either side: never gated.
+		{Name: "BenchmarkNoMem", Value: 100, Unit: "ns/op"},
+	}
+	regs, _ := compareEntries(old, cur, 1.30, 0, 1.30, 10)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkA" || regs[0].Unit != "allocs/op" {
+		t.Fatalf("regs = %+v, want one allocs/op regression for BenchmarkA", regs)
+	}
+	if regs[0].Old != 100 || regs[0].New != 200 {
+		t.Fatalf("alloc values %+v", regs[0])
+	}
+	// alloc-threshold 0 disables the memory gate entirely.
+	if regs, _ := compareEntries(old, cur, 1.30, 0, 0, 10); len(regs) != 0 {
+		t.Fatalf("disabled alloc gate still fired: %+v", regs)
+	}
+}
+
+func TestMergeMinMemFields(t *testing.T) {
+	repeated := `BenchmarkY-8	10	300 ns/op	2048 B/op	30 allocs/op
+BenchmarkY-8	10	280 ns/op	1024 B/op	20 allocs/op
+`
+	entries, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Entry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	e := byName["BenchmarkY-8"]
+	if e.Value != 280 || e.AllocsPerOp == nil || *e.AllocsPerOp != 20 ||
+		e.MemBytesPerOp == nil || *e.MemBytesPerOp != 1024 {
+		t.Fatalf("merged mem fields wrong: %+v", e)
 	}
 }
 
@@ -129,5 +186,21 @@ func TestConvertCompareEndToEnd(t *testing.T) {
 	}
 	if err := cmdConvert([]string{"-in", txt, "-out", newJSON}); err == nil {
 		t.Fatal("empty bench output accepted")
+	}
+}
+
+func TestCompareZeroAllocBaselineRegression(t *testing.T) {
+	// A benchmark that reached 0 allocs/op and later climbs back above the
+	// noise floor must fail the gate even though no finite ratio exists.
+	old := []Entry{{Name: "BenchmarkZero", Value: 100, Unit: "ns/op", AllocsPerOp: fp(0)}}
+	cur := []Entry{{Name: "BenchmarkZero", Value: 100, Unit: "ns/op", AllocsPerOp: fp(5000)}}
+	regs, _ := compareEntries(old, cur, 1.30, 0, 1.30, 10)
+	if len(regs) != 1 || regs[0].Unit != "allocs/op" || regs[0].Old != 0 || regs[0].New != 5000 {
+		t.Fatalf("zero-baseline alloc regression missed: %+v", regs)
+	}
+	// Staying at (or returning to) zero passes.
+	regs, _ = compareEntries(old, []Entry{{Name: "BenchmarkZero", Value: 100, Unit: "ns/op", AllocsPerOp: fp(0)}}, 1.30, 0, 1.30, 10)
+	if len(regs) != 0 {
+		t.Fatalf("zero-to-zero flagged: %+v", regs)
 	}
 }

@@ -11,6 +11,7 @@
 //	POST /v1/decompress
 //	     body: SZXC archive; response: raw little-endian values
 //	GET  /v1/codecs      registry capability matrix as JSON
+//	GET  /v1/stats       scratch-pool hit rates and in-flight job count
 //	GET  /healthz        liveness probe
 //
 // Every parameter may also be supplied as an X-Stz-* header (X-Stz-Codec,
@@ -22,6 +23,9 @@
 // capped by -max-inflight (saturated requests receive 503 after a short
 // admission wait) and request lifetimes by -timeout, so stalled clients
 // cannot pin job slots.
+//
+// -pprof (off by default) additionally mounts net/http/pprof under
+// /debug/pprof/ for live profiling of a loaded instance.
 package main
 
 import (
@@ -47,6 +51,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Minute,
 		"per-request read and write deadline; bounds how long a stalled client can hold a job slot (0 = none)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	h := newServer(options{
@@ -54,6 +59,7 @@ func main() {
 		maxInflight: *maxInflight,
 		workers:     *workers,
 		window:      *window,
+		enablePprof: *pprofOn,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

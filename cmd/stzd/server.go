@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"stz/internal/codec"
 	"stz/internal/grid"
 	"stz/internal/rawio"
+	"stz/internal/scratch"
 )
 
 // options configures the service.
@@ -31,6 +33,8 @@ type options struct {
 	window int
 	// admissionWait is how long a request waits for a job slot before 503.
 	admissionWait time.Duration
+	// enablePprof mounts net/http/pprof under /debug/pprof/.
+	enablePprof bool
 }
 
 func (o options) withDefaults() options {
@@ -63,8 +67,16 @@ func newServer(o options) *server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/codecs", s.handleCodecs)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/compress", s.handleCompress)
 	s.mux.HandleFunc("POST /v1/decompress", s.handleDecompress)
+	if o.enablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -110,6 +122,34 @@ func param(r *http.Request, name, header string) string {
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{"status": "ok", "inflight": len(s.sem)})
+}
+
+// handleStats reports the scratch-arena counters (the memory-reuse health
+// of the hot paths) plus the in-flight job count.
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	type arenaJSON struct {
+		Hits     uint64  `json:"hits"`
+		Misses   uint64  `json:"misses"`
+		Releases uint64  `json:"releases"`
+		Discards uint64  `json:"discards"`
+		HitRate  float64 `json:"hit_rate"`
+	}
+	pools := map[string]arenaJSON{}
+	for name, st := range scratch.All() {
+		pools[name] = arenaJSON{
+			Hits: st.Hits, Misses: st.Misses,
+			Releases: st.Releases, Discards: st.Discards,
+			HitRate: st.HitRate(),
+		}
+	}
+	g := scratch.GlobalStats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"inflight":      len(s.sem),
+		"max_inflight":  s.opts.maxInflight,
+		"pool_hit_rate": g.HitRate(),
+		"pools":         pools,
+	})
 }
 
 func (s *server) handleCodecs(w http.ResponseWriter, _ *http.Request) {
@@ -271,7 +311,11 @@ func compressRequest[T grid.Float](w http.ResponseWriter, body io.Reader, p comp
 	n := p.nz * p.ny * p.nx
 
 	if p.rel {
-		g := grid.New[T](p.nz, p.ny, p.nx)
+		// The staging grid only lives for this request; ReadExactly
+		// overwrites every element of the lease before any read.
+		gbuf := scratch.LeaseFloat[T](n)
+		defer scratch.ReleaseFloat(gbuf)
+		g := &grid.Grid[T]{Data: gbuf, Nz: p.nz, Ny: p.ny, Nx: p.nx}
 		if err := vr.ReadExactly(g.Data); err != nil {
 			return fmt.Errorf("reading grid: %w", err)
 		}
@@ -294,7 +338,8 @@ func compressRequest[T grid.Float](w http.ResponseWriter, body io.Reader, p comp
 		return err
 	}
 	sw.Window = window
-	buf := make([]T, min(n, 64*1024))
+	buf := scratch.LeaseFloat[T](min(n, 64*1024))
+	defer scratch.ReleaseFloat(buf)
 	remaining := n
 	for remaining > 0 {
 		k := min(remaining, len(buf))
@@ -401,7 +446,8 @@ func decompressRequest[T grid.Float](w http.ResponseWriter, st *codec.Stream, hd
 	sr.Workers = o.workers
 	sr.Window = o.window
 	n := hdr.Nz * hdr.Ny * hdr.Nx
-	buf := make([]T, min(n, 64*1024))
+	buf := scratch.LeaseFloat[T](min(n, 64*1024))
+	defer scratch.ReleaseFloat(buf)
 	k, err := sr.Read(buf)
 	if err != nil && err != io.EOF {
 		return err

@@ -302,3 +302,74 @@ func TestAdmissionControl(t *testing.T) {
 	}
 	<-s.sem
 }
+
+// TestStatsEndpoint exercises a round trip and then checks that /v1/stats
+// reports the scratch arenas (with activity) and the in-flight gauge.
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t, options{workers: 2, maxInflight: 3})
+	g := datasets.Nyx(16, 12, 10, 2)
+	resp, _ := post(t, ts.URL+"/v1/compress?codec=sz3&dims=16x12x10&dtype=f32&eb=0.05", rawBody(g))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress status %d", resp.StatusCode)
+	}
+
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", r.StatusCode)
+	}
+	var body struct {
+		Inflight    int     `json:"inflight"`
+		MaxInflight int     `json:"max_inflight"`
+		PoolHitRate float64 `json:"pool_hit_rate"`
+		Pools       map[string]struct {
+			Hits     uint64  `json:"hits"`
+			Misses   uint64  `json:"misses"`
+			Releases uint64  `json:"releases"`
+			HitRate  float64 `json:"hit_rate"`
+		} `json:"pools"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	if body.MaxInflight != 3 {
+		t.Fatalf("max_inflight = %d, want 3", body.MaxInflight)
+	}
+	if len(body.Pools) == 0 {
+		t.Fatal("no arenas reported")
+	}
+	var activity uint64
+	for _, p := range body.Pools {
+		activity += p.Hits + p.Misses
+	}
+	if activity == 0 {
+		t.Fatal("no arena activity after a compression round trip")
+	}
+}
+
+// TestPprofDisabledByDefault ensures the profiling surface stays off unless
+// explicitly enabled.
+func TestPprofDisabledByDefault(t *testing.T) {
+	ts := testServer(t, options{})
+	r, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without -pprof: status %d", r.StatusCode)
+	}
+
+	ts2 := testServer(t, options{enablePprof: true})
+	r2, err := http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof not served with enablePprof: status %d", r2.StatusCode)
+	}
+}

@@ -30,6 +30,14 @@ func NewWriter(sizeHint int) *Writer {
 	return w
 }
 
+// Reset clears the writer for reuse, keeping the buffer capacity. It lets
+// per-block encoders recycle one Writer instead of allocating per block.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.acc = 0
+	w.nbits = 0
+}
+
 // WriteBit appends a single bit (the low bit of b).
 func (w *Writer) WriteBit(b uint) {
 	w.acc |= uint64(b&1) << w.nbits
@@ -138,6 +146,15 @@ type Reader struct {
 // NewReader returns a Reader over buf. The Reader does not copy buf.
 func NewReader(buf []byte) *Reader {
 	return &Reader{buf: buf}
+}
+
+// Reset repositions the reader over buf, allowing a zero-value or used
+// Reader to be recycled without allocation.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+	r.acc = 0
+	r.navl = 0
 }
 
 func (r *Reader) fill() {

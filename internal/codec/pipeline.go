@@ -9,6 +9,7 @@ import (
 	"stz/internal/container"
 	"stz/internal/grid"
 	"stz/internal/parallel"
+	"stz/internal/scratch"
 )
 
 // EncMagic identifies the section-0 header of a unified encoded stream
@@ -317,6 +318,10 @@ func Decode[T grid.Float](data []byte, workers int) (*grid.Grid[T], error) {
 			return
 		}
 		copy(out.Data[lo*plane:hi*plane], slab.Data)
+		// The slab was only a staging buffer; recycle its backing array
+		// (backends that lease their result grids get it back on the next
+		// chunk, others just seed the pool).
+		scratch.ReleaseFloat(slab.Data)
 	})
 	for i, e := range errs {
 		if e != nil {

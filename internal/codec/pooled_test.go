@@ -1,0 +1,168 @@
+package codec
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"stz/internal/datasets"
+	"stz/internal/grid"
+	"stz/internal/scratch"
+)
+
+// pooledRefArchives computes, with pooling disabled, the reference archive
+// and decoded values for every registry codec — the exact bytes the
+// pre-pool code path produced.
+func pooledRefArchives(t *testing.T, g *grid.Grid[float32], cfg Config) (map[string][]byte, map[string][]float32) {
+	t.Helper()
+	prev := scratch.SetEnabled(false)
+	defer scratch.SetEnabled(prev)
+	archives := map[string][]byte{}
+	decoded := map[string][]float32{}
+	for _, name := range Names() {
+		enc, err := Encode(name, g, cfg)
+		if err != nil {
+			t.Fatalf("%s: reference encode: %v", name, err)
+		}
+		dec, err := Decode[float32](enc, cfg.Workers)
+		if err != nil {
+			t.Fatalf("%s: reference decode: %v", name, err)
+		}
+		archives[name] = enc
+		decoded[name] = dec.Data
+	}
+	return archives, decoded
+}
+
+func sameBits(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPooledMatchesUnpooledConcurrent runs concurrent encode/decode round
+// trips across every registry codec with the scratch arenas active and
+// asserts the archives and reconstructions are byte-identical to the
+// unpooled path. Run under -race in CI, it is the safety net for the
+// lease/release discipline of the whole pipeline.
+func TestPooledMatchesUnpooledConcurrent(t *testing.T) {
+	g := datasets.Nyx(33, 31, 38, 5)
+	cfg := Config{EB: 1e-3, Workers: 4, Chunks: 3}
+	refArc, refDec := pooledRefArchives(t, g, cfg)
+
+	prev := scratch.SetEnabled(true)
+	defer scratch.SetEnabled(prev)
+
+	const goroutines = 8
+	const rounds = 6
+	names := Names()
+	errc := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				name := names[(w+r)%len(names)]
+				enc, err := Encode(name, g, cfg)
+				if err != nil {
+					errc <- fmt.Errorf("%s: encode: %v", name, err)
+					return
+				}
+				if !bytes.Equal(enc, refArc[name]) {
+					errc <- fmt.Errorf("%s: pooled archive differs from unpooled reference", name)
+					return
+				}
+				dec, err := Decode[float32](enc, cfg.Workers)
+				if err != nil {
+					errc <- fmt.Errorf("%s: decode: %v", name, err)
+					return
+				}
+				if !sameBits(dec.Data, refDec[name]) {
+					errc <- fmt.Errorf("%s: pooled reconstruction differs from unpooled reference", name)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// poisonArenas leases buffers across the size classes of every arena,
+// fills them with hostile patterns (NaN floats, all-ones integers) and
+// releases them, so subsequent leases in the encode path receive dirty
+// buffers. Any stale byte reaching an archive would break the
+// byte-identity assertion.
+func poisonArenas(maxElems int) {
+	for n := 64; n <= maxElems; n *= 4 {
+		f32 := scratch.F32.Lease(n)
+		for i := range f32 {
+			f32[i] = float32(math.NaN())
+		}
+		scratch.F32.Release(f32)
+		f64 := scratch.F64.Lease(n)
+		for i := range f64 {
+			f64[i] = math.NaN()
+		}
+		scratch.F64.Release(f64)
+		u16 := scratch.U16.Lease(n)
+		for i := range u16 {
+			u16[i] = 0xFFFF
+		}
+		scratch.U16.Release(u16)
+		u64 := scratch.U64.Lease(n)
+		for i := range u64 {
+			u64[i] = ^uint64(0)
+		}
+		scratch.U64.Release(u64)
+		bs := scratch.Bytes.Lease(n)
+		for i := range bs {
+			bs[i] = 0xAB
+		}
+		scratch.Bytes.Release(bs)
+	}
+}
+
+// TestPoisonedLeaseNeverLeaks fills the pools with poisoned buffers before
+// each round trip: if any hot path reads leased memory before writing it,
+// the poison shows up as an archive or value difference.
+func TestPoisonedLeaseNeverLeaks(t *testing.T) {
+	g := datasets.Nyx(33, 31, 38, 5)
+	cfg := Config{EB: 1e-3, Workers: 4, Chunks: 3}
+	refArc, refDec := pooledRefArchives(t, g, cfg)
+
+	prev := scratch.SetEnabled(true)
+	defer scratch.SetEnabled(prev)
+	for round := 0; round < 3; round++ {
+		for _, name := range Names() {
+			poisonArenas(4 * g.Len())
+			enc, err := Encode(name, g, cfg)
+			if err != nil {
+				t.Fatalf("%s: encode: %v", name, err)
+			}
+			if !bytes.Equal(enc, refArc[name]) {
+				t.Fatalf("%s: poisoned lease leaked into the archive (round %d)", name, round)
+			}
+			poisonArenas(4 * g.Len())
+			dec, err := Decode[float32](enc, cfg.Workers)
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			if !sameBits(dec.Data, refDec[name]) {
+				t.Fatalf("%s: poisoned lease leaked into the reconstruction (round %d)", name, round)
+			}
+		}
+	}
+}

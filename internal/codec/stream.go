@@ -7,6 +7,7 @@ import (
 	"stz/internal/container"
 	"stz/internal/grid"
 	"stz/internal/parallel"
+	"stz/internal/scratch"
 )
 
 // maxStreamHeaderLen bounds the section-0 allocation accepted from an
@@ -131,6 +132,10 @@ func (sw *Writer[T]) Write(vals []T) error {
 		if sw.window < 1 {
 			sw.window = 1
 		}
+		// Pre-size the accumulators once: blobs holds every compressed
+		// section until Close, batch at most one window of slabs.
+		sw.blobs = make([][]byte, 0, sw.hdr.Chunks())
+		sw.batch = make([][]T, 0, sw.window)
 	}
 	nChunks := sw.hdr.Chunks()
 	for len(vals) > 0 {
@@ -141,7 +146,9 @@ func (sw *Writer[T]) Write(vals []T) error {
 		}
 		if sw.slab == nil {
 			depth := sw.hdr.ChunkBounds[sw.chunk+1] - sw.hdr.ChunkBounds[sw.chunk]
-			sw.slab = make([]T, depth*sw.plane)
+			// Slabs are scratch leases: filled completely before compression
+			// and released as soon as their compressed section exists.
+			sw.slab = scratch.LeaseFloat[T](depth * sw.plane)
 			sw.slabLen = 0
 		}
 		n := copy(sw.slab[sw.slabLen:], vals)
@@ -197,6 +204,11 @@ func (sw *Writer[T]) flush() error {
 		}
 		blobs[i], errs[i] = Compress(sw.c, slab, cfgc)
 	})
+	for i := range sw.batch {
+		scratch.ReleaseFloat(sw.batch[i])
+		sw.batch[i] = nil
+	}
+	sw.batch = sw.batch[:0]
 	for i, e := range errs {
 		if e != nil {
 			sw.err = fmt.Errorf("codec: chunk %d: %w", first+i, e)
@@ -204,7 +216,6 @@ func (sw *Writer[T]) flush() error {
 		}
 	}
 	sw.blobs = append(sw.blobs, blobs...)
-	sw.batch = sw.batch[:0]
 	return nil
 }
 
@@ -216,6 +227,12 @@ func (sw *Writer[T]) Close() error {
 		return sw.err
 	}
 	sw.closed = true
+	if sw.slab != nil {
+		// A partially filled slab can only mean a short stream; hand the
+		// lease back before reporting it.
+		scratch.ReleaseFloat(sw.slab)
+		sw.slab = nil
+	}
 	if sw.err != nil {
 		return sw.err
 	}
@@ -265,11 +282,13 @@ func OpenStream(r io.Reader) (*Stream, error) {
 	if hlen < 44 || hlen > maxStreamHeaderLen {
 		return nil, fmt.Errorf("%w: implausible header section length %d", ErrFormat, hlen)
 	}
-	hbuf := make([]byte, hlen)
+	hbuf := scratch.Bytes.Lease(int(hlen))
 	if _, err := io.ReadFull(r, hbuf); err != nil {
+		scratch.Bytes.Release(hbuf)
 		return nil, fmt.Errorf("%w: truncated header section: %w", ErrFormat, err)
 	}
 	hdr, err := unmarshalEncHeader(hbuf)
+	scratch.Bytes.Release(hbuf)
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +318,8 @@ type Reader[T grid.Float] struct {
 	c     Codec
 	chunk int // next chunk index to decode
 	ready []*grid.Grid[T]
-	cur   int // served offset into ready[0].Data
+	head  int // index of the slab currently being served
+	cur   int // served offset into ready[head].Data
 	err   error
 }
 
@@ -342,7 +362,7 @@ func (sr *Reader[T]) Read(dst []T) (int, error) {
 	}
 	total := 0
 	for len(dst) > 0 {
-		if len(sr.ready) == 0 {
+		if sr.head == len(sr.ready) {
 			if sr.chunk >= sr.s.hdr.Chunks() {
 				if total > 0 {
 					return total, nil
@@ -357,14 +377,17 @@ func (sr *Reader[T]) Read(dst []T) (int, error) {
 				return 0, err
 			}
 		}
-		head := sr.ready[0]
+		head := sr.ready[sr.head]
 		n := copy(dst, head.Data[sr.cur:])
 		sr.cur += n
 		dst = dst[n:]
 		total += n
 		if sr.cur == len(head.Data) {
-			sr.ready[0] = nil
-			sr.ready = sr.ready[1:]
+			// The slab is fully served; recycle its backing array so the
+			// next decode batch leases it instead of allocating.
+			scratch.ReleaseFloat(head.Data)
+			sr.ready[sr.head] = nil
+			sr.head++
 			sr.cur = 0
 		}
 	}
@@ -389,6 +412,8 @@ func (sr *Reader[T]) fill() error {
 	if hdr.DType == 4 {
 		elem = 4
 	}
+	// Compressed section buffers are scratch leases, released as soon as
+	// their slab is decoded (no backend retains its input).
 	secs := make([][]byte, batchN)
 	for i := 0; i < batchN; i++ {
 		ci := sr.chunk + i
@@ -398,8 +423,11 @@ func (sr *Reader[T]) fill() error {
 		if l < 0 || l > maxSectionFactor*raw+sectionSlack {
 			return fmt.Errorf("%w: implausible section length %d for chunk %d", ErrFormat, l, ci)
 		}
-		secs[i] = make([]byte, l)
+		secs[i] = scratch.Bytes.Lease(int(l))
 		if _, err := io.ReadFull(sr.s.r, secs[i]); err != nil {
+			for _, sec := range secs {
+				scratch.Bytes.Release(sec)
+			}
 			return fmt.Errorf("%w: truncated chunk %d: %w", ErrFormat, ci, err)
 		}
 	}
@@ -409,6 +437,8 @@ func (sr *Reader[T]) fill() error {
 	first := sr.chunk
 	parallel.For(batchN, sr.Workers, func(i int) {
 		slab, err := Decompress[T](sr.c, secs[i], inner)
+		scratch.Bytes.Release(secs[i])
+		secs[i] = nil
 		if err != nil {
 			errs[i] = err
 			return
@@ -424,6 +454,11 @@ func (sr *Reader[T]) fill() error {
 		if e != nil {
 			return fmt.Errorf("codec: chunk %d: %w", first+i, e)
 		}
+	}
+	// Reuse the ready ring's capacity once every served slab is consumed.
+	if sr.head == len(sr.ready) {
+		sr.ready = sr.ready[:0]
+		sr.head = 0
 	}
 	sr.ready = append(sr.ready, slabs...)
 	sr.chunk += batchN

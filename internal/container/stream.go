@@ -6,6 +6,8 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+
+	"stz/internal/scratch"
 )
 
 // WriteTo streams the serialized container to w, producing exactly the
@@ -13,7 +15,8 @@ import (
 // io.WriterTo for use by streaming encoders whose sections are already
 // buffered individually.
 func (b *Builder) WriteTo(w io.Writer) (int64, error) {
-	dir := make([]byte, 8+8*len(b.sections)+4)
+	dir := scratch.Bytes.Lease(8 + 8*len(b.sections) + 4)
+	defer scratch.Bytes.Release(dir)
 	binary.LittleEndian.PutUint32(dir, Magic)
 	binary.LittleEndian.PutUint32(dir[4:], uint32(len(b.sections)))
 	for i, s := range b.sections {
@@ -59,7 +62,9 @@ func ReadDirFrom(r io.Reader) (*Dir, error) {
 	if count < 0 || count > maxSections {
 		return nil, fmt.Errorf("%w: implausible section count %d", ErrFormat, count)
 	}
-	dir := make([]byte, 8+8*count)
+	// The directory buffer only lives until the lengths are parsed out.
+	dir := scratch.Bytes.Lease(8 + 8*count)
+	defer scratch.Bytes.Release(dir)
 	copy(dir, head[:])
 	if _, err := io.ReadFull(r, dir[8:]); err != nil {
 		return nil, fmt.Errorf("%w: truncated directory: %w", ErrFormat, err)

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -12,6 +11,7 @@ import (
 	"stz/internal/huffman"
 	"stz/internal/parallel"
 	"stz/internal/quant"
+	"stz/internal/scratch"
 	"stz/internal/sz3"
 )
 
@@ -110,39 +110,37 @@ func dtypeOf[T grid.Float]() byte {
 	return 8
 }
 
-func putValue[T grid.Float](buf *bytes.Buffer, v T) {
+// appendValue appends the little-endian storage form of v to buf.
+func appendValue[T grid.Float](buf []byte, v T) []byte {
 	switch x := any(v).(type) {
 	case float32:
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], math.Float32bits(x))
-		buf.Write(b[:])
+		return binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
 	case float64:
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
-		buf.Write(b[:])
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
 	}
+	return buf
 }
 
-func getValues[T grid.Float](data []byte, n int) ([]T, error) {
+// readValues fills dst with len(dst) little-endian values from data.
+func readValues[T grid.Float](dst []T, data []byte) error {
 	var v T
 	eb := 8
 	if _, ok := any(v).(float32); ok {
 		eb = 4
 	}
-	if len(data) < n*eb {
-		return nil, fmt.Errorf("core: outlier data truncated")
+	if len(data) < len(dst)*eb {
+		return fmt.Errorf("core: outlier data truncated")
 	}
-	out := make([]T, n)
 	if eb == 4 {
-		for i := 0; i < n; i++ {
-			out[i] = T(math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:])))
+		for i := range dst {
+			dst[i] = T(math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:])))
 		}
 	} else {
-		for i := 0; i < n; i++ {
-			out[i] = T(math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:])))
+		for i := range dst {
+			dst[i] = T(math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:])))
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Compress encodes g as an STZ stream under cfg.
@@ -161,12 +159,30 @@ func Compress[T grid.Float](g *grid.Grid[T], cfg Config) ([]byte, error) {
 		workers = 1
 	}
 
+	// Internal grids (the coarse chain and the per-level reconstructions)
+	// are backed by scratch leases released when compression finishes; they
+	// are fully overwritten before any read, so dirty leases are safe.
+	var leased [][]T
+	defer func() {
+		for _, b := range leased {
+			scratch.ReleaseFloat(b)
+		}
+	}()
+	leaseGrid := func(nz, ny, nx int) *grid.Grid[T] {
+		buf := scratch.LeaseFloat[T](nz * ny * nx)
+		leased = append(leased, buf)
+		return &grid.Grid[T]{Data: buf, Nz: nz, Ny: ny, Nx: nx}
+	}
+
 	// Coarse chain: chain[0] = g, chain[t] = parity class 0 of chain[t-1].
 	levels := cfg.Levels
 	chain := make([]*grid.Grid[T], levels)
 	chain[0] = g
 	for t := 1; t < levels; t++ {
-		chain[t] = chain[t-1].ExtractStride(grid.Offset3{}, 2)
+		p := chain[t-1]
+		sub := leaseGrid(grid.SubDim(p.Nz, 0, 2), grid.SubDim(p.Ny, 0, 2), grid.SubDim(p.Nx, 0, 2))
+		p.ExtractStrideInto(sub, grid.Offset3{}, 2)
+		chain[t] = sub
 	}
 
 	var b container.Builder
@@ -205,7 +221,7 @@ func Compress[T grid.Float](g *grid.Grid[T], cfg Config) ([]byte, error) {
 		q := quant.Quantizer{EB: eb, Radius: cfg.radius()}
 		var fineRecon *grid.Grid[T]
 		if t > 1 {
-			fineRecon = grid.New[T](fine.Nz, fine.Ny, fine.Nx)
+			fineRecon = leaseGrid(fine.Nz, fine.Ny, fine.Nx)
 			fineRecon.InsertStride(coarseRecon, grid.Offset3{}, 2)
 		}
 
@@ -233,7 +249,10 @@ func Compress[T grid.Float](g *grid.Grid[T], cfg Config) ([]byte, error) {
 
 // compressClass encodes one parity class of the fine grid, writing the
 // per-point reconstructions into fineRecon (each class touches a disjoint
-// point set, so classes may run concurrently).
+// point set, so classes may run concurrently). The quantizing path runs the
+// fused predict+quantize kernel: one traversal of the class emitting
+// quantization codes (and reconstructions) directly from the prediction
+// rows, with all work buffers leased from the scratch arenas.
 func compressClass[T grid.Float](fine, fineRecon, coarse *grid.Grid[T],
 	off grid.Offset3, q quant.Quantizer, cfg Config, needRecon bool) ([]byte, error) {
 
@@ -246,7 +265,9 @@ func compressClass[T grid.Float](fine, fineRecon, coarse *grid.Grid[T],
 		// Ablation path: residual sub-block through the full SZ3 pipeline.
 		// The residual bound is tightened by 0.1% so that the float rounding
 		// of the final pred+diff recombination stays inside the user bound.
-		diff := grid.New[T](bz, by, bx)
+		diffBuf := scratch.LeaseFloat[T](n)
+		defer scratch.ReleaseFloat(diffBuf)
+		diff := &grid.Grid[T]{Data: diffBuf, Nz: bz, Ny: by, Nx: bx}
 		forEachClassPred(coarse, off, fine.Nz, fine.Ny, fine.Nx, sb, kind, func(ci, k, j, i, fi int, pred T) {
 			diff.Data[ci] = fine.Data[fi] - pred
 		})
@@ -266,40 +287,57 @@ func compressClass[T grid.Float](fine, fineRecon, coarse *grid.Grid[T],
 		return blob, nil
 	}
 
-	codes := make([]uint16, n)
-	outliers := &bytes.Buffer{}
+	codes := scratch.U16.Lease(n)
+	defer scratch.U16.Release(codes)
+	elem := 8
+	if dtypeOf[T]() == 4 {
+		elem = 4
+	}
+	// Sized for ~12% escapes so outlier-heavy bounds rarely outgrow the
+	// lease (append growth past the lease is correct, just unpooled).
+	outliers := scratch.Bytes.Lease(64 + n*elem/8)[:0]
+	defer func() { scratch.Bytes.Release(outliers) }()
 	var nOutliers uint32
 	fq := q.Fast()
+	preds := scratch.LeaseFloat[T](bx)
+	fdata := fine.Data
 	if needRecon {
-		forEachClassPred(coarse, off, fine.Nz, fine.Ny, fine.Nx, sb, kind, func(ci, k, j, i, fi int, pred T) {
-			code, rec, ok := quant.QuantizeFastT(fq, fine.Data[fi], float64(pred))
-			if !ok {
-				putValue(outliers, fine.Data[fi])
-				nOutliers++
-				codes[ci] = 0
-				fineRecon.Data[fi] = fine.Data[fi]
-				return
-			}
-			codes[ci] = code
-			fineRecon.Data[fi] = rec
-		})
+		rdata := fineRecon.Data
+		classPredRows(coarse, off, fine.Nz, fine.Ny, fine.Nx, sb, kind, preds,
+			func(k, j, ciRow, fineRow int, preds []T) {
+				fi := fineRow + off.X
+				for t, pred := range preds {
+					v := fdata[fi+2*t]
+					code, rec, ok := quant.QuantizeFastT(fq, v, float64(pred))
+					if !ok {
+						outliers = appendValue(outliers, v)
+						nOutliers++
+						codes[ciRow+t] = 0
+						rdata[fi+2*t] = v
+						continue
+					}
+					codes[ciRow+t] = code
+					rdata[fi+2*t] = rec
+				}
+			})
 	} else {
-		forEachClassPred(coarse, off, fine.Nz, fine.Ny, fine.Nx, sb, kind, func(ci, k, j, i, fi int, pred T) {
-			code, _, ok := quant.QuantizeFastT(fq, fine.Data[fi], float64(pred))
-			if !ok {
-				putValue(outliers, fine.Data[fi])
-				nOutliers++
-				codes[ci] = 0
-				return
-			}
-			codes[ci] = code
-		})
+		classPredRows(coarse, off, fine.Nz, fine.Ny, fine.Nx, sb, kind, preds,
+			func(k, j, ciRow, fineRow int, preds []T) {
+				fi := fineRow + off.X
+				for t, pred := range preds {
+					v := fdata[fi+2*t]
+					code, _, ok := quant.QuantizeFastT(fq, v, float64(pred))
+					if !ok {
+						outliers = appendValue(outliers, v)
+						nOutliers++
+						codes[ciRow+t] = 0
+						continue
+					}
+					codes[ciRow+t] = code
+				}
+			})
 	}
-	sec := &bytes.Buffer{}
-	var cnt [4]byte
-	binary.LittleEndian.PutUint32(cnt[:], nOutliers)
-	sec.Write(cnt[:])
-	sec.Write(outliers.Bytes())
+	scratch.ReleaseFloat(preds)
 
 	if cfg.CodeChunk > 0 {
 		// Random-access Huffman: independent chunks, each with its own code
@@ -309,11 +347,10 @@ func compressClass[T grid.Float](fine, fineRecon, coarse *grid.Grid[T],
 		if n == 0 {
 			nChunks = 0
 		}
-		binary.LittleEndian.PutUint32(cnt[:], uint32(nChunks))
-		sec.Write(cnt[:])
 		blobs := make([][]byte, nChunks)
 		bases := make([]uint32, nChunks)
 		var zeros uint32
+		blobBytes := 0
 		for c := 0; c < nChunks; c++ {
 			lo, hi := c*cs, (c+1)*cs
 			if hi > n {
@@ -326,22 +363,28 @@ func compressClass[T grid.Float](fine, fineRecon, coarse *grid.Grid[T],
 				}
 			}
 			blobs[c] = huffman.Encode(codes[lo:hi], q.Alphabet())
+			blobBytes += len(blobs[c])
+		}
+		sec := make([]byte, 0, 8+len(outliers)+8*nChunks+blobBytes)
+		sec = binary.LittleEndian.AppendUint32(sec, nOutliers)
+		sec = append(sec, outliers...)
+		sec = binary.LittleEndian.AppendUint32(sec, uint32(nChunks))
+		for c := 0; c < nChunks; c++ {
+			sec = binary.LittleEndian.AppendUint32(sec, uint32(len(blobs[c])))
+			sec = binary.LittleEndian.AppendUint32(sec, bases[c])
 		}
 		for c := 0; c < nChunks; c++ {
-			binary.LittleEndian.PutUint32(cnt[:], uint32(len(blobs[c])))
-			sec.Write(cnt[:])
-			binary.LittleEndian.PutUint32(cnt[:], bases[c])
-			sec.Write(cnt[:])
+			sec = append(sec, blobs[c]...)
 		}
-		for c := 0; c < nChunks; c++ {
-			sec.Write(blobs[c])
-		}
-		return sec.Bytes(), nil
+		return sec, nil
 	}
 
 	hblob := huffman.Encode(codes, q.Alphabet())
-	sec.Write(hblob)
-	return sec.Bytes(), nil
+	sec := make([]byte, 0, 4+len(outliers)+len(hblob))
+	sec = binary.LittleEndian.AppendUint32(sec, nOutliers)
+	sec = append(sec, outliers...)
+	sec = append(sec, hblob...)
+	return sec, nil
 }
 
 // compressPartitionOnly is the Fig. 5 "Partition" ablation: the 8 stride-2
@@ -360,7 +403,21 @@ func compressPartitionOnly[T grid.Float](g *grid.Grid[T], cfg Config) ([]byte, e
 		Radius: cfg.radius(), Fz: g.Nz, Fy: g.Ny, Fx: g.Nx,
 	}
 	b.Add(hdr.marshal())
-	blocks := grid.PartitionStride2(g)
+	// The parity sub-blocks are transient inputs to the base codec, so they
+	// are backed by scratch leases (fully overwritten by the extraction).
+	var blocks [8]*grid.Grid[T]
+	for i, off := range grid.Stride2Offsets {
+		bz := grid.SubDim(g.Nz, off.Z, 2)
+		by := grid.SubDim(g.Ny, off.Y, 2)
+		bx := grid.SubDim(g.Nx, off.X, 2)
+		blocks[i] = &grid.Grid[T]{Data: scratch.LeaseFloat[T](bz * by * bx), Nz: bz, Ny: by, Nx: bx}
+		g.ExtractStrideInto(blocks[i], off, 2)
+	}
+	defer func() {
+		for _, blk := range blocks {
+			scratch.ReleaseFloat(blk.Data)
+		}
+	}()
 	blobs := make([][]byte, len(blocks))
 	errs := make([]error, len(blocks))
 	opts := codec.Config{EB: cfg.EB, Radius: cfg.radius()}

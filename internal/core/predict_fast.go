@@ -2,16 +2,25 @@ package core
 
 import (
 	"stz/internal/grid"
+	"stz/internal/scratch"
 )
 
-// forEachClassPred iterates the class points of off inside sb (class
-// coordinates) in row-major order, supplying each point's prediction from
-// the coarse grid. Interior points are computed with unrolled stencils;
-// points near the coarse-lattice boundary fall back to predictPoint, whose
-// kernel-selection rules the fast paths replicate exactly.
-func forEachClassPred[T grid.Float](coarse *grid.Grid[T], off grid.Offset3,
-	fz, fy, fx int, sb grid.Box, kind Predictor,
-	fn func(ci, k, j, i, fi int, pred T)) {
+// classPredRows is the row-based prediction generator behind every fused
+// kernel: it iterates the class points of off inside sb (class coordinates)
+// in row-major order, filling preds[t] with the prediction of the point at
+// class x-index i = sb.X0+t for each (k, j) row, then calls row once per
+// row. The point's class linear index is ciRow + i and its fine linear
+// index is fineRow + 2·i + off.X.
+//
+// Interior points are computed with unrolled stencils; points near the
+// coarse-lattice boundary fall back to predictPoint, whose kernel-selection
+// rules the fast paths replicate exactly. Emitting whole rows (instead of a
+// per-point callback) keeps the stencil loops tight and lets consumers fuse
+// quantization or reconstruction into a second tight loop over the row —
+// one grid traversal, no per-point indirect calls, no residual slice.
+func classPredRows[T grid.Float](coarse *grid.Grid[T], off grid.Offset3,
+	fz, fy, fx int, sb grid.Box, kind Predictor, preds []T,
+	row func(k, j, ciRow, fineRow int, preds []T)) {
 
 	if sb.Empty() {
 		return
@@ -22,18 +31,19 @@ func forEachClassPred[T grid.Float](coarse *grid.Grid[T], off grid.Offset3,
 	strideZ := cy * cx
 	strideY := cx
 	rowZf := fy * fx
+	lo, hi := sb.X0, sb.X1
+	preds = preds[:hi-lo]
 
 	if kind == PredDirect {
 		for k := sb.Z0; k < sb.Z1; k++ {
 			zf := 2*k + off.Z
 			for j := sb.Y0; j < sb.Y1; j++ {
 				yf := 2*j + off.Y
-				ciRow := (k*by + j) * bx
-				fineRow := zf*rowZf + yf*fx
 				baseRow := k*strideZ + j*strideY
-				for i := sb.X0; i < sb.X1; i++ {
-					fn(ciRow+i, k, j, i, fineRow+2*i+off.X, data[baseRow+i])
+				for i := lo; i < hi; i++ {
+					preds[i-lo] = data[baseRow+i]
 				}
+				row(k, j, (k*by+j)*bx, zf*rowZf+yf*fx, preds)
 			}
 		}
 		return
@@ -88,12 +98,12 @@ func forEachClassPred[T grid.Float](coarse *grid.Grid[T], off grid.Offset3,
 			baseRow := k*strideZ + j*strideY
 
 			if !zInt || !yInt {
-				for i := sb.X0; i < sb.X1; i++ {
-					fn(ciRow+i, k, j, i, fineRow+2*i+off.X, predictPoint(coarse, off, k, j, i, kind))
+				for i := lo; i < hi; i++ {
+					preds[i-lo] = predictPoint(coarse, off, k, j, i, kind)
 				}
+				row(k, j, ciRow, fineRow, preds)
 				continue
 			}
-			lo, hi := sb.X0, sb.X1
 			il, ih := lo, hi
 			if il < xLo {
 				il = xLo
@@ -102,25 +112,24 @@ func forEachClassPred[T grid.Float](coarse *grid.Grid[T], off grid.Offset3,
 				ih = xHi
 			}
 			for i := lo; i < il && i < hi; i++ {
-				fn(ciRow+i, k, j, i, fineRow+2*i+off.X, predictPoint(coarse, off, k, j, i, kind))
+				preds[i-lo] = predictPoint(coarse, off, k, j, i, kind)
 			}
 			if il < ih {
+				out := preds[il-lo:]
 				switch {
 				case kind == PredCubic && nOff == 1 && ds[0] == 1:
 					// Rolling window along x: one load per point.
 					v0, v1, v2 := data[baseRow+il-1], data[baseRow+il], data[baseRow+il+1]
 					for i := il; i < ih; i++ {
 						v3 := data[baseRow+i+2]
-						pred := (v1+v2)*9/16 - (v0+v3)/16
-						fn(ciRow+i, k, j, i, fineRow+2*i+off.X, pred)
+						out[i-il] = (v1+v2)*9/16 - (v0+v3)/16
 						v0, v1, v2 = v1, v2, v3
 					}
 				case kind == PredCubic && nOff == 1:
 					d := ds[0]
 					for i := il; i < ih; i++ {
 						b := baseRow + i
-						pred := (data[b]+data[b+d])*9/16 - (data[b-d]+data[b+2*d])/16
-						fn(ciRow+i, k, j, i, fineRow+2*i+off.X, pred)
+						out[i-il] = (data[b]+data[b+d])*9/16 - (data[b-d]+data[b+2*d])/16
 					}
 				case kind == PredCubic && nOff == 2 && ds[1] == 1:
 					// Columns shared between consecutive x: 4 loads per point.
@@ -134,8 +143,7 @@ func forEachClassPred[T grid.Float](coarse *grid.Grid[T], off grid.Offset3,
 					for i := il; i < ih; i++ {
 						cI1 := data[r0+i+1] + data[r1+i+1]
 						o3 := data[rm+i+2] + data[rp+i+2]
-						pred := (cI+cI1)*9/32 - (o0+o3)/32
-						fn(ciRow+i, k, j, i, fineRow+2*i+off.X, pred)
+						out[i-il] = (cI+cI1)*9/32 - (o0+o3)/32
 						cI = cI1
 						o0, o1, o2 = o1, o2, o3
 					}
@@ -144,8 +152,8 @@ func forEachClassPred[T grid.Float](coarse *grid.Grid[T], off grid.Offset3,
 					for i := il; i < ih; i++ {
 						b := baseRow + i
 						in := data[b] + data[b+d1] + data[b+d2] + data[b+d1+d2]
-						out := data[b-d1-d2] + data[b-d1+2*d2] + data[b+2*d1-d2] + data[b+2*d1+2*d2]
-						fn(ciRow+i, k, j, i, fineRow+2*i+off.X, in*9/32-out/32)
+						outSum := data[b-d1-d2] + data[b-d1+2*d2] + data[b+2*d1-d2] + data[b+2*d1+2*d2]
+						out[i-il] = in*9/32 - outSum/32
 					}
 				case kind == PredCubic && nOff == 3:
 					// The (1,1,1) class always has x as an offset axis:
@@ -167,8 +175,7 @@ func forEachClassPred[T grid.Float](coarse *grid.Grid[T], off grid.Offset3,
 					for i := il; i < ih; i++ {
 						cI1 := colI(i + 1)
 						o3 := colO(i + 2)
-						pred := (cI+cI1)*9/64 - (o0+o3)/64
-						fn(ciRow+i, k, j, i, fineRow+2*i+off.X, pred)
+						out[i-il] = (cI+cI1)*9/64 - (o0+o3)/64
 						cI = cI1
 						o0, o1, o2 = o1, o2, o3
 					}
@@ -176,14 +183,13 @@ func forEachClassPred[T grid.Float](coarse *grid.Grid[T], off grid.Offset3,
 					d := ds[0]
 					for i := il; i < ih; i++ {
 						b := baseRow + i
-						fn(ciRow+i, k, j, i, fineRow+2*i+off.X, (data[b]+data[b+d])/2)
+						out[i-il] = (data[b] + data[b+d]) / 2
 					}
 				case nOff == 2:
 					d1, d2 := ds[0], ds[1]
 					for i := il; i < ih; i++ {
 						b := baseRow + i
-						fn(ciRow+i, k, j, i, fineRow+2*i+off.X,
-							(data[b]+data[b+d1]+data[b+d2]+data[b+d1+d2])/4)
+						out[i-il] = (data[b] + data[b+d1] + data[b+d2] + data[b+d1+d2]) / 4
 					}
 				default: // nOff == 3, linear
 					d1, d2, d3 := ds[0], ds[1], ds[2]
@@ -191,16 +197,41 @@ func forEachClassPred[T grid.Float](coarse *grid.Grid[T], off grid.Offset3,
 						b := baseRow + i
 						s := data[b] + data[b+d3] + data[b+d2] + data[b+d2+d3] +
 							data[b+d1] + data[b+d1+d3] + data[b+d1+d2] + data[b+d1+d2+d3]
-						fn(ciRow+i, k, j, i, fineRow+2*i+off.X, s/8)
+						out[i-il] = s / 8
 					}
 				}
 			}
 			for i := ih; i < hi; i++ {
 				if i < il {
-					continue // already emitted in the prefix loop
+					continue // already filled by the prefix loop
 				}
-				fn(ciRow+i, k, j, i, fineRow+2*i+off.X, predictPoint(coarse, off, k, j, i, kind))
+				preds[i-lo] = predictPoint(coarse, off, k, j, i, kind)
 			}
+			row(k, j, ciRow, fineRow, preds)
 		}
 	}
+}
+
+// forEachClassPred iterates the class points of off inside sb (class
+// coordinates) in row-major order, supplying each point's prediction from
+// the coarse grid. It is the per-point adapter over classPredRows, used by
+// the paths that need point granularity (the SZ3-residual ablation and
+// random-access writes); the hot encode/decode paths consume the row form
+// directly through the fused kernels.
+func forEachClassPred[T grid.Float](coarse *grid.Grid[T], off grid.Offset3,
+	fz, fy, fx int, sb grid.Box, kind Predictor,
+	fn func(ci, k, j, i, fi int, pred T)) {
+
+	if sb.Empty() {
+		return
+	}
+	preds := scratch.LeaseFloat[T](sb.X1 - sb.X0)
+	classPredRows(coarse, off, fz, fy, fx, sb, kind, preds,
+		func(k, j, ciRow, fineRow int, preds []T) {
+			for t, p := range preds {
+				i := sb.X0 + t
+				fn(ciRow+i, k, j, i, fineRow+2*i+off.X, p)
+			}
+		})
+	scratch.ReleaseFloat(preds)
 }

@@ -7,6 +7,7 @@ import (
 	"stz/internal/grid"
 	"stz/internal/parallel"
 	"stz/internal/quant"
+	"stz/internal/scratch"
 )
 
 // axisNeed computes the coarse-lattice index interval needed along one axis
@@ -152,7 +153,12 @@ func (r *Reader[T]) DecompressBoxes(boxes []grid.Box) ([]*grid.Grid[T], *Stats, 
 		q := quant.Quantizer{EB: r.levelEB(p + 2), Radius: r.hdr.Radius}
 
 		tRec := time.Now()
-		fine := grid.New[T](fz, fy, fx)
+		// Intermediate chain grids never escape; lease their backing. Points
+		// outside the restricted region stay unwritten (dirty), which is
+		// safe because every later read is confined to restricts[t] by
+		// construction (the bit-identity tests against full decompression
+		// cover this).
+		fine := &grid.Grid[T]{Data: scratch.LeaseFloat[T](fz * fy * fx), Nz: fz, Ny: fy, Nx: fx}
 		fine.InsertStride(cur, grid.Offset3{}, 2)
 		st.LevelRecon[p] += time.Since(tRec)
 
@@ -163,6 +169,11 @@ func (r *Reader[T]) DecompressBoxes(boxes []grid.Box) ([]*grid.Grid[T], *Stats, 
 		}
 		dcs := make([]decodedClass[T], len(classes))
 		errs := make([]error, len(classes))
+		defer func() {
+			for i := range dcs {
+				dcs[i].release()
+			}
+		}()
 		tDec := time.Now()
 		parallel.For(len(classes), r.workers(), func(c int) {
 			if cboxes[c].Empty() {
@@ -199,6 +210,14 @@ func (r *Reader[T]) DecompressBoxes(boxes []grid.Box) ([]*grid.Grid[T], *Stats, 
 				return nil, st, e
 			}
 		}
+		// Release this level's decode buffers now so the next (larger)
+		// level re-leases them; the deferred release above is then a no-op.
+		for i := range dcs {
+			dcs[i].release()
+		}
+		// cur (the level-1 decode or the previous leased intermediate) has
+		// served its last read; recycle it.
+		scratch.ReleaseFloat(cur.Data)
 		cur = fine
 	}
 
@@ -226,6 +245,11 @@ func (r *Reader[T]) DecompressBoxes(boxes []grid.Box) ([]*grid.Grid[T], *Stats, 
 	}
 	dcs := make([]decodedClass[T], len(classes))
 	errs := make([]error, len(classes))
+	defer func() {
+		for i := range dcs {
+			dcs[i].release()
+		}
+	}()
 	tDec := time.Now()
 	parallel.For(len(classes), r.workers(), func(c int) {
 		if !needClass[c] {
@@ -309,6 +333,7 @@ func (r *Reader[T]) DecompressBoxes(boxes []grid.Box) ([]*grid.Grid[T], *Stats, 
 		}
 	}
 	st.LevelRecon[p] += time.Since(tRec)
+	scratch.ReleaseFloat(cur.Data)
 	return outs, st, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"stz/internal/huffman"
 	"stz/internal/parallel"
 	"stz/internal/quant"
+	"stz/internal/scratch"
 	"stz/internal/sz3"
 )
 
@@ -139,7 +140,9 @@ func (r *Reader[T]) levelEB(lv int) float64 {
 	return eb
 }
 
-// decodedClass is one predicted class's decoded payload.
+// decodedClass is one predicted class's decoded payload. codes and
+// outliers are scratch-arena leases owned by the class; callers release
+// them (via release) once reconstruction no longer reads them.
 type decodedClass[T grid.Float] struct {
 	codes    []uint16 // ResidQuant path
 	outliers []T
@@ -149,6 +152,14 @@ type decodedClass[T grid.Float] struct {
 	bases         []uint32 // per-chunk outlier base
 	decodedChunks int
 	totalChunks   int
+}
+
+// release returns the leased decode buffers to the scratch arenas. Safe on
+// the zero value and after a partial decode.
+func (dc *decodedClass[T]) release() {
+	scratch.U16.Release(dc.codes)
+	scratch.ReleaseFloat(dc.outliers)
+	dc.codes, dc.outliers = nil, nil
 }
 
 // decodeClass entropy-decodes the class stream of predicted level p,
@@ -178,16 +189,25 @@ func (r *Reader[T]) decodeClass(p, c int, q quant.Quantizer, n, ciLo, ciHi int) 
 	if 4+nOut*elem > len(sec) {
 		return decodedClass[T]{}, fmt.Errorf("core: class %d outliers truncated", c)
 	}
-	outliers, err := getValues[T](sec[4:], nOut)
-	if err != nil {
+	outliers := scratch.LeaseFloat[T](nOut)
+	if err := readValues(outliers, sec[4:]); err != nil {
+		scratch.ReleaseFloat(outliers)
 		return decodedClass[T]{}, err
 	}
 	rest := sec[4+nOut*elem:]
 
 	if r.hdr.CodeChunk <= 0 {
-		codes, err := huffman.Decode(rest, q.Alphabet())
+		codesBuf := scratch.U16.Lease(n)
+		codes, err := huffman.DecodeInto(codesBuf[:0], rest, q.Alphabet())
 		if err != nil {
+			scratch.U16.Release(codesBuf)
+			scratch.ReleaseFloat(outliers)
 			return decodedClass[T]{}, fmt.Errorf("core: class %d codes: %w", c, err)
+		}
+		if cap(codes) != cap(codesBuf) {
+			// DecodeInto outgrew the lease (corrupt count); hand the lease
+			// back and keep the allocated slice.
+			scratch.U16.Release(codesBuf)
 		}
 		return decodedClass[T]{codes: codes, outliers: outliers}, nil
 	}
@@ -195,7 +215,14 @@ func (r *Reader[T]) decodeClass(p, c int, q quant.Quantizer, n, ciLo, ciHi int) 
 	// Chunked codes: decode only the chunks intersecting [ciLo, ciHi).
 	cs := r.hdr.CodeChunk
 	if len(rest) < 4 {
+		scratch.ReleaseFloat(outliers)
 		return decodedClass[T]{}, fmt.Errorf("core: class %d chunk directory truncated", c)
+	}
+	// fail releases the partially assembled leases on any decode error.
+	dc := decodedClass[T]{outliers: outliers, chunkSize: cs}
+	fail := func(format string, args ...any) (decodedClass[T], error) {
+		dc.release()
+		return decodedClass[T]{}, fmt.Errorf(format, args...)
 	}
 	nChunks := int(binary.LittleEndian.Uint32(rest))
 	wantChunks := (n + cs - 1) / cs
@@ -203,11 +230,11 @@ func (r *Reader[T]) decodeClass(p, c int, q quant.Quantizer, n, ciLo, ciHi int) 
 		wantChunks = 0
 	}
 	if nChunks != wantChunks {
-		return decodedClass[T]{}, fmt.Errorf("core: class %d chunk count %d, want %d", c, nChunks, wantChunks)
+		return fail("core: class %d chunk count %d, want %d", c, nChunks, wantChunks)
 	}
 	dir := rest[4:]
 	if len(dir) < 8*nChunks {
-		return decodedClass[T]{}, fmt.Errorf("core: class %d chunk directory truncated", c)
+		return fail("core: class %d chunk directory truncated", c)
 	}
 	lens := make([]int, nChunks)
 	bases := make([]uint32, nChunks)
@@ -219,15 +246,23 @@ func (r *Reader[T]) decodeClass(p, c int, q quant.Quantizer, n, ciLo, ciHi int) 
 	offs := make([]int, nChunks+1)
 	for i, l := range lens {
 		if l < 0 {
-			return decodedClass[T]{}, fmt.Errorf("core: class %d bad chunk length", c)
+			return fail("core: class %d bad chunk length", c)
 		}
 		offs[i+1] = offs[i] + l
 	}
 	if offs[nChunks] > len(payload) {
-		return decodedClass[T]{}, fmt.Errorf("core: class %d chunk payload truncated", c)
+		return fail("core: class %d chunk payload truncated", c)
 	}
-	codes := make([]uint16, n)
-	dc := decodedClass[T]{codes: codes, outliers: outliers, chunkSize: cs, bases: bases, totalChunks: nChunks}
+	// Skipped (out-of-range) chunks keep zero codes, so the lease must be
+	// zeroed — reconstruction never reads them, but zero keeps the buffer
+	// contents defined exactly as the previous make([]uint16, n) did.
+	dc.codes = scratch.U16.LeaseZeroed(n)
+	dc.bases, dc.totalChunks = bases, nChunks
+	// cs comes from the untrusted header; a chunk never holds more than n
+	// codes, so cap the staging lease to keep a crafted CodeChunk from
+	// forcing a huge allocation.
+	chunkBuf := scratch.U16.Lease(min(cs, n))
+	defer scratch.U16.Release(chunkBuf)
 	for i := 0; i < nChunks; i++ {
 		lo, hi := i*cs, (i+1)*cs
 		if hi > n {
@@ -236,14 +271,14 @@ func (r *Reader[T]) decodeClass(p, c int, q quant.Quantizer, n, ciLo, ciHi int) 
 		if hi <= ciLo || lo >= ciHi {
 			continue
 		}
-		part, err := huffman.Decode(payload[offs[i]:offs[i+1]], q.Alphabet())
+		part, err := huffman.DecodeInto(chunkBuf[:0], payload[offs[i]:offs[i+1]], q.Alphabet())
 		if err != nil {
-			return decodedClass[T]{}, fmt.Errorf("core: class %d chunk %d: %w", c, i, err)
+			return fail("core: class %d chunk %d: %w", c, i, err)
 		}
 		if len(part) != hi-lo {
-			return decodedClass[T]{}, fmt.Errorf("core: class %d chunk %d size mismatch", c, i)
+			return fail("core: class %d chunk %d size mismatch", c, i)
 		}
-		copy(codes[lo:hi], part)
+		copy(dc.codes[lo:hi], part)
 		dc.decodedChunks++
 	}
 	return dc, nil
@@ -309,9 +344,19 @@ func (r *Reader[T]) reconstructClass(coarse *grid.Grid[T], off grid.Offset3,
 		}
 		diff := dc.diff.Data
 		if dst != nil {
-			forEachClassPred(coarse, off, fz, fy, fx, sb, kind, func(ci, k, j, i, fi int, pred T) {
-				dst[fi] = pred + diff[ci]
-			})
+			if sb.Empty() {
+				return nil
+			}
+			preds := scratch.LeaseFloat[T](sb.X1 - sb.X0)
+			classPredRows(coarse, off, fz, fy, fx, sb, kind,
+				preds, func(k, j, ciRow, fineRow int, preds []T) {
+					ci0 := ciRow + sb.X0
+					fi0 := fineRow + 2*sb.X0 + off.X
+					for t, pred := range preds {
+						dst[fi0+2*t] = pred + diff[ci0+t]
+					}
+				})
+			scratch.ReleaseFloat(preds)
 			return nil
 		}
 		forEachClassPred(coarse, off, fz, fy, fx, sb, kind, func(ci, k, j, i, fi int, pred T) {
@@ -329,22 +374,35 @@ func (r *Reader[T]) reconstructClass(coarse *grid.Grid[T], off grid.Offset3,
 	radius := q.Radius
 	codes := dc.codes
 	if dst != nil {
-		forEachClassPred(coarse, off, fz, fy, fx, sb, kind, func(ci, k, j, i, fi int, pred T) {
-			code := codes[ci]
-			if code == 0 {
+		// Fused predict+dequantize: one traversal over the prediction rows,
+		// writing reconstructions straight into the output grid.
+		if sb.Empty() {
+			return nil
+		}
+		outs := dc.outliers
+		preds := scratch.LeaseFloat[T](sb.X1 - sb.X0)
+		classPredRows(coarse, off, fz, fy, fx, sb, kind,
+			preds, func(k, j, ciRow, fineRow int, preds []T) {
 				if ferr != nil {
 					return
 				}
-				oi := oc.take(ci)
-				if oi >= len(dc.outliers) {
-					ferr = fmt.Errorf("core: outlier stream exhausted")
-					return
+				ci0 := ciRow + sb.X0
+				fi0 := fineRow + 2*sb.X0 + off.X
+				for t, pred := range preds {
+					code := codes[ci0+t]
+					if code == 0 {
+						oi := oc.take(ci0 + t)
+						if oi >= len(outs) {
+							ferr = fmt.Errorf("core: outlier stream exhausted")
+							return
+						}
+						dst[fi0+2*t] = outs[oi]
+						continue
+					}
+					dst[fi0+2*t] = T(float64(pred) + eb2*float64(int32(code)-radius))
 				}
-				dst[fi] = dc.outliers[oi]
-				return
-			}
-			dst[fi] = T(float64(pred) + eb2*float64(int32(code)-radius))
-		})
+			})
+		scratch.ReleaseFloat(preds)
 		return ferr
 	}
 	forEachClassPred(coarse, off, fz, fy, fx, sb, kind, func(ci, k, j, i, fi int, pred T) {
@@ -384,20 +442,35 @@ func (r *Reader[T]) decodeLevel1() (*grid.Grid[T], error) {
 }
 
 // reconstructLevel reconstructs the full fine grid of predicted level p
-// from the reconstructed coarse grid, updating stats.
-func (r *Reader[T]) reconstructLevel(p int, coarse *grid.Grid[T], fdims [3]int, st *Stats) (*grid.Grid[T], error) {
+// from the reconstructed coarse grid, updating stats. When final is false
+// the result is an internal intermediate (the next level's coarse input)
+// and is backed by a scratch lease that the caller releases once consumed;
+// the final level's grid escapes to the caller and is heap-allocated.
+func (r *Reader[T]) reconstructLevel(p int, coarse *grid.Grid[T], fdims [3]int, final bool, st *Stats) (*grid.Grid[T], error) {
 	fz, fy, fx := fdims[0], fdims[1], fdims[2]
 	lv := p + 2
 	q := quant.Quantizer{EB: r.levelEB(lv), Radius: r.hdr.Radius}
 
 	tRec := time.Now()
-	fine := grid.New[T](fz, fy, fx)
+	var fine *grid.Grid[T]
+	if final {
+		fine = grid.New[T](fz, fy, fx)
+	} else {
+		// Fully overwritten: class 0 by InsertStride, every other parity
+		// class by its reconstruction below.
+		fine = &grid.Grid[T]{Data: scratch.LeaseFloat[T](fz * fy * fx), Nz: fz, Ny: fy, Nx: fx}
+	}
 	fine.InsertStride(coarse, grid.Offset3{}, 2)
 	st.LevelRecon[p] += time.Since(tRec)
 
 	classes := predictedClasses()
 	dcs := make([]decodedClass[T], len(classes))
 	errs := make([]error, len(classes))
+	defer func() {
+		for i := range dcs {
+			dcs[i].release()
+		}
+	}()
 
 	tDec := time.Now()
 	parallel.For(len(classes), r.workers(), func(c int) {
@@ -410,6 +483,9 @@ func (r *Reader[T]) reconstructLevel(p int, coarse *grid.Grid[T], fdims [3]int, 
 	for c := range classes {
 		st.DecodedChunks[p] += dcs[c].decodedChunks
 		if errs[c] != nil {
+			if !final {
+				scratch.ReleaseFloat(fine.Data)
+			}
 			return nil, errs[c]
 		}
 	}
@@ -423,6 +499,9 @@ func (r *Reader[T]) reconstructLevel(p int, coarse *grid.Grid[T], fdims [3]int, 
 	st.LevelPredict[p] += time.Since(tPre)
 	for _, e := range errs {
 		if e != nil {
+			if !final {
+				scratch.ReleaseFloat(fine.Data)
+			}
 			return nil, e
 		}
 	}
@@ -452,7 +531,11 @@ func (r *Reader[T]) DecompressStats() (*grid.Grid[T], *Stats, error) {
 		return nil, st, err
 	}
 	for p := 0; p <= r.hdr.Levels-2; p++ {
-		cur, err = r.reconstructLevel(p, cur, dims[r.hdr.Levels-2-p], st)
+		prev := cur
+		cur, err = r.reconstructLevel(p, cur, dims[r.hdr.Levels-2-p], p == r.hdr.Levels-2, st)
+		// prev is internal (the level-1 decode or a leased intermediate);
+		// its backing can be recycled whether or not this level failed.
+		scratch.ReleaseFloat(prev.Data)
 		if err != nil {
 			return nil, st, err
 		}
@@ -484,7 +567,9 @@ func (r *Reader[T]) Progressive(lv int) (*grid.Grid[T], error) {
 	}
 	dims := r.chainDims()
 	for p := 0; p <= lv-2; p++ {
-		cur, err = r.reconstructLevel(p, cur, dims[r.hdr.Levels-2-p], st)
+		prev := cur
+		cur, err = r.reconstructLevel(p, cur, dims[r.hdr.Levels-2-p], p == lv-2, st)
+		scratch.ReleaseFloat(prev.Data)
 		if err != nil {
 			return nil, err
 		}

@@ -137,6 +137,29 @@ func (g *Grid[T]) ExtractStride(off Offset3, stride int) *Grid[T] {
 	return out
 }
 
+// ExtractStrideInto is ExtractStride writing into a caller-provided grid
+// (typically backed by a scratch-pool lease) whose dimensions must match
+// the extracted sub-grid. Every element of dst is overwritten.
+func (g *Grid[T]) ExtractStrideInto(dst *Grid[T], off Offset3, stride int) {
+	bz := SubDim(g.Nz, off.Z, stride)
+	by := SubDim(g.Ny, off.Y, stride)
+	bx := SubDim(g.Nx, off.X, stride)
+	if dst.Nz != bz || dst.Ny != by || dst.Nx != bx {
+		panic(fmt.Sprintf("grid: ExtractStrideInto dims %d×%d×%d, want %d×%d×%d",
+			dst.Nz, dst.Ny, dst.Nx, bz, by, bx))
+	}
+	di := 0
+	for z := off.Z; z < g.Nz; z += stride {
+		for y := off.Y; y < g.Ny; y += stride {
+			row := (z*g.Ny + y) * g.Nx
+			for x := off.X; x < g.Nx; x += stride {
+				dst.Data[di] = g.Data[row+x]
+				di++
+			}
+		}
+	}
+}
+
 // InsertStride writes sub back into g at the parity positions given by
 // (off, stride); the inverse of ExtractStride.
 func (g *Grid[T]) InsertStride(sub *Grid[T], off Offset3, stride int) {

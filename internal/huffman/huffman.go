@@ -5,15 +5,22 @@
 // histogrammed, a depth-limited canonical code is built, and the code-length
 // table is serialized ahead of the bitstream so each sub-block stream is
 // self-describing and independently decodable.
+//
+// The encoder and decoder are allocation-free in steady state: histograms,
+// tree nodes, the heap, the packed code table and the decoder state all
+// recycle through scratch arenas and local sync.Pools (the former
+// container/heap implementation boxed every node index into an interface,
+// which dominated whole-pipeline allocs/op).
 package huffman
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"stz/internal/bitio"
+	"stz/internal/scratch"
 )
 
 const (
@@ -31,40 +38,95 @@ type treeNode struct {
 	sym         uint16
 }
 
-type nodeHeap struct {
+// buildScratch is the reusable tree-construction state: the node arena and
+// the index heap. It avoids the per-node interface boxing of container/heap
+// and recycles the backing arrays across encodes.
+type buildScratch struct {
 	nodes []treeNode
-	idx   []int32
+	heap  []int32
+	stack []int32 // iterative depth walk, node indices
+	depth []uint8 // parallel to stack
 }
 
-func (h *nodeHeap) Len() int { return len(h.idx) }
-func (h *nodeHeap) Less(i, j int) bool {
-	a, b := &h.nodes[h.idx[i]], &h.nodes[h.idx[j]]
-	if a.count != b.count {
-		return a.count < b.count
+var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
+// nodeLess orders heap entries by (count, insertion order) — a strict total
+// order, so the pop sequence (and therefore the code table) is identical to
+// the previous container/heap implementation.
+func nodeLess(nodes []treeNode, a, b int32) bool {
+	na, nb := &nodes[a], &nodes[b]
+	if na.count != nb.count {
+		return na.count < nb.count
 	}
-	return a.order < b.order
+	return na.order < nb.order
 }
-func (h *nodeHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
-func (h *nodeHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int32)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := h.idx
-	n := len(old)
-	v := old[n-1]
-	h.idx = old[:n-1]
-	return v
+
+func (bs *buildScratch) heapInit() {
+	n := len(bs.heap)
+	for i := n/2 - 1; i >= 0; i-- {
+		bs.siftDown(i)
+	}
+}
+
+func (bs *buildScratch) heapPush(v int32) {
+	bs.heap = append(bs.heap, v)
+	i := len(bs.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !nodeLess(bs.nodes, bs.heap[i], bs.heap[parent]) {
+			break
+		}
+		bs.heap[i], bs.heap[parent] = bs.heap[parent], bs.heap[i]
+		i = parent
+	}
+}
+
+func (bs *buildScratch) heapPop() int32 {
+	h := bs.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	bs.heap = h[:last]
+	if last > 0 {
+		bs.siftDown(0)
+	}
+	return top
+}
+
+func (bs *buildScratch) siftDown(i int) {
+	h := bs.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && nodeLess(bs.nodes, h[r], h[l]) {
+			small = r
+		}
+		if !nodeLess(bs.nodes, h[small], h[i]) {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
 }
 
 // codeLengths computes Huffman code lengths for the given symbol counts
-// (count > 0 means the symbol is present). Lengths are depth-limited to
-// maxCodeLen by flattening the histogram and rebuilding when necessary.
-func codeLengths(counts []uint64) []uint8 {
-	lengths := make([]uint8, len(counts))
-	work := make([]uint64, len(counts))
+// (count > 0 means the symbol is present) into lengths. Lengths are
+// depth-limited to maxCodeLen by flattening the histogram and rebuilding
+// when necessary. work must be at least len(counts) long; its contents are
+// overwritten.
+func codeLengths(counts []uint64, lengths []uint8, work []uint64) {
+	work = work[:len(counts)]
 	copy(work, counts)
+	bs := buildPool.Get().(*buildScratch)
 	for {
-		maxLen := buildLengths(work, lengths)
+		maxLen := buildLengths(work, lengths, bs)
 		if maxLen <= maxCodeLen {
-			return lengths
+			buildPool.Put(bs)
+			return
 		}
 		for i, c := range work {
 			if c > 1 {
@@ -74,7 +136,7 @@ func codeLengths(counts []uint64) []uint8 {
 	}
 }
 
-func buildLengths(counts []uint64, lengths []uint8) uint8 {
+func buildLengths(counts []uint64, lengths []uint8, bs *buildScratch) uint8 {
 	for i := range lengths {
 		lengths[i] = 0
 	}
@@ -95,50 +157,56 @@ func buildLengths(counts []uint64, lengths []uint8) uint8 {
 		}
 		return 1
 	}
-	nodes := make([]treeNode, 0, 2*present)
-	h := &nodeHeap{}
+	nodes := bs.nodes[:0]
+	if cap(nodes) < 2*present {
+		nodes = make([]treeNode, 0, 2*present)
+	}
 	for i, c := range counts {
 		if c > 0 {
 			nodes = append(nodes, treeNode{count: c, order: int32(len(nodes)), left: -1, right: -1, sym: uint16(i)})
 		}
 	}
-	h.nodes = nodes
-	h.idx = make([]int32, len(nodes))
-	for i := range h.idx {
-		h.idx[i] = int32(i)
+	heap := bs.heap[:0]
+	if cap(heap) < present {
+		heap = make([]int32, 0, present)
 	}
-	heap.Init(h)
-	for h.Len() > 1 {
-		a := heap.Pop(h).(int32)
-		b := heap.Pop(h).(int32)
-		h.nodes = append(h.nodes, treeNode{
-			count: h.nodes[a].count + h.nodes[b].count,
-			order: int32(len(h.nodes)),
+	for i := range nodes {
+		heap = append(heap, int32(i))
+	}
+	bs.nodes, bs.heap = nodes, heap
+	bs.heapInit()
+	for len(bs.heap) > 1 {
+		a := bs.heapPop()
+		b := bs.heapPop()
+		bs.nodes = append(bs.nodes, treeNode{
+			count: bs.nodes[a].count + bs.nodes[b].count,
+			order: int32(len(bs.nodes)),
 			left:  a, right: b,
 		})
-		heap.Push(h, int32(len(h.nodes)-1))
+		bs.heapPush(int32(len(bs.nodes) - 1))
 	}
-	root := h.idx[0]
-	// Iterative depth assignment.
-	type frame struct {
-		node  int32
-		depth uint8
-	}
-	stack := []frame{{root, 0}}
+	root := bs.heap[0]
+	// Iterative depth assignment over the pooled stacks.
+	stack, depth := bs.stack[:0], bs.depth[:0]
+	stack = append(stack, root)
+	depth = append(depth, 0)
 	var maxLen uint8
 	for len(stack) > 0 {
-		f := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		n := &h.nodes[f.node]
+		ni := stack[len(stack)-1]
+		d := depth[len(depth)-1]
+		stack, depth = stack[:len(stack)-1], depth[:len(depth)-1]
+		n := &bs.nodes[ni]
 		if n.left < 0 {
-			lengths[n.sym] = f.depth
-			if f.depth > maxLen {
-				maxLen = f.depth
+			lengths[n.sym] = d
+			if d > maxLen {
+				maxLen = d
 			}
 			continue
 		}
-		stack = append(stack, frame{n.left, f.depth + 1}, frame{n.right, f.depth + 1})
+		stack = append(stack, n.left, n.right)
+		depth = append(depth, d+1, d+1)
 	}
+	bs.stack, bs.depth = stack, depth
 	return maxLen
 }
 
@@ -151,7 +219,10 @@ type Table struct {
 
 // BuildTable constructs a canonical table from symbol counts.
 func BuildTable(counts []uint64) *Table {
-	lengths := codeLengths(counts)
+	lengths := make([]uint8, len(counts))
+	work := scratch.U64.Lease(len(counts))
+	codeLengths(counts, lengths, work)
+	scratch.U64.Release(work)
 	return tableFromLengths(lengths)
 }
 
@@ -197,18 +268,18 @@ func reverseBits(v uint32, n uint8) uint32 {
 	return bits.Reverse32(v) >> (32 - n)
 }
 
-// writeTable serializes the code-length table as (numDistinct, then per
+// writeLengths serializes the code-length table as (numDistinct, then per
 // present symbol: gamma(delta-1 from previous present symbol), 5-bit length).
-func (t *Table) writeTable(w *bitio.Writer) {
+func writeLengths(w *bitio.Writer, lengths []uint8) {
 	var distinct uint64
-	for _, l := range t.lengths {
+	for _, l := range lengths {
 		if l > 0 {
 			distinct++
 		}
 	}
 	w.WriteGamma(distinct)
 	prev := -1
-	for sym, l := range t.lengths {
+	for sym, l := range lengths {
 		if l == 0 {
 			continue
 		}
@@ -218,54 +289,52 @@ func (t *Table) writeTable(w *bitio.Writer) {
 	}
 }
 
-func readTable(r *bitio.Reader, alphabet int) (*Table, error) {
+// readTable deserializes the code-length table into pooled decoder state;
+// the returned lengths slice is owned by the caller's decoder.
+func readLengths(r *bitio.Reader, lengths []uint8) error {
 	distinct, err := r.ReadGamma()
 	if err != nil {
-		return nil, err
+		return err
 	}
+	alphabet := len(lengths)
 	if distinct > uint64(alphabet) {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
-	lengths := make([]uint8, alphabet)
+	for i := range lengths {
+		lengths[i] = 0
+	}
 	sym := -1
 	for i := uint64(0); i < distinct; i++ {
 		delta, err := r.ReadGamma()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		l, err := r.ReadBits(5)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sym += int(delta) + 1
 		if sym >= alphabet || l == 0 || l > maxCodeLen {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
 		lengths[sym] = uint8(l)
 	}
-	t := tableHeaderFromLengths(lengths)
-	if err := t.validate(); err != nil {
-		return nil, err
-	}
-	return t, nil
+	return nil
 }
 
 // validate checks the Kraft sum so a corrupt table cannot cause the decoder
 // to mis-walk.
-func (t *Table) validate() error {
+func validateLengths(lengths []uint8) error {
 	var kraft uint64
 	var present int
-	for _, l := range t.lengths {
+	for _, l := range lengths {
 		if l > 0 {
 			kraft += 1 << (maxCodeLen - uint(l))
 			present++
 		}
 	}
-	if present == 0 {
-		return nil
-	}
-	if present == 1 {
-		return nil // single-symbol code uses one bit by construction
+	if present <= 1 {
+		return nil // empty or single-symbol (one bit by construction)
 	}
 	if kraft > 1<<maxCodeLen {
 		return fmt.Errorf("%w: oversubscribed code", ErrCorrupt)
@@ -273,9 +342,14 @@ func (t *Table) validate() error {
 	return nil
 }
 
-// decoder is the canonical decoding state derived from a Table.
+func (t *Table) validate() error { return validateLengths(t.lengths) }
+
+// decoder is the canonical decoding state derived from a code-length table.
+// Decoders recycle through decoderPool; all slice fields keep their backing
+// arrays across uses.
 type decoder struct {
-	t *Table
+	lengths []uint8
+	maxLen  uint8
 	// fast path: index by the next fastBits bits (transmitted-order, i.e.
 	// reversed), value packs symbol<<8 | length; length 0 = slow path.
 	fast []uint32
@@ -286,38 +360,69 @@ type decoder struct {
 	symByOrder []uint16
 }
 
-func newDecoder(t *Table) *decoder {
-	d := &decoder{t: t}
+var decoderPool = sync.Pool{
+	New: func() any { return &decoder{fast: make([]uint32, 1<<fastBits)} },
+}
+
+// leaseDecoder returns a pooled decoder with lengths sized for alphabet and
+// the derived tables reset; the caller must fill d.lengths, then call
+// d.build().
+func leaseDecoder(alphabet int) *decoder {
+	d := decoderPool.Get().(*decoder)
+	if cap(d.lengths) < alphabet {
+		d.lengths = make([]uint8, alphabet)
+	}
+	d.lengths = d.lengths[:alphabet]
+	return d
+}
+
+func releaseDecoder(d *decoder) { decoderPool.Put(d) }
+
+// build derives the canonical walk tables and the fast table from d.lengths.
+func (d *decoder) build() {
+	d.maxLen = 0
+	for _, l := range d.lengths {
+		if l > d.maxLen {
+			d.maxLen = l
+		}
+	}
+	clear(d.blCount[:])
+	clear(d.firstCode[:])
+	clear(d.firstIndex[:])
 	blCount := d.blCount[:]
-	for _, l := range t.lengths {
+	for _, l := range d.lengths {
 		if l > 0 {
 			blCount[l]++
 		}
 	}
 	var code uint32
 	var index int32
-	for l := uint8(1); l <= t.maxLen; l++ {
+	for l := uint8(1); l <= d.maxLen; l++ {
 		code = (code + uint32(blCount[l-1])) << 1
 		d.firstCode[l] = code
 		d.firstIndex[l] = index
 		index += blCount[l]
 	}
-	d.symByOrder = make([]uint16, index)
+	if cap(d.symByOrder) < int(index) {
+		d.symByOrder = make([]uint16, index)
+	}
+	d.symByOrder = d.symByOrder[:index]
 	// Symbols in canonical order: by (length, symbol).
 	var nextIdx [maxCodeLen + 1]int32
 	copy(nextIdx[:], d.firstIndex[:])
-	for sym, l := range t.lengths {
+	for sym, l := range d.lengths {
 		if l > 0 {
 			d.symByOrder[nextIdx[l]] = uint16(sym)
 			nextIdx[l]++
 		}
 	}
 	// Fast table; canonical codes are derived on the fly so decoding never
-	// needs the full per-symbol code array.
+	// needs the full per-symbol code array. Stale entries from the previous
+	// use are cleared first so they can never alias into this table.
+	clear(d.fast)
 	var nextCode [maxCodeLen + 1]uint32
 	copy(nextCode[:], d.firstCode[:])
-	d.fast = make([]uint32, 1<<fastBits)
-	for sym, l := range t.lengths {
+	for sym, l := range d.lengths {
 		if l == 0 {
 			continue
 		}
@@ -332,7 +437,6 @@ func newDecoder(t *Table) *decoder {
 			d.fast[v] = uint32(sym)<<8 | uint32(l)
 		}
 	}
-	return d
 }
 
 func (d *decoder) decodeSym(r *bitio.Reader) (uint16, error) {
@@ -347,7 +451,7 @@ func (d *decoder) decodeSym(r *bitio.Reader) (uint16, error) {
 	}
 	// Canonical bitwise walk.
 	var code uint32
-	for l := uint8(1); l <= d.t.maxLen; l++ {
+	for l := uint8(1); l <= d.maxLen; l++ {
 		b, err := r.ReadBit()
 		if err != nil {
 			return 0, err
@@ -364,32 +468,69 @@ func (d *decoder) decodeSym(r *bitio.Reader) (uint16, error) {
 // Encode compresses codes (all values must be < alphabet) into a
 // self-describing byte stream: symbol count, code-length table, payload.
 func Encode(codes []uint16, alphabet int) []byte {
-	counts := make([]uint64, alphabet)
+	counts := scratch.U64.LeaseZeroed(alphabet)
 	for _, c := range codes {
 		counts[c]++
 	}
-	t := BuildTable(counts)
+	lengths := scratch.Bytes.Lease(alphabet)
+	work := scratch.U64.Lease(alphabet)
+	codeLengths(counts, lengths, work)
+	scratch.U64.Release(work)
+	scratch.U64.Release(counts)
+
 	w := bitio.NewWriter(len(codes)/2 + 64)
 	w.WriteGamma(uint64(len(codes)))
-	t.writeTable(w)
-	// Pack transmitted-order (bit-reversed) code and length per symbol so
-	// the hot loop is one table load + one WriteBits.
-	packed := make([]uint64, len(t.lengths))
-	for sym, l := range t.lengths {
+	writeLengths(w, lengths)
+
+	// Derive canonical codes and pack transmitted-order (bit-reversed) code
+	// and length per symbol in one pass, so the hot loop is one table load
+	// + one WriteBits.
+	var maxLen uint8
+	var blCount [maxCodeLen + 1]uint32
+	for _, l := range lengths {
 		if l > 0 {
-			packed[sym] = uint64(reverseBits(t.codes[sym], l))<<8 | uint64(l)
+			blCount[l]++
+			if l > maxLen {
+				maxLen = l
+			}
 		}
 	}
+	var nextCode [maxCodeLen + 1]uint32
+	var code uint32
+	for l := uint8(1); l <= maxLen; l++ {
+		code = (code + blCount[l-1]) << 1
+		nextCode[l] = code
+	}
+	packed := scratch.U64.Lease(alphabet)
+	for sym, l := range lengths {
+		if l > 0 {
+			packed[sym] = uint64(reverseBits(nextCode[l], l))<<8 | uint64(l)
+			nextCode[l]++
+		} else {
+			packed[sym] = 0
+		}
+	}
+	scratch.Bytes.Release(lengths)
 	for _, c := range codes {
 		e := packed[c]
 		w.WriteBits(e>>8, uint(e&0xff))
 	}
+	scratch.U64.Release(packed)
 	return w.Bytes()
 }
 
 // Decode reverses Encode. alphabet must match the encoder's.
 func Decode(data []byte, alphabet int) ([]uint16, error) {
-	r := bitio.NewReader(data)
+	return DecodeInto(nil, data, alphabet)
+}
+
+// DecodeInto reverses Encode, decoding into dst when its capacity suffices
+// (dst may be nil). The returned slice aliases dst's backing array when it
+// was reused; callers that lease dst from a scratch arena own the result.
+// alphabet must match the encoder's.
+func DecodeInto(dst []uint16, data []byte, alphabet int) ([]uint16, error) {
+	var r bitio.Reader
+	r.Reset(data)
 	n, err := r.ReadGamma()
 	if err != nil {
 		return nil, err
@@ -398,17 +539,26 @@ func Decode(data []byte, alphabet int) ([]uint16, error) {
 	if n > maxReasonable {
 		return nil, ErrCorrupt
 	}
-	t, err := readTable(r, alphabet)
-	if err != nil {
+	d := leaseDecoder(alphabet)
+	defer releaseDecoder(d)
+	if err := readLengths(&r, d.lengths); err != nil {
 		return nil, err
 	}
-	out := make([]uint16, n)
+	if err := validateLengths(d.lengths); err != nil {
+		return nil, err
+	}
+	var out []uint16
+	if uint64(cap(dst)) >= n {
+		out = dst[:n]
+	} else {
+		out = make([]uint16, n)
+	}
 	if n == 0 {
 		return out, nil
 	}
-	d := newDecoder(t)
+	d.build()
 	for i := range out {
-		s, err := d.decodeSym(r)
+		s, err := d.decodeSym(&r)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultWorkers mirrors the paper's OpenMP configuration of 8 threads,
@@ -34,18 +35,14 @@ func For(n, workers int, fn func(i int)) {
 		}
 		return
 	}
-	var next int64
-	var mu sync.Mutex
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := next.Add(1) - 1
 				if i >= int64(n) {
 					return
 				}

@@ -1,0 +1,232 @@
+// Package scratch provides typed, size-classed sync.Pool arenas for the
+// hot-path work buffers of the compression pipeline: quantization codes,
+// prediction rows, Huffman histograms, section byte buffers and streaming
+// slabs. Leases hand out slices with capacity reuse (a released buffer of a
+// larger capacity serves any smaller request in its size class), and every
+// arena keeps hit/miss counters so pool effectiveness is observable (the
+// stzd /v1/stats endpoint and the steady-state benchmarks report them).
+//
+// Discipline: a leased buffer's contents are UNSPECIFIED (previous users'
+// data); callers must either overwrite every element they read or use
+// LeaseZeroed. Release only buffers whose contents are dead — never a slice
+// that escaped to a caller or is retained by a container. Releasing is
+// always optional: a dropped lease is garbage-collected normally, it just
+// costs the pool a miss later.
+package scratch
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minClassBits is the smallest pooled size class (64 elements);
+	// requests below it are rounded up so tiny leases still recycle.
+	minClassBits = 6
+	// maxClassBits caps pooled buffer capacity at 2^27 elements (1 GiB of
+	// float64) so a single huge lease cannot pin arbitrary memory in the
+	// pools; larger requests fall through to plain allocation.
+	maxClassBits = 27
+	numClasses   = maxClassBits + 1
+)
+
+// enabled gates all pooling. When false, Lease allocates and Release drops,
+// giving the exact allocation behaviour of the pre-pool code path — the
+// correctness tests compare archives produced under both settings.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns pooling on or off process-wide and returns the previous
+// setting. Intended for tests and debugging.
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports whether pooling is active.
+func Enabled() bool { return enabled.Load() }
+
+// Stats is a point-in-time snapshot of one arena's counters.
+type Stats struct {
+	// Hits counts leases served from a pooled buffer; Misses counts leases
+	// that had to allocate (empty class, oversize, or pooling disabled).
+	Hits, Misses uint64
+	// Releases counts buffers returned to the pools; Discards counts
+	// releases dropped because the buffer was undersized or oversized.
+	Releases, Discards uint64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lease.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func (s Stats) add(o Stats) Stats {
+	return Stats{
+		Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses,
+		Releases: s.Releases + o.Releases, Discards: s.Discards + o.Discards,
+	}
+}
+
+// statsProvider is the registry row of one arena.
+type statsProvider struct {
+	name string
+	fn   func() Stats
+}
+
+var (
+	registryMu sync.Mutex
+	registry   []statsProvider
+)
+
+// All returns a snapshot of every arena's stats, keyed by arena name.
+func All() map[string]Stats {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make(map[string]Stats, len(registry))
+	for _, p := range registry {
+		out[p.name] = p.fn()
+	}
+	return out
+}
+
+// GlobalStats aggregates the counters of every registered arena.
+func GlobalStats() Stats {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	var s Stats
+	for _, p := range registry {
+		s = s.add(p.fn())
+	}
+	return s
+}
+
+// box carries a slice in and out of sync.Pool without re-boxing the slice
+// header on every Put (the empty boxes themselves recycle through a second
+// pool, so steady-state lease/release does not allocate).
+type box[T any] struct{ buf []T }
+
+// Arena is a size-classed pool of []T scratch buffers. The zero value is
+// not usable; construct with NewArena.
+type Arena[T any] struct {
+	name    string
+	classes [numClasses]sync.Pool // class c holds buffers with cap in [2^c, 2^(c+1))
+	boxes   sync.Pool             // spare empty *box[T]
+
+	hits, misses, releases, discards atomic.Uint64
+}
+
+// NewArena creates an arena and registers it under name for Stats
+// reporting. Arenas are process-lived; create them as package globals.
+func NewArena[T any](name string) *Arena[T] {
+	a := &Arena[T]{name: name}
+	registryMu.Lock()
+	registry = append(registry, statsProvider{name: name, fn: a.Stats})
+	registryMu.Unlock()
+	return a
+}
+
+// Stats returns a snapshot of the arena's counters.
+func (a *Arena[T]) Stats() Stats {
+	return Stats{
+		Hits: a.hits.Load(), Misses: a.misses.Load(),
+		Releases: a.releases.Load(), Discards: a.discards.Load(),
+	}
+}
+
+// classOf returns the size class whose buffers can serve a lease of n
+// elements: the smallest c with 2^c ≥ n, clamped to minClassBits.
+func classOf(n int) int {
+	if n <= 1<<minClassBits {
+		return minClassBits
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Lease returns a slice of length n with unspecified contents. Capacity is
+// at least n (typically the size-class capacity, so the buffer can be
+// re-leased for anything up to that size after release).
+func (a *Arena[T]) Lease(n int) []T {
+	if n < 0 {
+		panic("scratch: negative lease")
+	}
+	c := classOf(n)
+	if c > maxClassBits || !enabled.Load() {
+		a.misses.Add(1)
+		return make([]T, n)
+	}
+	if it, _ := a.classes[c].Get().(*box[T]); it != nil {
+		buf := it.buf
+		it.buf = nil
+		a.boxes.Put(it)
+		a.hits.Add(1)
+		return buf[:n]
+	}
+	a.misses.Add(1)
+	return make([]T, n, 1<<c)
+}
+
+// LeaseZeroed is Lease with every element set to the zero value.
+func (a *Arena[T]) LeaseZeroed(n int) []T {
+	s := a.Lease(n)
+	clear(s)
+	return s
+}
+
+// Release returns s to the pool for reuse. The caller must not use s (or
+// any alias of it) afterwards. Undersized and oversized buffers are
+// discarded; releasing nil is a no-op.
+func (a *Arena[T]) Release(s []T) {
+	if s == nil || !enabled.Load() {
+		return
+	}
+	c := bits.Len(uint(cap(s))) - 1 // floor(log2(cap)): every buffer in class c has cap ≥ 2^c
+	if c < minClassBits || c > maxClassBits {
+		a.discards.Add(1)
+		return
+	}
+	it, _ := a.boxes.Get().(*box[T])
+	if it == nil {
+		it = new(box[T])
+	}
+	it.buf = s[:0]
+	a.classes[c].Put(it)
+	a.releases.Add(1)
+}
+
+// The default arenas shared by the compression pipeline. Layer ownership is
+// documented in docs/ARCHITECTURE.md ("Memory model & pooling").
+var (
+	F32   = NewArena[float32]("float32")
+	F64   = NewArena[float64]("float64")
+	U16   = NewArena[uint16]("uint16")
+	U64   = NewArena[uint64]("uint64")
+	Bytes = NewArena[byte]("byte")
+)
+
+// LeaseFloat leases from the F32 or F64 arena matching T. Code generic over
+// grid.Float uses these to reach the typed arenas; an exotic named float
+// type falls through to plain allocation.
+func LeaseFloat[T ~float32 | ~float64](n int) []T {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		return any(F32.Lease(n)).([]T)
+	case float64:
+		return any(F64.Lease(n)).([]T)
+	}
+	return make([]T, n)
+}
+
+// ReleaseFloat returns a LeaseFloat buffer to its arena.
+func ReleaseFloat[T ~float32 | ~float64](s []T) {
+	switch v := any(s).(type) {
+	case []float32:
+		F32.Release(v)
+	case []float64:
+		F64.Release(v)
+	}
+}

@@ -17,7 +17,6 @@
 package sperr
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -28,6 +27,7 @@ import (
 	"stz/internal/huffman"
 	"stz/internal/parallel"
 	"stz/internal/quant"
+	"stz/internal/scratch"
 )
 
 // Magic identifies a SPERR-lite stream.
@@ -163,45 +163,56 @@ func activeDims(nz, ny, nx, lv int) (int, int, int) {
 	return nz, ny, nx
 }
 
+// linePass runs fn(line, tmp, i) for i in [0, n) on up to workers
+// goroutines, handing each worker one leased (line, tmp) buffer pair of
+// length lineLen instead of allocating two slices per line — the wavelet
+// passes are the allocation hot spot of the codec. fn must overwrite line
+// fully before reading it (fwdLine/invLine do).
+func linePass(n, lineLen, workers int, fn func(line, tmp []float64, i int)) {
+	parallel.ForBlocks(n, workers, workers, func(lo, hi int) {
+		line := scratch.F64.Lease(lineLen)
+		tmp := scratch.F64.Lease(lineLen)
+		for i := lo; i < hi; i++ {
+			fn(line, tmp, i)
+		}
+		scratch.F64.Release(line)
+		scratch.F64.Release(tmp)
+	})
+}
+
 // forward3D applies nlev levels of the separable forward transform in
 // place over work (row-major nz×ny×nx).
 func forward3D(work []float64, nz, ny, nx, nlev, workers int) {
 	az, ay, ax := nz, ny, nx
 	for l := 0; l < nlev; l++ {
 		if ax > 1 {
-			parallel.For(az*ay, workers, func(zy int) {
+			linePass(az*ay, ax, workers, func(line, tmp []float64, zy int) {
 				z, y := zy/ay, zy%ay
 				row := (z*ny + y) * nx
-				line := make([]float64, ax)
-				scratch := make([]float64, ax)
 				copy(line, work[row:row+ax])
-				fwdLine(line, scratch, ax)
+				fwdLine(line, tmp, ax)
 				copy(work[row:row+ax], line)
 			})
 		}
 		if ay > 1 {
-			parallel.For(az*ax, workers, func(zx int) {
+			linePass(az*ax, ay, workers, func(line, tmp []float64, zx int) {
 				z, x := zx/ax, zx%ax
-				line := make([]float64, ay)
-				scratch := make([]float64, ay)
 				for y := 0; y < ay; y++ {
 					line[y] = work[(z*ny+y)*nx+x]
 				}
-				fwdLine(line, scratch, ay)
+				fwdLine(line, tmp, ay)
 				for y := 0; y < ay; y++ {
 					work[(z*ny+y)*nx+x] = line[y]
 				}
 			})
 		}
 		if az > 1 {
-			parallel.For(ay*ax, workers, func(yx int) {
+			linePass(ay*ax, az, workers, func(line, tmp []float64, yx int) {
 				y, x := yx/ax, yx%ax
-				line := make([]float64, az)
-				scratch := make([]float64, az)
 				for z := 0; z < az; z++ {
 					line[z] = work[(z*ny+y)*nx+x]
 				}
-				fwdLine(line, scratch, az)
+				fwdLine(line, tmp, az)
 				for z := 0; z < az; z++ {
 					work[(z*ny+y)*nx+x] = line[z]
 				}
@@ -216,41 +227,35 @@ func inverse3D(work []float64, nz, ny, nx, nlev, workers int) {
 	for l := nlev - 1; l >= 0; l-- {
 		az, ay, ax := activeDims(nz, ny, nx, l)
 		if az > 1 {
-			parallel.For(ay*ax, workers, func(yx int) {
+			linePass(ay*ax, az, workers, func(line, tmp []float64, yx int) {
 				y, x := yx/ax, yx%ax
-				line := make([]float64, az)
-				scratch := make([]float64, az)
 				for z := 0; z < az; z++ {
 					line[z] = work[(z*ny+y)*nx+x]
 				}
-				invLine(line, scratch, az)
+				invLine(line, tmp, az)
 				for z := 0; z < az; z++ {
 					work[(z*ny+y)*nx+x] = line[z]
 				}
 			})
 		}
 		if ay > 1 {
-			parallel.For(az*ax, workers, func(zx int) {
+			linePass(az*ax, ay, workers, func(line, tmp []float64, zx int) {
 				z, x := zx/ax, zx%ax
-				line := make([]float64, ay)
-				scratch := make([]float64, ay)
 				for y := 0; y < ay; y++ {
 					line[y] = work[(z*ny+y)*nx+x]
 				}
-				invLine(line, scratch, ay)
+				invLine(line, tmp, ay)
 				for y := 0; y < ay; y++ {
 					work[(z*ny+y)*nx+x] = line[y]
 				}
 			})
 		}
 		if ax > 1 {
-			parallel.For(az*ay, workers, func(zy int) {
+			linePass(az*ay, ax, workers, func(line, tmp []float64, zy int) {
 				z, y := zy/ay, zy%ay
 				row := (z*ny + y) * nx
-				line := make([]float64, ax)
-				scratch := make([]float64, ax)
 				copy(line, work[row:row+ax])
-				invLine(line, scratch, ax)
+				invLine(line, tmp, ax)
 				copy(work[row:row+ax], line)
 			})
 		}
@@ -282,8 +287,10 @@ func Compress[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
 		nlev = autoLevels(g.Nz, g.Ny, g.Nx)
 	}
 
-	// Forward transform on a float64 working copy.
-	work := make([]float64, g.Len())
+	// Forward transform on a float64 working copy. All whole-grid work
+	// arrays are scratch leases, fully overwritten before use.
+	work := scratch.F64.Lease(g.Len())
+	defer scratch.F64.Release(work)
 	for i, v := range g.Data {
 		work[i] = float64(v)
 	}
@@ -292,16 +299,17 @@ func Compress[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
 	// Quantize coefficients against zero.
 	step := o.Tolerance
 	q := quant.Quantizer{EB: step, Radius: quant.DefaultRadius}
-	codes := make([]uint16, len(work))
-	outliers := &bytes.Buffer{}
+	codes := scratch.U16.Lease(len(work))
+	defer scratch.U16.Release(codes)
+	outliers := scratch.Bytes.Lease(64 + len(work))[:0]
+	defer func() { scratch.Bytes.Release(outliers) }()
 	var nOut uint32
-	coeffRec := make([]float64, len(work))
+	coeffRec := scratch.F64.Lease(len(work))
+	defer scratch.F64.Release(coeffRec)
 	for i, cv := range work {
 		code, rec, ok := q.Quantize(cv, 0)
 		if !ok {
-			var b [8]byte
-			binary.LittleEndian.PutUint64(b[:], math.Float64bits(cv))
-			outliers.Write(b[:])
+			outliers = binary.LittleEndian.AppendUint64(outliers, math.Float64bits(cv))
 			nOut++
 			codes[i] = 0
 			coeffRec[i] = cv
@@ -341,24 +349,22 @@ func Compress[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
 	}
 	corrBlob := cw.Bytes()
 
-	out := &bytes.Buffer{}
-	var hdr [47]byte
-	binary.LittleEndian.PutUint32(hdr[0:], Magic)
-	hdr[4] = dtypeOf[T]()
-	hdr[5] = byte(nlev)
-	binary.LittleEndian.PutUint32(hdr[6:], uint32(g.Nz))
-	binary.LittleEndian.PutUint32(hdr[10:], uint32(g.Ny))
-	binary.LittleEndian.PutUint32(hdr[14:], uint32(g.Nx))
-	binary.LittleEndian.PutUint64(hdr[18:], math.Float64bits(o.Tolerance))
-	binary.LittleEndian.PutUint32(hdr[26:], uint32(nOut))
-	binary.LittleEndian.PutUint32(hdr[30:], uint32(len(hblob)))
-	binary.LittleEndian.PutUint64(hdr[34:], nCorr)
-	binary.LittleEndian.PutUint32(hdr[42:], uint32(len(corrBlob)))
-	out.Write(hdr[:])
-	out.Write(outliers.Bytes())
-	out.Write(hblob)
-	out.Write(corrBlob)
-	return out.Bytes(), nil
+	out := make([]byte, 47, 47+len(outliers)+len(hblob)+len(corrBlob))
+	binary.LittleEndian.PutUint32(out[0:], Magic)
+	out[4] = dtypeOf[T]()
+	out[5] = byte(nlev)
+	binary.LittleEndian.PutUint32(out[6:], uint32(g.Nz))
+	binary.LittleEndian.PutUint32(out[10:], uint32(g.Ny))
+	binary.LittleEndian.PutUint32(out[14:], uint32(g.Nx))
+	binary.LittleEndian.PutUint64(out[18:], math.Float64bits(o.Tolerance))
+	binary.LittleEndian.PutUint32(out[26:], uint32(nOut))
+	binary.LittleEndian.PutUint32(out[30:], uint32(len(hblob)))
+	binary.LittleEndian.PutUint64(out[34:], nCorr)
+	binary.LittleEndian.PutUint32(out[42:], uint32(len(corrBlob)))
+	out = append(out, outliers...)
+	out = append(out, hblob...)
+	out = append(out, corrBlob...)
+	return out, nil
 }
 
 // Decompress reconstructs the full grid with up to workers goroutines for
@@ -395,15 +401,18 @@ func DecompressWorkers[T grid.Float](data []byte, workers int) (*grid.Grid[T], e
 	corrBlob := data[pos+8*nOut+hlen : pos+8*nOut+hlen+clen]
 
 	q := quant.Quantizer{EB: tol, Radius: quant.DefaultRadius}
-	codes, err := huffman.Decode(hblob, q.Alphabet())
+	n := nz * ny * nx
+	codesBuf := scratch.U16.Lease(n)
+	defer scratch.U16.Release(codesBuf)
+	codes, err := huffman.DecodeInto(codesBuf[:0], hblob, q.Alphabet())
 	if err != nil {
 		return nil, fmt.Errorf("sperr: %w", err)
 	}
-	n := nz * ny * nx
 	if len(codes) != n {
 		return nil, fmt.Errorf("%w: coefficient count mismatch", ErrFormat)
 	}
-	work := make([]float64, n)
+	work := scratch.F64.Lease(n)
+	defer scratch.F64.Release(work)
 	oi := 0
 	for i, code := range codes {
 		if code == 0 {

@@ -14,7 +14,6 @@
 package sz3
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -26,6 +25,7 @@ import (
 	"stz/internal/interp"
 	"stz/internal/parallel"
 	"stz/internal/quant"
+	"stz/internal/scratch"
 )
 
 // Magic identifies a serial SZ3 stream; MagicChunked a chunked one.
@@ -68,17 +68,23 @@ func dtypeOf[T grid.Float]() byte {
 	}
 }
 
-func putValue[T grid.Float](buf *bytes.Buffer, v T) {
+// appendValue appends the little-endian storage form of v to buf.
+func appendValue[T grid.Float](buf []byte, v T) []byte {
 	switch x := any(v).(type) {
 	case float32:
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], math.Float32bits(x))
-		buf.Write(b[:])
+		return binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
 	case float64:
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
-		buf.Write(b[:])
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
 	}
+	return buf
+}
+
+// elemBytes returns the storage width of T.
+func elemBytes[T grid.Float]() int {
+	if dtypeOf[T]() == 4 {
+		return 4
+	}
+	return 8
 }
 
 func getValue[T grid.Float](data []byte) (T, int, error) {
@@ -233,22 +239,34 @@ func compressSerial[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
 	}
 	q := quant.Quantizer{EB: o.EB, Radius: o.radius()}
 	fq := q.Fast()
-	rec := grid.New[T](g.Nz, g.Ny, g.Nx)
-	codes := make([]uint16, 0, g.Len())
-	outliers := &bytes.Buffer{}
+	// The reconstruction grid is scratch: every point is written (anchors
+	// verbatim, predicted points from their own quantized residual) before
+	// it is ever read, so a dirty lease is safe.
+	recData := scratch.LeaseFloat[T](g.Len())
+	defer scratch.ReleaseFloat(recData)
+	rec := &grid.Grid[T]{Data: recData, Nz: g.Nz, Ny: g.Ny, Nx: g.Nx}
+	codes := scratch.U16.Lease(g.Len())[:0]
+	defer func() { scratch.U16.Release(codes) }()
+	// Sized for ~12% escapes so outlier-heavy bounds rarely outgrow the
+	// lease (append growth past the lease is correct, just unpooled).
+	outliers := scratch.Bytes.Lease(64 + g.Len()*elemBytes[T]()/8)[:0]
+	defer func() { scratch.Bytes.Release(outliers) }()
 	var nOutliers uint32
 
-	// Anchors are stored verbatim.
-	anchors := &bytes.Buffer{}
+	// Anchors are stored verbatim; the anchor-lattice size is exact.
+	as := anchorStride(g)
+	nAnchors := grid.SubDim(g.Nz, 0, as) * grid.SubDim(g.Ny, 0, as) * grid.SubDim(g.Nx, 0, as)
+	anchors := scratch.Bytes.Lease(nAnchors * elemBytes[T]())[:0]
+	defer func() { scratch.Bytes.Release(anchors) }()
 	forEachAnchor(g, func(idx int) {
-		putValue(anchors, g.Data[idx])
+		anchors = appendValue(anchors, g.Data[idx])
 		rec.Data[idx] = g.Data[idx]
 	})
 
 	forEachPredicted(rec, func(idx int, pred T) {
 		code, r, ok := quant.QuantizeFastT(fq, g.Data[idx], float64(pred))
 		if !ok {
-			putValue(outliers, g.Data[idx])
+			outliers = appendValue(outliers, g.Data[idx])
 			nOutliers++
 			codes = append(codes, 0)
 			rec.Data[idx] = g.Data[idx]
@@ -260,22 +278,20 @@ func compressSerial[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
 
 	hblob := huffman.Encode(codes, q.Alphabet())
 
-	out := &bytes.Buffer{}
-	var hdr [40]byte
-	binary.LittleEndian.PutUint32(hdr[0:], Magic)
-	hdr[4] = dtypeOf[T]()
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(g.Nz))
-	binary.LittleEndian.PutUint32(hdr[12:], uint32(g.Ny))
-	binary.LittleEndian.PutUint32(hdr[16:], uint32(g.Nx))
-	binary.LittleEndian.PutUint64(hdr[20:], math.Float64bits(o.EB))
-	binary.LittleEndian.PutUint32(hdr[28:], uint32(o.radius()))
-	binary.LittleEndian.PutUint32(hdr[32:], nOutliers)
-	binary.LittleEndian.PutUint32(hdr[36:], uint32(len(hblob)))
-	out.Write(hdr[:])
-	out.Write(anchors.Bytes())
-	out.Write(outliers.Bytes())
-	out.Write(hblob)
-	return out.Bytes(), nil
+	out := make([]byte, 40, 40+len(anchors)+len(outliers)+len(hblob))
+	binary.LittleEndian.PutUint32(out[0:], Magic)
+	out[4] = dtypeOf[T]()
+	binary.LittleEndian.PutUint32(out[8:], uint32(g.Nz))
+	binary.LittleEndian.PutUint32(out[12:], uint32(g.Ny))
+	binary.LittleEndian.PutUint32(out[16:], uint32(g.Nx))
+	binary.LittleEndian.PutUint64(out[20:], math.Float64bits(o.EB))
+	binary.LittleEndian.PutUint32(out[28:], uint32(o.radius()))
+	binary.LittleEndian.PutUint32(out[32:], nOutliers)
+	binary.LittleEndian.PutUint32(out[36:], uint32(len(hblob)))
+	out = append(out, anchors...)
+	out = append(out, outliers...)
+	out = append(out, hblob...)
+	return out, nil
 }
 
 // Decompress decodes a stream produced by Compress (either mode). The type
@@ -295,30 +311,64 @@ func Decompress[T grid.Float](data []byte) (*grid.Grid[T], error) {
 }
 
 func decompressSerial[T grid.Float](data []byte) (*grid.Grid[T], error) {
+	nz, ny, nx, err := parseSerialDims[T](data)
+	if err != nil {
+		return nil, err
+	}
+	// The result grid is backed by a scratch lease: callers that consume it
+	// transiently (the streaming reader, the chunk-parallel decoder) hand
+	// the buffer back; long-lived results simply never release it.
+	rec := &grid.Grid[T]{Data: scratch.LeaseFloat[T](nz * ny * nx), Nz: nz, Ny: ny, Nx: nx}
+	if err := decompressSerialInto(data, rec); err != nil {
+		scratch.ReleaseFloat(rec.Data)
+		return nil, err
+	}
+	return rec, nil
+}
+
+// parseSerialDims validates the serial-stream header and returns the dims.
+func parseSerialDims[T grid.Float](data []byte) (nz, ny, nx int, err error) {
 	if len(data) < 40 {
-		return nil, ErrFormat
+		return 0, 0, 0, ErrFormat
 	}
 	if binary.LittleEndian.Uint32(data) != Magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+		return 0, 0, 0, fmt.Errorf("%w: bad magic", ErrFormat)
 	}
 	if data[4] != dtypeOf[T]() {
-		return nil, fmt.Errorf("%w: element type mismatch", ErrFormat)
+		return 0, 0, 0, fmt.Errorf("%w: element type mismatch", ErrFormat)
 	}
-	nz := int(binary.LittleEndian.Uint32(data[8:]))
-	ny := int(binary.LittleEndian.Uint32(data[12:]))
-	nx := int(binary.LittleEndian.Uint32(data[16:]))
+	nz = int(binary.LittleEndian.Uint32(data[8:]))
+	ny = int(binary.LittleEndian.Uint32(data[12:]))
+	nx = int(binary.LittleEndian.Uint32(data[16:]))
+	if nz < 0 || ny < 0 || nx < 0 {
+		return 0, 0, 0, ErrFormat
+	}
+	const maxElems = 1 << 33
+	if int64(nz)*int64(ny)*int64(nx) > maxElems {
+		return 0, 0, 0, fmt.Errorf("%w: implausible dims", ErrFormat)
+	}
+	return nz, ny, nx, nil
+}
+
+// decompressSerialInto decodes a serial stream into rec, whose dimensions
+// must match the stream header (the chunk-parallel decoder passes
+// zero-copy slab views of the full output grid). Every element of rec is
+// overwritten on success.
+func decompressSerialInto[T grid.Float](data []byte, rec *grid.Grid[T]) error {
+	nz, ny, nx, err := parseSerialDims[T](data)
+	if err != nil {
+		return err
+	}
+	if rec.Nz != nz || rec.Ny != ny || rec.Nx != nx {
+		return fmt.Errorf("%w: dims mismatch", ErrFormat)
+	}
 	eb := math.Float64frombits(binary.LittleEndian.Uint64(data[20:]))
 	radius := int32(binary.LittleEndian.Uint32(data[28:]))
 	nOutliers := int(binary.LittleEndian.Uint32(data[32:]))
 	hlen := int(binary.LittleEndian.Uint32(data[36:]))
-	if nz < 0 || ny < 0 || nx < 0 || radius <= 0 || eb <= 0 {
-		return nil, ErrFormat
+	if radius <= 0 || eb <= 0 {
+		return ErrFormat
 	}
-	const maxElems = 1 << 33
-	if int64(nz)*int64(ny)*int64(nx) > maxElems {
-		return nil, fmt.Errorf("%w: implausible dims", ErrFormat)
-	}
-	rec := grid.New[T](nz, ny, nx)
 	q := quant.Quantizer{EB: eb, Radius: radius}
 
 	pos := 40
@@ -336,23 +386,23 @@ func decompressSerial[T grid.Float](data []byte) (*grid.Grid[T], error) {
 		pos += n
 	})
 	if ferr != nil {
-		return nil, ferr
+		return ferr
 	}
 
-	elemBytes := 8
-	if dtypeOf[T]() == 4 {
-		elemBytes = 4
-	}
-	outBytes := nOutliers * elemBytes
+	outBytes := nOutliers * elemBytes[T]()
 	if pos+outBytes+hlen > len(data) {
-		return nil, ErrFormat
+		return ErrFormat
 	}
 	outlierData := data[pos : pos+outBytes]
 	hblob := data[pos+outBytes : pos+outBytes+hlen]
 
-	codes, err := huffman.Decode(hblob, q.Alphabet())
+	// The code count equals the predicted-point count (≤ Len), so a lease
+	// of Len elements lets DecodeInto skip its output allocation.
+	codesBuf := scratch.U16.Lease(rec.Len())
+	defer scratch.U16.Release(codesBuf)
+	codes, err := huffman.DecodeInto(codesBuf[:0], hblob, q.Alphabet())
 	if err != nil {
-		return nil, fmt.Errorf("sz3: %w", err)
+		return fmt.Errorf("sz3: %w", err)
 	}
 
 	ci, oi := 0, 0
@@ -379,12 +429,12 @@ func decompressSerial[T grid.Float](data []byte) (*grid.Grid[T], error) {
 		rec.Data[idx] = quant.DequantizeT[T](q, code, float64(pred))
 	})
 	if ferr != nil {
-		return nil, ferr
+		return ferr
 	}
 	if ci != len(codes) {
-		return nil, fmt.Errorf("%w: %d unused codes", ErrFormat, len(codes)-ci)
+		return fmt.Errorf("%w: %d unused codes", ErrFormat, len(codes)-ci)
 	}
-	return rec, nil
+	return nil
 }
 
 // CompressChunked is the SZ3-OMP equivalent: the grid is split along its z
@@ -407,9 +457,16 @@ func CompressChunked[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
 	errs := make([]error, nChunks)
 	serialOpts := o
 	serialOpts.Workers = 0
+	plane := g.Ny * g.Nx
 	parallel.For(nChunks, workers, func(c int) {
 		lo, hi := bounds[c], bounds[c+1]
-		sub := g.ExtractBox(grid.Box{Z0: lo, Z1: hi, Y0: 0, Y1: g.Ny, X0: 0, X1: g.Nx})
+		// z-slabs are contiguous in the row-major layout, so each chunk is
+		// a zero-copy view — no per-chunk slab allocation.
+		sub, err := grid.FromData(g.Data[lo*plane:hi*plane], hi-lo, g.Ny, g.Nx)
+		if err != nil {
+			errs[c] = err
+			return
+		}
 		blobs[c], errs[c] = compressSerial(sub, serialOpts)
 	})
 	for _, err := range errs {
@@ -417,24 +474,24 @@ func CompressChunked[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
 			return nil, err
 		}
 	}
-	out := &bytes.Buffer{}
-	var hdr [24]byte
-	binary.LittleEndian.PutUint32(hdr[0:], MagicChunked)
-	hdr[4] = dtypeOf[T]()
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(g.Nz))
-	binary.LittleEndian.PutUint32(hdr[12:], uint32(g.Ny))
-	binary.LittleEndian.PutUint32(hdr[16:], uint32(g.Nx))
-	binary.LittleEndian.PutUint32(hdr[20:], uint32(nChunks))
-	out.Write(hdr[:])
+	total := 24 + 4*nChunks
 	for _, b := range blobs {
-		var l [4]byte
-		binary.LittleEndian.PutUint32(l[:], uint32(len(b)))
-		out.Write(l[:])
+		total += len(b)
+	}
+	out := make([]byte, 24, total)
+	binary.LittleEndian.PutUint32(out[0:], MagicChunked)
+	out[4] = dtypeOf[T]()
+	binary.LittleEndian.PutUint32(out[8:], uint32(g.Nz))
+	binary.LittleEndian.PutUint32(out[12:], uint32(g.Ny))
+	binary.LittleEndian.PutUint32(out[16:], uint32(g.Nx))
+	binary.LittleEndian.PutUint32(out[20:], uint32(nChunks))
+	for _, b := range blobs {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
 	}
 	for _, b := range blobs {
-		out.Write(b)
+		out = append(out, b...)
 	}
-	return out.Bytes(), nil
+	return out, nil
 }
 
 // DecompressChunked decodes a chunked stream, using up to workers
@@ -457,18 +514,13 @@ func DecompressChunked[T grid.Float](data []byte, workers int) (*grid.Grid[T], e
 		workers = parallel.DefaultWorkers()
 	}
 	pos := 24
-	lens := make([]int, nChunks)
-	for c := range lens {
-		if pos+4 > len(data) {
-			return nil, ErrFormat
-		}
-		lens[c] = int(binary.LittleEndian.Uint32(data[pos:]))
-		pos += 4
+	if pos+4*nChunks > len(data) {
+		return nil, ErrFormat
 	}
 	offs := make([]int, nChunks+1)
-	offs[0] = pos
-	for c, l := range lens {
-		offs[c+1] = offs[c] + l
+	offs[0] = pos + 4*nChunks
+	for c := 0; c < nChunks; c++ {
+		offs[c+1] = offs[c] + int(binary.LittleEndian.Uint32(data[pos+4*c:]))
 	}
 	if offs[nChunks] > len(data) {
 		return nil, ErrFormat
@@ -479,18 +531,17 @@ func DecompressChunked[T grid.Float](data []byte, workers int) (*grid.Grid[T], e
 		return nil, fmt.Errorf("%w: chunk bounds mismatch", ErrFormat)
 	}
 	errs := make([]error, nChunks)
+	plane := ny * nx
 	parallel.For(nChunks, workers, func(c int) {
-		sub, err := decompressSerial[T](data[offs[c]:offs[c+1]])
+		// Decode straight into the chunk's zero-copy slab view of the
+		// output grid — no per-chunk grid allocation or copy-out pass.
+		lo, hi := bounds[c], bounds[c+1]
+		sub, err := grid.FromData(out.Data[lo*plane:hi*plane], hi-lo, ny, nx)
 		if err != nil {
 			errs[c] = err
 			return
 		}
-		lo, hi := bounds[c], bounds[c+1]
-		if sub.Nz != hi-lo || sub.Ny != ny || sub.Nx != nx {
-			errs[c] = fmt.Errorf("%w: chunk dims mismatch", ErrFormat)
-			return
-		}
-		copy(out.Data[lo*ny*nx:hi*ny*nx], sub.Data)
+		errs[c] = decompressSerialInto(data[offs[c]:offs[c+1]], sub)
 	})
 	for _, err := range errs {
 		if err != nil {

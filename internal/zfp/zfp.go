@@ -14,7 +14,6 @@
 package zfp
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -24,6 +23,7 @@ import (
 	"stz/internal/bitio"
 	"stz/internal/grid"
 	"stz/internal/parallel"
+	"stz/internal/scratch"
 )
 
 // Magic identifies a mini-ZFP stream.
@@ -360,7 +360,7 @@ func maxAbsErr(a, b *[blockSize]float64) float64 {
 // compressBlock encodes one block under the tolerance, lowering the cut
 // plane until the bound holds, falling back to verbatim storage if even
 // full precision cannot satisfy it.
-func compressBlock[T grid.Float](vals *[blockSize]float64, tol float64) []byte { //nolint:gocyclo
+func appendBlock[T grid.Float](dst []byte, w *bitio.Writer, vals *[blockSize]float64, tol float64) []byte { //nolint:gocyclo
 	var maxV float64
 	allZero := true
 	for _, v := range vals {
@@ -372,17 +372,13 @@ func compressBlock[T grid.Float](vals *[blockSize]float64, tol float64) []byte {
 			allZero = false
 		}
 	}
-	out := &bytes.Buffer{}
 	if allZero {
-		var hdr [2]byte
 		z := emaxZero
-		binary.LittleEndian.PutUint16(hdr[:], uint16(z))
-		out.Write(hdr[:])
-		return out.Bytes()
+		return binary.LittleEndian.AppendUint16(dst, uint16(z))
 	}
 	_, emax := math.Frexp(maxV) // maxV < 2^emax
 	if !isFinite(maxV) || emax > 30000 {
-		return rawBlock[T](vals)
+		return appendRawBlock[T](dst, vals)
 	}
 	// Initial cut-plane estimate: integer-unit tolerance with a small
 	// margin; the verification loop below enforces the bound exactly, so
@@ -402,14 +398,11 @@ func compressBlock[T grid.Float](vals *[blockSize]float64, tol float64) []byte {
 		reconAt(&u, emax, plane, &rec)
 		err := maxAbsErr(vals, &rec)
 		if err <= tol {
-			w := bitio.NewWriter(80)
+			w.Reset()
 			encodePlanes(w, &u, plane)
-			var hdr [3]byte
-			binary.LittleEndian.PutUint16(hdr[:2], uint16(int16(emax)))
-			hdr[2] = byte(plane)
-			out.Write(hdr[:])
-			out.Write(w.Bytes())
-			return out.Bytes()
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(int16(emax)))
+			dst = append(dst, byte(plane))
+			return append(dst, w.Bytes()...)
 		}
 		// Skip planes that cannot close the gap: truncating one plane lower
 		// halves the truncation error.
@@ -420,32 +413,29 @@ func compressBlock[T grid.Float](vals *[blockSize]float64, tol float64) []byte {
 			}
 		}
 	}
-	return rawBlock[T](vals)
+	return appendRawBlock[T](dst, vals)
 }
 
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
-func rawBlock[T grid.Float](vals *[blockSize]float64) []byte {
-	out := &bytes.Buffer{}
-	var hdr [2]byte
+func appendRawBlock[T grid.Float](dst []byte, vals *[blockSize]float64) []byte {
 	rv := emaxRaw
-	binary.LittleEndian.PutUint16(hdr[:], uint16(rv))
-	out.Write(hdr[:])
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(rv))
 	var t T
 	if _, ok := any(t).(float32); ok {
 		for _, v := range vals {
-			binary.Write(out, binary.LittleEndian, math.Float32bits(float32(v)))
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(v)))
 		}
 	} else {
 		for _, v := range vals {
-			binary.Write(out, binary.LittleEndian, math.Float64bits(v))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 		}
 	}
-	return out.Bytes()
+	return dst
 }
 
 // decodeBlock decodes one block payload into vals.
-func decodeBlock[T grid.Float](data []byte, vals *[blockSize]float64) error {
+func decodeBlock[T grid.Float](br *bitio.Reader, data []byte, vals *[blockSize]float64) error {
 	if len(data) < 2 {
 		return ErrFormat
 	}
@@ -483,7 +473,8 @@ func decodeBlock[T grid.Float](data []byte, vals *[blockSize]float64) error {
 		return ErrFormat
 	}
 	var u [blockSize]uint32
-	if err := decodePlanes(bitio.NewReader(data[3:]), &u, plane); err != nil {
+	br.Reset(data[3:])
+	if err := decodePlanes(br, &u, plane); err != nil {
 		return err
 	}
 	var q [blockSize]int32
@@ -521,43 +512,64 @@ func Compress[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
 	}
 	cz, cy, cx := blockCounts(g.Nz, g.Ny, g.Nx)
 	nBlocks := cz * cy * cx
-	blobs := make([][]byte, nBlocks)
 	workers := o.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	parallel.For(nBlocks, workers, func(b int) {
-		bz := b / (cy * cx)
-		by := b / cx % cy
-		bx := b % cx
+	// Each worker range encodes its blocks back to back into one leased
+	// arena (recording per-block lengths), instead of allocating a buffer,
+	// a bit writer and a blob per 4³ block.
+	bounds := parallel.Chunks(nBlocks, workers)
+	nRanges := len(bounds) - 1
+	arenas := make([][]byte, nRanges)
+	lens := make([]int, nBlocks)
+	parallel.For(nRanges, workers, func(r int) {
+		lo, hi := bounds[r], bounds[r+1]
+		w := bitio.NewWriter(80)
+		buf := scratch.Bytes.Lease((hi - lo) * 16)[:0]
 		var vals [blockSize]float64
-		gatherBlock(g, bz, by, bx, &vals)
-		blobs[b] = compressBlock[T](&vals, o.Tolerance)
+		for b := lo; b < hi; b++ {
+			bz := b / (cy * cx)
+			by := b / cx % cy
+			bx := b % cx
+			gatherBlock(g, bz, by, bx, &vals)
+			start := len(buf)
+			buf = appendBlock[T](buf, w, &vals, o.Tolerance)
+			lens[b] = len(buf) - start
+		}
+		arenas[r] = buf
 	})
+	defer func() {
+		for _, a := range arenas {
+			scratch.Bytes.Release(a)
+		}
+	}()
 
 	// Index: gamma-coded block byte lengths.
 	iw := bitio.NewWriter(nBlocks / 2)
-	for _, blob := range blobs {
-		iw.WriteGamma(uint64(len(blob)))
+	for _, l := range lens {
+		iw.WriteGamma(uint64(l))
 	}
 	index := iw.Bytes()
 
-	out := &bytes.Buffer{}
-	var hdr [33]byte
-	binary.LittleEndian.PutUint32(hdr[0:], Magic)
-	hdr[4] = dtypeOf[T]()
-	binary.LittleEndian.PutUint32(hdr[5:], uint32(g.Nz))
-	binary.LittleEndian.PutUint32(hdr[9:], uint32(g.Ny))
-	binary.LittleEndian.PutUint32(hdr[13:], uint32(g.Nx))
-	binary.LittleEndian.PutUint64(hdr[17:], math.Float64bits(o.Tolerance))
-	binary.LittleEndian.PutUint32(hdr[25:], uint32(nBlocks))
-	binary.LittleEndian.PutUint32(hdr[29:], uint32(len(index)))
-	out.Write(hdr[:])
-	out.Write(index)
-	for _, blob := range blobs {
-		out.Write(blob)
+	payload := 0
+	for _, a := range arenas {
+		payload += len(a)
 	}
-	return out.Bytes(), nil
+	out := make([]byte, 33, 33+len(index)+payload)
+	binary.LittleEndian.PutUint32(out[0:], Magic)
+	out[4] = dtypeOf[T]()
+	binary.LittleEndian.PutUint32(out[5:], uint32(g.Nz))
+	binary.LittleEndian.PutUint32(out[9:], uint32(g.Ny))
+	binary.LittleEndian.PutUint32(out[13:], uint32(g.Nx))
+	binary.LittleEndian.PutUint64(out[17:], math.Float64bits(o.Tolerance))
+	binary.LittleEndian.PutUint32(out[25:], uint32(nBlocks))
+	binary.LittleEndian.PutUint32(out[29:], uint32(len(index)))
+	out = append(out, index...)
+	for _, a := range arenas {
+		out = append(out, a...)
+	}
+	return out, nil
 }
 
 // Stream is a parsed mini-ZFP stream supporting whole-grid and per-block
@@ -620,7 +632,8 @@ func (s *Stream[T]) DecodeBlock(bz, by, bx int) ([blockSize]float64, error) {
 		return vals, fmt.Errorf("zfp: block (%d,%d,%d) out of range", bz, by, bx)
 	}
 	b := (bz*s.cy+by)*s.cx + bx
-	err := decodeBlock[T](s.data[s.offsets[b]:s.offsets[b+1]], &vals)
+	var br bitio.Reader
+	err := decodeBlock[T](&br, s.data[s.offsets[b]:s.offsets[b+1]], &vals)
 	return vals, err
 }
 
@@ -629,8 +642,9 @@ func (s *Stream[T]) DecodeBlock(bz, by, bx int) ([blockSize]float64, error) {
 func (s *Stream[T]) Decompress() (*grid.Grid[T], error) {
 	g := grid.New[T](s.Nz, s.Ny, s.Nx)
 	var vals [blockSize]float64
+	var br bitio.Reader
 	for b := 0; b < s.cz*s.cy*s.cx; b++ {
-		if err := decodeBlock[T](s.data[s.offsets[b]:s.offsets[b+1]], &vals); err != nil {
+		if err := decodeBlock[T](&br, s.data[s.offsets[b]:s.offsets[b+1]], &vals); err != nil {
 			return nil, fmt.Errorf("zfp: block %d: %w", b, err)
 		}
 		scatterBlock(g, b/(s.cy*s.cx), b/s.cx%s.cy, b%s.cx, &vals)
