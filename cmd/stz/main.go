@@ -33,6 +33,7 @@ import (
 	"stz/internal/core"
 	"stz/internal/datasets"
 	"stz/internal/grid"
+	"stz/internal/parallel"
 	"stz/internal/quant"
 	"stz/internal/roi"
 	"stz/internal/viz"
@@ -290,11 +291,23 @@ func cmdCompress(args []string) error {
 	eb := fs.Float64("eb", 1e-3, "error bound")
 	rel := fs.Bool("rel", false, "eb is relative to the value range")
 	levels := fs.Int("levels", 3, "hierarchy levels (2, 3 or 4; stz codec only)")
-	workers := fs.Int("workers", 1, "parallel workers")
+	workers := fs.Int("workers", 0, "parallel workers (0 = auto: STZ_WORKERS if set, else 1 — archives stay byte-reproducible across machines)")
 	codecName := fs.String("codec", "stz", "compressor: stz, or a registry codec (sz3, zfp, sperr, mgard)")
 	chunks := fs.Int("chunks", 0, "z-slab chunks for registry codecs (0 = auto from -workers)")
 	base := fs.String("base", "", "base codec for the stz coarsest level (default sz3)")
 	fs.Parse(args)
+	if *workers <= 0 {
+		// The chunk plan (and the backends' internal OMP modes) derive from
+		// the worker count, so auto-detecting cores here would make the
+		// default archive bytes depend on the host. Only an explicit opt-in
+		// (-workers, or STZ_WORKERS that actually parses) trades
+		// reproducibility for speed — a malformed variable must not fall
+		// back to a host-dependent count.
+		*workers = 1
+		if v, ok := parallel.EnvWorkers(); ok {
+			*workers = v
+		}
+	}
 	if *in == "" || *out == "" || *dims == "" {
 		return fmt.Errorf("compress: -in, -out and -dims required")
 	}
@@ -456,9 +469,12 @@ func cmdDecompress(args []string) error {
 	level := fs.Int("level", 0, "progressive level (1 = coarsest; 0 = full)")
 	boxSpec := fs.String("box", "", "random-access box z0:z1,y0:y1,x0:x1")
 	slice := fs.Int("slice", -1, "random-access z slice")
-	workers := fs.Int("workers", 1, "parallel workers")
+	workers := fs.Int("workers", 0, "parallel workers (0 = auto: STZ_WORKERS or min(cores, 8))")
 	stats := fs.Bool("stats", false, "print the stage time breakdown")
 	fs.Parse(args)
+	if *workers <= 0 {
+		*workers = parallel.DefaultWorkers()
+	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("decompress: -in and -out required")
 	}

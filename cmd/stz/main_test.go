@@ -133,6 +133,7 @@ func TestCommandsEndToEnd(t *testing.T) {
 // two-pass relative mode, and streaming decompression must reproduce
 // codec.Decode's output exactly.
 func TestStreamingMatchesBufferedEncode(t *testing.T) {
+	t.Setenv("STZ_WORKERS", "") // the default chunk plan under test is the deterministic one
 	dir := t.TempDir()
 	raw := filepath.Join(dir, "in.f32")
 	if err := cmdGen([]string{"-dataset", "Miranda", "-dims", "24x10x12", "-out", raw}); err != nil {
@@ -147,11 +148,11 @@ func TestStreamingMatchesBufferedEncode(t *testing.T) {
 		args  []string
 		cfg   codec.Config
 	}{
-		{"abs", []string{"-eb", "0.05"}, codec.Config{EB: 0.05}},
+		{"abs", []string{"-eb", "0.05"}, codec.Config{EB: 0.05, Workers: 1}},
 		{"abs-chunked", []string{"-eb", "0.05", "-workers", "2", "-chunks", "3"},
 			codec.Config{EB: 0.05, Workers: 2, Chunks: 3}},
 		{"rel", []string{"-eb", "1e-3", "-rel", "-chunks", "2"},
-			codec.Config{EB: 1e-3, Mode: codec.ModeRel, Chunks: 2}},
+			codec.Config{EB: 1e-3, Mode: codec.ModeRel, Chunks: 2, Workers: 1}},
 	} {
 		for _, name := range codec.Names() {
 			enc := filepath.Join(dir, name+"."+tc.label+".enc")

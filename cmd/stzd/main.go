@@ -46,7 +46,7 @@ func main() {
 	addr := flag.String("addr", ":8321", "listen address")
 	maxBody := flag.Int64("max-body", 1<<30, "per-request raw/archive byte limit")
 	maxInflight := flag.Int("max-inflight", 4, "concurrent compression jobs")
-	workers := flag.Int("workers", parallel.DefaultWorkers(), "codec workers per job")
+	workers := flag.Int("workers", parallel.DefaultWorkers(), "codec workers per job (default honors STZ_WORKERS)")
 	window := flag.Int("window", 0, "streaming window in z-slabs (0 = auto)")
 	timeout := flag.Duration("timeout", 5*time.Minute,
 		"per-request read and write deadline; bounds how long a stalled client can hold a job slot (0 = none)")

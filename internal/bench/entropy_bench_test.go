@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"stz/internal/bitio"
+	"stz/internal/huffman"
+)
+
+// Entropy-stage micro-benchmarks for the multi-lane Huffman payload and
+// the refill-amortized bit I/O underneath it. CI runs these under a
+// -cpu 1,4,8 matrix: the lanes/parallel decode series shows the
+// parallel.For lane split scaling with GOMAXPROCS, while the v1 and
+// interleaved series must stay flat (they are single-goroutine by design).
+
+// entropyCodes mimics quantizer output: a tight normal cluster around the
+// zero-residual code with occasional outliers — the distribution every
+// backend feeds the Huffman stage.
+func entropyCodes(n int) []uint16 {
+	rng := rand.New(rand.NewSource(42))
+	codes := make([]uint16, n)
+	for i := range codes {
+		v := 512 + int(rng.NormFloat64()*3)
+		if v < 0 {
+			v = 0
+		}
+		codes[i] = uint16(v & 1023)
+	}
+	return codes
+}
+
+const entropyAlphabet = 1024
+
+func BenchmarkHuffmanEncode(b *testing.B) {
+	codes := entropyCodes(1 << 19)
+	b.Run("v1", func(b *testing.B) {
+		b.SetBytes(int64(len(codes) * 2))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			huffman.Encode(codes, entropyAlphabet)
+		}
+	})
+	b.Run("lanes", func(b *testing.B) {
+		b.SetBytes(int64(len(codes) * 2))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			huffman.EncodeLanes(codes, entropyAlphabet)
+		}
+	})
+}
+
+func BenchmarkHuffmanDecode(b *testing.B) {
+	codes := entropyCodes(1 << 19)
+	v1 := huffman.Encode(codes, entropyAlphabet)
+	v2 := huffman.EncodeLanes(codes, entropyAlphabet)
+	dst := make([]uint16, len(codes))
+
+	b.Run("v1", func(b *testing.B) {
+		b.SetBytes(int64(len(codes) * 2))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := huffman.DecodeInto(dst[:0], v1, entropyAlphabet); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lanes-interleave", func(b *testing.B) {
+		b.SetBytes(int64(len(codes) * 2))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := huffman.DecodeLanesInto(dst[:0], v2, entropyAlphabet, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lanes-parallel", func(b *testing.B) {
+		b.SetBytes(int64(len(codes) * 2))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := huffman.DecodeLanesInto(dst[:0], v2, entropyAlphabet, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBitioRefill isolates the word-level reader fast path against
+// the checked ReadBits path on the same 11-bit-symbol stream, plus the
+// word-batched unary/gamma codecs rewritten over WriteBits.
+func BenchmarkBitioRefill(b *testing.B) {
+	const symbols = 1 << 19
+	w := bitio.NewWriter(symbols * 2)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < symbols; i++ {
+		w.WriteBits(uint64(rng.Intn(1<<11)), 11)
+	}
+	stream := w.Bytes()
+
+	b.Run("readbits", func(b *testing.B) {
+		b.SetBytes(symbols * 11 / 8)
+		var r bitio.Reader
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			r.Reset(stream)
+			for j := 0; j < symbols; j++ {
+				v, err := r.ReadBits(11)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += v
+			}
+		}
+		_ = sink
+	})
+	b.Run("refill-peek-skip", func(b *testing.B) {
+		b.SetBytes(symbols * 11 / 8)
+		var r bitio.Reader
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			r.Reset(stream)
+			j := 0
+			// Budget: after a >=56-bit refill, five 11-bit symbols decode
+			// with no further checks.
+			for ; j+5 <= symbols && r.Refill() >= 56; j += 5 {
+				for k := 0; k < 5; k++ {
+					sink += r.PeekFast(11)
+					r.SkipFast(11)
+				}
+			}
+			for ; j < symbols; j++ {
+				v, err := r.ReadBits(11)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += v
+			}
+		}
+		_ = sink
+	})
+	b.Run("gamma", func(b *testing.B) {
+		gw := bitio.NewWriter(symbols)
+		for i := 0; i < symbols/4; i++ {
+			gw.WriteGamma(uint64(rng.Intn(1 << 12)))
+		}
+		gstream := gw.Bytes()
+		b.SetBytes(int64(len(gstream)))
+		var r bitio.Reader
+		for i := 0; i < b.N; i++ {
+			r.Reset(gstream)
+			for j := 0; j < symbols/4; j++ {
+				if _, err := r.ReadGamma(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

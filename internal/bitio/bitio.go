@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // Writer accumulates bits into an in-memory buffer.
@@ -74,11 +75,63 @@ func (w *Writer) WriteBits(v uint64, n uint) {
 }
 
 // WriteUnary appends v as a unary code: v one-bits followed by a zero bit.
+// The run is emitted word-at-a-time through WriteBits rather than bit by
+// bit.
 func (w *Writer) WriteUnary(v uint) {
-	for i := uint(0); i < v; i++ {
-		w.WriteBit(1)
+	for v >= 63 {
+		w.WriteBits(^uint64(0), 63)
+		v -= 63
 	}
-	w.WriteBit(0)
+	// v one-bits then the terminating zero, LSB-first.
+	w.WriteBits(1<<v-1, v+1)
+}
+
+// Free reports the unused bit capacity of the accumulator — how many bits
+// WriteBitsFast may append before DrainBytes must run.
+func (w *Writer) Free() uint { return 64 - w.nbits }
+
+// WriteBitsFast appends n bits of v without capacity checks. The caller
+// must guarantee Free() >= n (drain with DrainBytes otherwise) and that the
+// bits of v above n are zero; both hold for Huffman (code,len) table
+// entries packed after a DrainBytes. It exists so entropy-coding hot loops
+// pay one bounds check per accumulator word instead of one per symbol.
+func (w *Writer) WriteBitsFast(v uint64, n uint) {
+	w.acc |= v << w.nbits
+	w.nbits += n
+}
+
+// DrainBytes flushes the accumulator's complete bytes to the buffer,
+// leaving at most 7 buffered bits (so Free() >= 57). The stream contents
+// are unchanged; this only moves finished bytes out of the accumulator.
+func (w *Writer) DrainBytes() {
+	nb := w.nbits >> 3
+	if nb == 0 {
+		return
+	}
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], w.acc)
+	w.buf = append(w.buf, tmp[:nb]...)
+	w.acc >>= nb * 8
+	w.nbits -= nb * 8
+}
+
+// AlignByte zero-pads the stream to the next byte boundary and drains the
+// accumulator, so the next write (or WriteBytes) starts a fresh byte.
+func (w *Writer) AlignByte() {
+	if pad := (8 - w.nbits%8) % 8; pad > 0 {
+		w.WriteBits(0, pad)
+	}
+	w.DrainBytes()
+}
+
+// WriteBytes appends p verbatim. The writer must be byte-aligned
+// (AlignByte); sub-byte state would silently corrupt the stream, so this
+// panics instead.
+func (w *Writer) WriteBytes(p []byte) {
+	if w.nbits != 0 {
+		panic("bitio: WriteBytes on unaligned writer")
+	}
+	w.buf = append(w.buf, p...)
 }
 
 func (w *Writer) flushWord() {
@@ -113,19 +166,17 @@ func (w *Writer) Bytes() []byte {
 
 // WriteGamma appends v as an Elias-gamma code of v+1 (so v = 0 is
 // representable): a unary length prefix followed by the value bits,
-// MSB-first.
+// MSB-first. The prefix and the value are emitted as two WriteBits calls
+// (the MSB-first value bits become an LSB-first word by bit reversal).
 func (w *Writer) WriteGamma(v uint64) {
 	x := v + 1
-	n := 0
-	for t := x; t > 1; t >>= 1 {
-		n++
-	}
-	for i := 0; i < n; i++ {
+	if x == 0 { // v == MaxUint64: degenerate, matches the historic encoding
 		w.WriteBit(0)
+		return
 	}
-	for i := n; i >= 0; i-- {
-		w.WriteBit(uint(x>>uint(i)) & 1)
-	}
+	n := uint(bits.Len64(x)) - 1
+	w.WriteBits(0, n)
+	w.WriteBits(bits.Reverse64(x)>>(63-n), n+1)
 }
 
 // ErrOutOfBits is returned when a Reader is asked for more bits than the
@@ -158,12 +209,65 @@ func (r *Reader) Reset(buf []byte) {
 }
 
 func (r *Reader) fill() {
+	// Word-level top-up: load 8 bytes at once and advance by however many
+	// whole bytes fit the accumulator, falling back to byte loads only for
+	// the final partial word of the buffer.
+	if r.navl < 56 && r.pos+8 <= len(r.buf) {
+		w := binary.LittleEndian.Uint64(r.buf[r.pos:])
+		r.acc |= w << r.navl
+		adv := (63 - r.navl) >> 3
+		r.pos += int(adv)
+		r.navl += adv * 8
+		// Only adv whole bytes were consumed: bits of w above the new valid
+		// count land in acc but belong to bytes not yet advanced past, so
+		// they must be cleared to keep the "bits >= navl are zero" invariant
+		// (Peek, ReadUnary and ReadGamma all rely on it).
+		r.acc &= 1<<r.navl - 1
+	}
 	for r.navl <= 56 && r.pos < len(r.buf) {
 		r.acc |= uint64(r.buf[r.pos]) << r.navl
 		r.pos++
 		r.navl += 8
 	}
 }
+
+// Refill tops the accumulator up so it holds at least 56 valid bits
+// whenever the buffer still has that much data, and returns the valid bit
+// count. After a Refill returning >= 56, PeekFast/SkipFast may consume up
+// to 56 bits with no further checks — the batched fast path of the Huffman
+// and bit-plane decoders.
+func (r *Reader) Refill() uint {
+	if r.navl >= 56 {
+		return r.navl
+	}
+	r.fill()
+	return r.navl
+}
+
+// PeekFast returns the next n bits without consuming them and without
+// bounds checks. Bits beyond the valid count read as zero; the caller is
+// responsible for having established availability via Refill.
+func (r *Reader) PeekFast(n uint) uint64 { return r.acc & (1<<n - 1) }
+
+// SkipFast consumes n bits with no bounds checks; n must not exceed the
+// valid bit count established by Refill.
+func (r *Reader) SkipFast(n uint) {
+	r.acc >>= n
+	r.navl -= n
+}
+
+// AlignByte discards bits up to the next byte boundary of the underlying
+// stream (a no-op when already aligned).
+func (r *Reader) AlignByte() {
+	drop := r.navl % 8
+	r.acc >>= drop
+	r.navl -= drop
+}
+
+// ByteOffset returns the buffer index of the next unread bit. The reader
+// must be byte-aligned (AlignByte); it is used to locate byte-framed
+// payloads (e.g. Huffman lane segments) after a bit-packed header.
+func (r *Reader) ByteOffset() int { return r.pos - int(r.navl)/8 }
 
 // ReadBit consumes and returns a single bit.
 func (r *Reader) ReadBit() (uint, error) {
@@ -221,18 +325,28 @@ func (r *Reader) ReadBits(n uint) (uint64, error) {
 }
 
 // ReadUnary consumes a unary code (ones terminated by a zero) and returns
-// the count of ones.
+// the count of ones. The run is scanned a word at a time via trailing-zero
+// counts instead of per-bit reads.
 func (r *Reader) ReadUnary() (uint, error) {
 	var v uint
 	for {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+		r.fill()
+		if r.navl == 0 {
+			return 0, ErrOutOfBits
 		}
-		if b == 0 {
-			return v, nil
+		// Bits above navl in acc are zero, so ^acc has ones there and the
+		// trailing-zero count of ^acc never overshoots the valid range by
+		// more than "all navl bits are ones".
+		tz := uint(bits.TrailingZeros64(^r.acc))
+		if tz >= r.navl {
+			v += r.navl
+			r.acc = 0
+			r.navl = 0
+			continue
 		}
-		v++
+		r.acc >>= tz + 1
+		r.navl -= tz + 1
+		return v + tz, nil
 	}
 }
 
@@ -266,30 +380,42 @@ func (r *Reader) Skip(n uint) error {
 	return nil
 }
 
-// ReadGamma decodes a code written by WriteGamma.
+// ReadGamma decodes a code written by WriteGamma. The zero-run prefix is
+// scanned word-at-a-time and the value bits are read in one ReadBits call
+// (bit-reversed back to MSB-first).
 func (r *Reader) ReadGamma() (uint64, error) {
-	var zeros int
+	var zeros uint
 	for {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+		r.fill()
+		if r.navl == 0 {
+			return 0, ErrOutOfBits
 		}
-		if b == 1 {
-			break
+		tz := uint(bits.TrailingZeros64(r.acc))
+		if tz >= r.navl {
+			zeros += r.navl
+			r.acc = 0
+			r.navl = 0
+			if zeros > 63 {
+				return 0, ErrGammaOverflow
+			}
+			continue
 		}
-		zeros++
-		if zeros > 63 {
-			return 0, ErrGammaOverflow
-		}
+		zeros += tz
+		r.acc >>= tz + 1
+		r.navl -= tz + 1
+		break
 	}
-	x := uint64(1)
-	for i := 0; i < zeros; i++ {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
-		}
-		x = x<<1 | uint64(b)
+	if zeros > 63 {
+		return 0, ErrGammaOverflow
 	}
+	if zeros == 0 {
+		return 0, nil
+	}
+	v, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	x := uint64(1)<<zeros | bits.Reverse64(v)>>(64-zeros)
 	return x - 1, nil
 }
 

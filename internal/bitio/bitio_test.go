@@ -204,3 +204,158 @@ func TestBitsRemaining(t *testing.T) {
 		t.Fatalf("remaining=%d want 11", r.BitsRemaining())
 	}
 }
+
+// Property: unary and gamma codes round-trip for adversarial mixes of
+// small and large values (both codecs are now word-batched internally).
+func TestUnaryGammaQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n)%100 + 1
+		w := NewWriter(0)
+		unary := make([]uint, count)
+		gamma := make([]uint64, count)
+		for i := 0; i < count; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				unary[i] = uint(rng.Intn(8))
+			case 1:
+				unary[i] = uint(rng.Intn(200)) // spans multiple words
+			default:
+				unary[i] = 0
+			}
+			gamma[i] = rng.Uint64() >> uint(1+rng.Intn(63))
+			w.WriteUnary(unary[i])
+			w.WriteGamma(gamma[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := 0; i < count; i++ {
+			u, err := r.ReadUnary()
+			if err != nil || u != unary[i] {
+				return false
+			}
+			g, err := r.ReadGamma()
+			if err != nil || g != gamma[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignByteAndWriteBytes(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0b101, 3)
+	w.AlignByte()
+	if w.BitLen() != 8 {
+		t.Fatalf("BitLen=%d want 8", w.BitLen())
+	}
+	w.AlignByte() // aligned: must be a no-op
+	if w.BitLen() != 8 {
+		t.Fatalf("BitLen after second align=%d want 8", w.BitLen())
+	}
+	payload := []byte{0xde, 0xad, 0xbe, 0xef}
+	w.WriteBytes(payload)
+	w.WriteBits(0x3f, 7)
+
+	r := NewReader(w.Bytes())
+	if v, err := r.ReadBits(3); err != nil || v != 0b101 {
+		t.Fatalf("prefix=%d err=%v", v, err)
+	}
+	r.AlignByte()
+	if off := r.ByteOffset(); off != 1 {
+		t.Fatalf("ByteOffset=%d want 1", off)
+	}
+	for i, want := range payload {
+		v, err := r.ReadBits(8)
+		if err != nil || byte(v) != want {
+			t.Fatalf("payload[%d]=%#x err=%v want %#x", i, v, err, want)
+		}
+	}
+	if v, err := r.ReadBits(7); err != nil || v != 0x3f {
+		t.Fatalf("suffix=%#x err=%v", v, err)
+	}
+}
+
+func TestWriteBytesUnalignedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteBytes on an unaligned writer did not panic")
+		}
+	}()
+	w := NewWriter(0)
+	w.WriteBit(1)
+	w.WriteBytes([]byte{1})
+}
+
+// TestWriteBitsFastDrain checks the word-batched encode contract: packing
+// through WriteBitsFast with DrainBytes whenever Free() runs low must
+// produce the same stream as checked WriteBits calls.
+func TestWriteBitsFastDrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type rec struct {
+		v uint64
+		n uint
+	}
+	recs := make([]rec, 5000)
+	ref := NewWriter(0)
+	fast := NewWriter(0)
+	for i := range recs {
+		n := uint(rng.Intn(31) + 1)
+		v := rng.Uint64() & (1<<n - 1)
+		recs[i] = rec{v, n}
+		ref.WriteBits(v, n)
+		if fast.Free() < 32 {
+			fast.DrainBytes()
+		}
+		fast.WriteBitsFast(v, n)
+	}
+	a, b := ref.Bytes(), fast.Bytes()
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("byte %d: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRefillPeekSkip checks the unchecked reader fast path against the
+// checked one, including the sub-word tail where Refill reports fewer
+// than 56 bits.
+func TestRefillPeekSkip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	w := NewWriter(0)
+	vals := make([]uint64, 3000)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(1 << 13))
+		w.WriteBits(vals[i], 13)
+	}
+	stream := w.Bytes()
+	var r Reader
+	r.Reset(stream)
+	i := 0
+	for ; i+4 <= len(vals) && r.Refill() >= 56; i += 4 {
+		for k := 0; k < 4; k++ {
+			if got := r.PeekFast(13); got != vals[i+k] {
+				t.Fatalf("PeekFast at %d: %d want %d", i+k, got, vals[i+k])
+			}
+			r.SkipFast(13)
+		}
+	}
+	if i == 0 {
+		t.Fatal("fast path never engaged")
+	}
+	for ; i < len(vals); i++ {
+		got, err := r.ReadBits(13)
+		if err != nil || got != vals[i] {
+			t.Fatalf("tail at %d: %d err=%v want %d", i, got, err, vals[i])
+		}
+	}
+	if r.BitsRemaining() >= 8 {
+		t.Fatalf("unread bits: %d", r.BitsRemaining())
+	}
+}

@@ -1,8 +1,6 @@
 package codec
 
 import (
-	"encoding/binary"
-
 	"stz/internal/grid"
 	"stz/internal/mgard"
 	"stz/internal/sperr"
@@ -55,10 +53,7 @@ func sz3Compress[T grid.Float](g *grid.Grid[T], cfg Config) ([]byte, error) {
 // sz3Decompress dispatches on the stream magic: Options.Workers > 1
 // produces the chunked "OMP" stream variant.
 func sz3Decompress[T grid.Float](data []byte, workers int) (*grid.Grid[T], error) {
-	if len(data) >= 4 && binary.LittleEndian.Uint32(data) == sz3.MagicChunked {
-		return sz3.DecompressChunked[T](data, workers)
-	}
-	return sz3.Decompress[T](data)
+	return sz3.DecompressWorkers[T](data, workers)
 }
 
 func zfpCompress[T grid.Float](g *grid.Grid[T], cfg Config) ([]byte, error) {

@@ -17,7 +17,27 @@ import (
 const EncMagic = uint32(0x43585a53)
 
 // encVersion is the on-disk version of the unified header (docs/FORMAT.md).
-const encVersion = 1
+// Version 2 marks archives whose backend chunk payloads may use the
+// multi-lane Huffman entropy layout (the payloads are self-describing, so
+// readers accept both versions; the bump exists so pre-lane readers reject
+// archives they cannot decode rather than failing deep inside a backend).
+const (
+	encVersion    = 2
+	encVersionMin = 1
+)
+
+// encVersionFor returns the header version stamped for a backend: 2 only
+// for backends whose payloads can actually carry lane-coded entropy
+// streams (sz3, sperr). zfp and mgard payloads are byte-identical to what
+// pre-lane writers produced, so their archives keep version 1 and stay
+// readable by pre-lane readers at no cost.
+func encVersionFor(codecID uint8) byte {
+	switch codecID {
+	case IDSZ3, IDSPERR:
+		return encVersion
+	}
+	return encVersionMin
+}
 
 // chunkMinDepth is the minimum z-slab depth the automatic chunk planner
 // will produce: thinner slabs lose too much cross-boundary correlation for
@@ -49,7 +69,7 @@ func (h Header) Chunks() int { return len(h.ChunkBounds) - 1 }
 func (h Header) marshal() []byte {
 	buf := make([]byte, 40+4*len(h.ChunkBounds))
 	binary.LittleEndian.PutUint32(buf[0:], EncMagic)
-	buf[4] = encVersion
+	buf[4] = encVersionFor(h.CodecID)
 	buf[5] = h.CodecID
 	buf[6] = h.DType
 	buf[7] = byte(h.Mode)
@@ -73,7 +93,7 @@ func unmarshalEncHeader(buf []byte) (Header, error) {
 	if binary.LittleEndian.Uint32(buf) != EncMagic {
 		return h, fmt.Errorf("%w: bad header magic", ErrFormat)
 	}
-	if buf[4] != encVersion {
+	if buf[4] < encVersionMin || buf[4] > encVersion {
 		return h, fmt.Errorf("%w: unsupported version %d", ErrFormat, buf[4])
 	}
 	h.CodecID = buf[5]

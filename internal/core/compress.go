@@ -16,8 +16,10 @@ import (
 )
 
 // headerVersion is the core stream format version. Version 2 added the
-// base-codec ID byte; version-1 streams are still readable (implicit SZ3).
-const headerVersion = 2
+// base-codec ID byte; version 3 switched the class code streams to the
+// multi-lane Huffman payload (huffman.EncodeLanes). Version-1 and -2
+// streams are still readable (implicit SZ3 / single-stream Huffman).
+const headerVersion = 3
 
 // header is the section-0 payload.
 type header struct {
@@ -275,7 +277,9 @@ func compressClass[T grid.Float](fine, fineRecon, coarse *grid.Grid[T],
 		if err != nil {
 			return nil, err
 		}
-		diffRec, err := sz3.Decompress[T](blob)
+		// This runs inside the class-parallel pool: keep the nested sz3
+		// decode (and its v2 lane decode) serial rather than oversubscribing.
+		diffRec, err := sz3.DecompressWorkers[T](blob, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -362,7 +366,7 @@ func compressClass[T grid.Float](fine, fineRecon, coarse *grid.Grid[T],
 					zeros++
 				}
 			}
-			blobs[c] = huffman.Encode(codes[lo:hi], q.Alphabet())
+			blobs[c] = huffman.EncodeLanes(codes[lo:hi], q.Alphabet())
 			blobBytes += len(blobs[c])
 		}
 		sec := make([]byte, 0, 8+len(outliers)+8*nChunks+blobBytes)
@@ -379,7 +383,7 @@ func compressClass[T grid.Float](fine, fineRecon, coarse *grid.Grid[T],
 		return sec, nil
 	}
 
-	hblob := huffman.Encode(codes, q.Alphabet())
+	hblob := huffman.EncodeLanes(codes, q.Alphabet())
 	sec := make([]byte, 0, 4+len(outliers)+len(hblob))
 	sec = binary.LittleEndian.AppendUint32(sec, nOutliers)
 	sec = append(sec, outliers...)

@@ -162,6 +162,18 @@ func (dc *decodedClass[T]) release() {
 	dc.codes, dc.outliers = nil, nil
 }
 
+// decodeCodes entropy-decodes one class code blob according to the
+// stream's format version: v3 streams carry multi-lane Huffman payloads,
+// v1/v2 the single-stream layout. Lane workers stay at 1 — the seven
+// parity classes already occupy the reader's worker pool, and each class
+// decodes its lanes on the register-resident single-thread interleave.
+func (r *Reader[T]) decodeCodes(dst []uint16, blob []byte, alphabet int) ([]uint16, error) {
+	if r.hdr.Version >= 3 {
+		return huffman.DecodeLanesInto(dst, blob, alphabet, 1)
+	}
+	return huffman.DecodeInto(dst, blob, alphabet)
+}
+
 // decodeClass entropy-decodes the class stream of predicted level p,
 // class c. n is the class size in points; only codes within [ciLo, ciHi)
 // are guaranteed decoded — with chunked streams (Config.CodeChunk), chunks
@@ -172,7 +184,9 @@ func (r *Reader[T]) decodeClass(p, c int, q quant.Quantizer, n, ciLo, ciHi int) 
 		return decodedClass[T]{}, err
 	}
 	if r.hdr.Residual == ResidSZ3 {
-		diff, err := sz3.Decompress[T](sec)
+		// Classes already occupy the reader's worker pool: decode the
+		// residual sub-block (and its v2 lanes) serially.
+		diff, err := sz3.DecompressWorkers[T](sec, 1)
 		if err != nil {
 			return decodedClass[T]{}, fmt.Errorf("core: class %d residual: %w", c, err)
 		}
@@ -198,7 +212,7 @@ func (r *Reader[T]) decodeClass(p, c int, q quant.Quantizer, n, ciLo, ciHi int) 
 
 	if r.hdr.CodeChunk <= 0 {
 		codesBuf := scratch.U16.Lease(n)
-		codes, err := huffman.DecodeInto(codesBuf[:0], rest, q.Alphabet())
+		codes, err := r.decodeCodes(codesBuf[:0], rest, q.Alphabet())
 		if err != nil {
 			scratch.U16.Release(codesBuf)
 			scratch.ReleaseFloat(outliers)
@@ -271,7 +285,7 @@ func (r *Reader[T]) decodeClass(p, c int, q quant.Quantizer, n, ciLo, ciHi int) 
 		if hi <= ciLo || lo >= ciHi {
 			continue
 		}
-		part, err := huffman.DecodeInto(chunkBuf[:0], payload[offs[i]:offs[i+1]], q.Alphabet())
+		part, err := r.decodeCodes(chunkBuf[:0], payload[offs[i]:offs[i+1]], q.Alphabet())
 		if err != nil {
 			return fail("core: class %d chunk %d: %w", c, i, err)
 		}

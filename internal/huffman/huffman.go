@@ -14,18 +14,30 @@
 package huffman
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sync"
 
 	"stz/internal/bitio"
+	"stz/internal/parallel"
 	"stz/internal/scratch"
 )
 
 const (
 	maxCodeLen = 31 // longest admissible code, fits the 5-bit length field
 	fastBits   = 10 // width of the table-driven decode fast path
+
+	// numLanes is the lane count of the v2 multi-stream payload: the symbol
+	// stream is split into numLanes near-equal contiguous segments, each
+	// encoded as an independent bitstream over one shared code table.
+	numLanes = 4
+	// laneParallelMin is the symbol count from which DecodeLanesInto hands
+	// whole lanes to parallel.For workers instead of interleaving them on
+	// the calling goroutine (below it, goroutine overhead dominates).
+	laneParallelMin = 1 << 16
 )
 
 // ErrCorrupt is returned when a stream fails structural validation.
@@ -313,6 +325,12 @@ func readLengths(r *bitio.Reader, lengths []uint8) error {
 		if err != nil {
 			return err
 		}
+		// Bound the delta before the int conversion: a crafted gamma near
+		// 2^64 would wrap sym negative and slip past the >= alphabet check
+		// straight into a negative slice index.
+		if delta >= uint64(alphabet) {
+			return ErrCorrupt
+		}
 		sym += int(delta) + 1
 		if sym >= alphabet || l == 0 || l > maxCodeLen {
 			return ErrCorrupt
@@ -439,6 +457,71 @@ func (d *decoder) build() {
 	}
 }
 
+// slowWalk canonically decodes one symbol from the peeked word v (LSB =
+// next transmitted bit) without the fast table: the per-length walk of
+// decodeSym, but over an already-loaded word instead of per-bit reads.
+// Returns ok=false when no code matches within maxLen bits.
+func (d *decoder) slowWalk(v uint64) (sym uint16, length uint, ok bool) {
+	var code uint32
+	for l := uint8(1); l <= d.maxLen; l++ {
+		code = code<<1 | uint32(v&1)
+		v >>= 1
+		cnt := d.blCount[l]
+		if cnt > 0 && code >= d.firstCode[l] && code < d.firstCode[l]+uint32(cnt) {
+			return d.symByOrder[d.firstIndex[l]+int32(code-d.firstCode[l])], uint(l), true
+		}
+	}
+	return 0, 0, false
+}
+
+// decodeSymFast decodes one symbol with no bounds checks: the caller must
+// have established, via a Reader.Refill budget, that at least d.maxLen
+// valid bits are buffered. Returns ok=false on a pattern that matches no
+// code (corrupt stream).
+func (d *decoder) decodeSymFast(r *bitio.Reader) (uint16, bool) {
+	e := d.fast[r.PeekFast(fastBits)]
+	if l := e & 0xff; l != 0 {
+		r.SkipFast(uint(l))
+		return uint16(e >> 8), true
+	}
+	sym, l, ok := d.slowWalk(r.PeekFast(uint(d.maxLen)))
+	if !ok {
+		return 0, false
+	}
+	r.SkipFast(l)
+	return sym, true
+}
+
+// decodeStream decodes len(out) symbols from r. While the reader can top
+// its accumulator up to a full word, symbols decode on the refill-amortized
+// fast path — one up-front budget check per batch of 56/maxLen symbols,
+// then only unchecked PeekFast/SkipFast calls — and the stream tail falls
+// back to the fully checked per-symbol path.
+func decodeStream(d *decoder, r *bitio.Reader, out []uint16) error {
+	i := 0
+	if d.maxLen > 0 {
+		batch := 56 / int(d.maxLen)
+		for i+batch <= len(out) && r.Refill() >= 56 {
+			for j := 0; j < batch; j++ {
+				s, ok := d.decodeSymFast(r)
+				if !ok {
+					return ErrCorrupt
+				}
+				out[i+j] = s
+			}
+			i += batch
+		}
+	}
+	for ; i < len(out); i++ {
+		s, err := d.decodeSym(r)
+		if err != nil {
+			return err
+		}
+		out[i] = s
+	}
+	return nil
+}
+
 func (d *decoder) decodeSym(r *bitio.Reader) (uint16, error) {
 	if peek, avail := r.Peek(fastBits); avail > 0 {
 		e := d.fast[peek]
@@ -465,26 +548,11 @@ func (d *decoder) decodeSym(r *bitio.Reader) (uint16, error) {
 	return 0, ErrCorrupt
 }
 
-// Encode compresses codes (all values must be < alphabet) into a
-// self-describing byte stream: symbol count, code-length table, payload.
-func Encode(codes []uint16, alphabet int) []byte {
-	counts := scratch.U64.LeaseZeroed(alphabet)
-	for _, c := range codes {
-		counts[c]++
-	}
-	lengths := scratch.Bytes.Lease(alphabet)
-	work := scratch.U64.Lease(alphabet)
-	codeLengths(counts, lengths, work)
-	scratch.U64.Release(work)
-	scratch.U64.Release(counts)
-
-	w := bitio.NewWriter(len(codes)/2 + 64)
-	w.WriteGamma(uint64(len(codes)))
-	writeLengths(w, lengths)
-
-	// Derive canonical codes and pack transmitted-order (bit-reversed) code
-	// and length per symbol in one pass, so the hot loop is one table load
-	// + one WriteBits.
+// packTable derives canonical codes from lengths and packs the
+// transmitted-order (bit-reversed) code and length per symbol into
+// packed[sym] = code<<8 | len, so the encode hot loop is one table load
+// per symbol. packed must have at least len(lengths) entries.
+func packTable(lengths []uint8, packed []uint64) {
 	var maxLen uint8
 	var blCount [maxCodeLen + 1]uint32
 	for _, l := range lengths {
@@ -501,7 +569,6 @@ func Encode(codes []uint16, alphabet int) []byte {
 		code = (code + blCount[l-1]) << 1
 		nextCode[l] = code
 	}
-	packed := scratch.U64.Lease(alphabet)
 	for sym, l := range lengths {
 		if l > 0 {
 			packed[sym] = uint64(reverseBits(nextCode[l], l))<<8 | uint64(l)
@@ -510,18 +577,145 @@ func Encode(codes []uint16, alphabet int) []byte {
 			packed[sym] = 0
 		}
 	}
-	scratch.Bytes.Release(lengths)
+}
+
+// encodeSymbols writes the (code,len) pair of every symbol into w on the
+// word-batched fast path: pairs pack into the writer's 64-bit accumulator
+// and buffer bounds are checked once per drained word rather than once per
+// symbol.
+func encodeSymbols(w *bitio.Writer, codes []uint16, packed []uint64) {
 	for _, c := range codes {
 		e := packed[c]
-		w.WriteBits(e>>8, uint(e&0xff))
+		if w.Free() < maxCodeLen+1 {
+			w.DrainBytes()
+		}
+		w.WriteBitsFast(e>>8, uint(e&0xff))
 	}
+}
+
+// encodeHeader runs the shared encoder prologue: histogram the symbols,
+// build the depth-limited code, and emit the self-describing header
+// (symbol count + code-length table) into a fresh writer. It returns the
+// writer and the leased packed (code,len) table, which the caller must
+// hand back to scratch.U64 after writing the payload.
+func encodeHeader(codes []uint16, alphabet, sizeHint int) (*bitio.Writer, []uint64) {
+	counts := scratch.U64.LeaseZeroed(alphabet)
+	for _, c := range codes {
+		counts[c]++
+	}
+	lengths := scratch.Bytes.Lease(alphabet)
+	work := scratch.U64.Lease(alphabet)
+	codeLengths(counts, lengths, work)
+	scratch.U64.Release(work)
+	scratch.U64.Release(counts)
+
+	w := bitio.NewWriter(sizeHint)
+	w.WriteGamma(uint64(len(codes)))
+	writeLengths(w, lengths)
+	packed := scratch.U64.Lease(alphabet)
+	packTable(lengths, packed)
+	scratch.Bytes.Release(lengths)
+	return w, packed
+}
+
+// Encode compresses codes (all values must be < alphabet) into a
+// self-describing byte stream: symbol count, code-length table, payload.
+// This is the v1 single-stream layout; new archive formats use EncodeLanes.
+func Encode(codes []uint16, alphabet int) []byte {
+	w, packed := encodeHeader(codes, alphabet, len(codes)/2+64)
+	encodeSymbols(w, codes, packed)
 	scratch.U64.Release(packed)
 	return w.Bytes()
+}
+
+// laneBounds returns lane k's symbol range [lo, hi): numLanes near-equal
+// contiguous segments of an n-symbol stream.
+func laneBounds(n, k int) (lo, hi int) {
+	return k * n / numLanes, (k + 1) * n / numLanes
+}
+
+// EncodeLanes compresses codes into the v2 multi-lane payload: the shared
+// header (symbol count + one code-length table) is followed by a
+// byte-aligned lane directory and numLanes independent bitstreams, lane k
+// holding the contiguous segment laneBounds(n, k). Splitting the payload
+// breaks the decoder's single bit-serial dependency chain — the lanes
+// decode interleaved on one goroutine (hiding table-load latency behind
+// four independent chains) or on parallel.For workers for large streams.
+// All values must be < alphabet.
+func EncodeLanes(codes []uint16, alphabet int) []byte {
+	w, packed := encodeHeader(codes, alphabet, len(codes)/2+80)
+
+	// Byte-aligned lane directory: the byte length of every lane but the
+	// last (which runs to the end of the blob), 40 bits each so a lane of a
+	// maximum-size grid cannot overflow the field. The directory is written
+	// as placeholder zeros and backpatched after the lanes are encoded —
+	// the entries sit at byte-aligned fixed offsets, so this costs a 15-byte
+	// rewrite instead of a second pass over 3/4 of the symbols.
+	n := len(codes)
+	w.AlignByte()
+	dirOff := w.BitLen() / 8
+	var dir [(numLanes - 1) * 5]byte
+	w.WriteBytes(dir[:])
+	var laneLen [numLanes - 1]uint64
+	for k := 0; k < numLanes; k++ {
+		lo, hi := laneBounds(n, k)
+		start := w.BitLen() / 8
+		encodeSymbols(w, codes[lo:hi], packed)
+		w.AlignByte()
+		if k < numLanes-1 {
+			laneLen[k] = uint64(w.BitLen()/8 - start)
+		}
+	}
+	scratch.U64.Release(packed)
+	out := w.Bytes()
+	// A 40-bit WriteBits at a byte boundary is 5 little-endian bytes.
+	for k, l := range laneLen {
+		for b := 0; b < 5; b++ {
+			out[dirOff+5*k+b] = byte(l >> (8 * b))
+		}
+	}
+	return out
 }
 
 // Decode reverses Encode. alphabet must match the encoder's.
 func Decode(data []byte, alphabet int) ([]uint16, error) {
 	return DecodeInto(nil, data, alphabet)
+}
+
+// decodeHeader runs the shared decoder prologue: read the symbol count,
+// sanity-check it, lease a decoder, and read + validate the code-length
+// table. On success the reader is positioned at the first payload bit and
+// the caller owns the leased decoder (releaseDecoder) and the returned
+// output slice (dst reused when its capacity suffices).
+func decodeHeader(r *bitio.Reader, dst []uint16, data []byte, alphabet int) ([]uint16, *decoder, error) {
+	r.Reset(data)
+	n, err := r.ReadGamma()
+	if err != nil {
+		return nil, nil, err
+	}
+	const maxReasonable = 1 << 34
+	// Every symbol costs at least one payload bit, so a count beyond the
+	// blob's bit length is structurally impossible — reject it before the
+	// output allocation, or a dozen corrupt bytes could demand gigabytes.
+	if n > maxReasonable || n > uint64(len(data))*8 {
+		return nil, nil, ErrCorrupt
+	}
+	d := leaseDecoder(alphabet)
+	if err := readLengths(r, d.lengths); err != nil {
+		releaseDecoder(d)
+		return nil, nil, err
+	}
+	if err := validateLengths(d.lengths); err != nil {
+		releaseDecoder(d)
+		return nil, nil, err
+	}
+	var out []uint16
+	if uint64(cap(dst)) >= n {
+		out = dst[:n]
+	} else {
+		out = make([]uint16, n)
+	}
+	return out, d, nil
 }
 
 // DecodeInto reverses Encode, decoding into dst when its capacity suffices
@@ -530,41 +724,245 @@ func Decode(data []byte, alphabet int) ([]uint16, error) {
 // alphabet must match the encoder's.
 func DecodeInto(dst []uint16, data []byte, alphabet int) ([]uint16, error) {
 	var r bitio.Reader
-	r.Reset(data)
-	n, err := r.ReadGamma()
+	out, d, err := decodeHeader(&r, dst, data, alphabet)
 	if err != nil {
 		return nil, err
 	}
-	const maxReasonable = 1 << 34
-	if n > maxReasonable {
-		return nil, ErrCorrupt
-	}
-	d := leaseDecoder(alphabet)
 	defer releaseDecoder(d)
-	if err := readLengths(&r, d.lengths); err != nil {
-		return nil, err
-	}
-	if err := validateLengths(d.lengths); err != nil {
-		return nil, err
-	}
-	var out []uint16
-	if uint64(cap(dst)) >= n {
-		out = dst[:n]
-	} else {
-		out = make([]uint16, n)
-	}
-	if n == 0 {
+	if len(out) == 0 {
 		return out, nil
 	}
 	d.build()
-	for i := range out {
-		s, err := d.decodeSym(&r)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = s
+	if err := decodeStream(d, &r, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// DecodeLanes reverses EncodeLanes, decoding lanes on up to workers
+// goroutines. alphabet must match the encoder's.
+func DecodeLanes(data []byte, alphabet, workers int) ([]uint16, error) {
+	return DecodeLanesInto(nil, data, alphabet, workers)
+}
+
+// DecodeLanesInto reverses EncodeLanes, decoding into dst when its
+// capacity suffices (dst may be nil; the result aliases dst when reused).
+// Small streams interleave the numLanes lanes on the calling goroutine —
+// one refill-amortized batch per lane per round, so the CPU always has
+// numLanes independent decode chains in flight; streams of at least
+// laneParallelMin symbols hand whole lanes to parallel.For when workers >
+// 1. alphabet must match the encoder's.
+func DecodeLanesInto(dst []uint16, data []byte, alphabet, workers int) ([]uint16, error) {
+	var r bitio.Reader
+	out, d, err := decodeHeader(&r, dst, data, alphabet)
+	if err != nil {
+		return nil, err
+	}
+	defer releaseDecoder(d)
+	if len(out) == 0 {
+		return out, nil
+	}
+
+	// Lane directory, then the byte-framed lane payloads.
+	r.AlignByte()
+	var laneData [numLanes][]byte
+	var laneLen [numLanes - 1]uint64
+	for k := range laneLen {
+		if laneLen[k], err = r.ReadBits(40); err != nil {
+			return nil, err
+		}
+	}
+	off := int64(r.ByteOffset())
+	for k := range laneLen {
+		end := off + int64(laneLen[k])
+		if end < off || end > int64(len(data)) {
+			return nil, ErrCorrupt
+		}
+		laneData[k] = data[off:end]
+		off = end
+	}
+	laneData[numLanes-1] = data[off:]
+
+	d.build()
+	if d.maxLen == 0 {
+		return nil, ErrCorrupt // n > 0 but the table codes nothing
+	}
+	nn := len(out)
+	// Whole-lane parallel decode pays only when the stream is large enough
+	// to amortize goroutine handoff and the runtime actually has cores to
+	// run lanes on; otherwise the register-resident interleave below is
+	// strictly faster.
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && nn >= laneParallelMin {
+		// The closure must capture a branch-local copy: capturing laneData
+		// itself would force it to the heap on the (allocation-free)
+		// interleaved path below too.
+		lanes := laneData
+		var errs [numLanes]error
+		parallel.For(numLanes, workers, func(k int) {
+			lo, hi := laneBounds(nn, k)
+			var lr bitio.Reader
+			lr.Reset(lanes[k])
+			errs[k] = decodeStream(d, &lr, out[lo:hi])
+		})
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		return out, nil
+	}
+
+	if err := d.decodeLanesInterleaved(&laneData, out, nn); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// decodeLanesInterleaved decodes all numLanes lanes on the calling
+// goroutine in lockstep. The hot loop keeps every lane's bit-reader state
+// (accumulator, valid-bit count, byte cursor) in scalar locals so the four
+// decode chains stay register-resident and genuinely independent — the CPU
+// overlaps the four fast-table loads the single-stream decoder would
+// serialize. One bounds check per lane per refill round covers a batch of
+// 56/maxLen symbols (the up-front budget: after a full-word refill each
+// lane holds ≥ 56 valid bits and a symbol consumes at most maxLen). The
+// ragged lane tails — and any stream too short for a full-word refill —
+// finish on a fully checked per-symbol loop over the same state.
+func (d *decoder) decodeLanesInterleaved(lanes *[numLanes][]byte, out []uint16, nn int) error {
+	b0, b1, b2, b3 := lanes[0], lanes[1], lanes[2], lanes[3]
+	var a0, a1, a2, a3 uint64
+	var n0, n1, n2, n3 uint
+	var p0, p1, p2, p3 int
+	c0, e0 := laneBounds(nn, 0)
+	c1, e1 := laneBounds(nn, 1)
+	c2, e2 := laneBounds(nn, 2)
+	c3, e3 := laneBounds(nn, 3)
+	fast := d.fast
+	batch := 56 / int(d.maxLen)
+	minLen := nn / numLanes // every lane holds at least this many symbols
+	for i := 0; i+batch <= minLen; i += batch {
+		if p0+8 > len(b0) || p1+8 > len(b1) || p2+8 > len(b2) || p3+8 > len(b3) {
+			break // some lane is in its sub-word tail
+		}
+		// Refill every lane to >= 56 valid bits (see Reader.Refill: only the
+		// advanced-past bytes of the loaded word count as valid).
+		w := binary.LittleEndian.Uint64(b0[p0:])
+		a0 |= w << n0
+		adv := (63 - n0) >> 3
+		p0 += int(adv)
+		n0 += adv * 8
+		a0 &= 1<<n0 - 1
+		w = binary.LittleEndian.Uint64(b1[p1:])
+		a1 |= w << n1
+		adv = (63 - n1) >> 3
+		p1 += int(adv)
+		n1 += adv * 8
+		a1 &= 1<<n1 - 1
+		w = binary.LittleEndian.Uint64(b2[p2:])
+		a2 |= w << n2
+		adv = (63 - n2) >> 3
+		p2 += int(adv)
+		n2 += adv * 8
+		a2 &= 1<<n2 - 1
+		w = binary.LittleEndian.Uint64(b3[p3:])
+		a3 |= w << n3
+		adv = (63 - n3) >> 3
+		p3 += int(adv)
+		n3 += adv * 8
+		a3 &= 1<<n3 - 1
+		for j := 0; j < batch; j++ {
+			t0 := fast[a0&(1<<fastBits-1)]
+			t1 := fast[a1&(1<<fastBits-1)]
+			t2 := fast[a2&(1<<fastBits-1)]
+			t3 := fast[a3&(1<<fastBits-1)]
+			l0 := uint(t0 & 0xff)
+			l1 := uint(t1 & 0xff)
+			l2 := uint(t2 & 0xff)
+			l3 := uint(t3 & 0xff)
+			// Codes longer than fastBits miss the table (length 0) and take
+			// the canonical walk; the budget guarantees navl >= maxLen, so
+			// no bit checks are needed on this branch either.
+			if l0 == 0 {
+				s, l, ok := d.slowWalk(a0)
+				if !ok {
+					return ErrCorrupt
+				}
+				t0, l0 = uint32(s)<<8, l
+			}
+			if l1 == 0 {
+				s, l, ok := d.slowWalk(a1)
+				if !ok {
+					return ErrCorrupt
+				}
+				t1, l1 = uint32(s)<<8, l
+			}
+			if l2 == 0 {
+				s, l, ok := d.slowWalk(a2)
+				if !ok {
+					return ErrCorrupt
+				}
+				t2, l2 = uint32(s)<<8, l
+			}
+			if l3 == 0 {
+				s, l, ok := d.slowWalk(a3)
+				if !ok {
+					return ErrCorrupt
+				}
+				t3, l3 = uint32(s)<<8, l
+			}
+			a0 >>= l0
+			n0 -= l0
+			a1 >>= l1
+			n1 -= l1
+			a2 >>= l2
+			n2 -= l2
+			a3 >>= l3
+			n3 -= l3
+			out[c0] = uint16(t0 >> 8)
+			out[c1] = uint16(t1 >> 8)
+			out[c2] = uint16(t2 >> 8)
+			out[c3] = uint16(t3 >> 8)
+			c0++
+			c1++
+			c2++
+			c3++
+		}
+	}
+	// Ragged tails: spill the lane states and finish each lane on the
+	// checked per-symbol path (byte-granular refill, explicit bit budget).
+	bufs := [numLanes][]byte{b0, b1, b2, b3}
+	accs := [numLanes]uint64{a0, a1, a2, a3}
+	navls := [numLanes]uint{n0, n1, n2, n3}
+	poss := [numLanes]int{p0, p1, p2, p3}
+	curs := [numLanes]int{c0, c1, c2, c3}
+	ends := [numLanes]int{e0, e1, e2, e3}
+	for k := 0; k < numLanes; k++ {
+		b, acc, navl, p := bufs[k], accs[k], navls[k], poss[k]
+		for c := curs[k]; c < ends[k]; c++ {
+			for navl <= 56 && p < len(b) {
+				acc |= uint64(b[p]) << navl
+				p++
+				navl += 8
+			}
+			e := fast[acc&(1<<fastBits-1)]
+			l := uint(e & 0xff)
+			sym := uint16(e >> 8)
+			if l == 0 || l > navl {
+				s2, l2, ok := d.slowWalk(acc)
+				if !ok || l2 > navl {
+					return ErrCorrupt
+				}
+				sym, l = s2, l2
+			}
+			acc >>= l
+			navl -= l
+			out[c] = sym
+		}
+	}
+	return nil
 }
 
 // CompressedSizeEstimate returns the entropy-based lower bound, in bytes,

@@ -1,0 +1,101 @@
+package integration
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stz/internal/codec"
+	"stz/internal/core"
+	"stz/internal/grid"
+	"stz/internal/mgard"
+	"stz/internal/sperr"
+	"stz/internal/sz3"
+	"stz/internal/zfp"
+)
+
+// The testdata corpus was generated before the multi-lane Huffman payload
+// (format v2) landed: every archive carries the v1 entropy layout, and the
+// matching .out file records the grid the v1 decoder reconstructed from
+// it. Today's readers must keep decoding those archives byte-identically —
+// this is the backward-compatibility gate for all format-touching changes.
+// The corpus is immutable: current encoders can no longer produce v1
+// archives, so these files must never be regenerated.
+
+func readCorpus(t *testing.T, name string) (archive []byte, want []float32) {
+	t.Helper()
+	archive, err := os.ReadFile(filepath.Join("testdata", name+".bin"))
+	if err != nil {
+		t.Fatalf("corpus archive: %v", err)
+	}
+	raw, err := os.ReadFile(filepath.Join("testdata", name+".out"))
+	if err != nil {
+		t.Fatalf("corpus expected output: %v", err)
+	}
+	if len(raw)%4 != 0 {
+		t.Fatalf("corpus %s.out: %d bytes is not a float32 array", name, len(raw))
+	}
+	want = make([]float32, len(raw)/4)
+	for i := range want {
+		want[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return archive, want
+}
+
+func checkGrid(t *testing.T, name string, g *grid.Grid[float32], want []float32) {
+	t.Helper()
+	if g.Nz != 20 || g.Ny != 24 || g.Nx != 28 {
+		t.Fatalf("%s: dims %dx%dx%d, want 20x24x28", name, g.Nz, g.Ny, g.Nx)
+	}
+	if len(g.Data) != len(want) {
+		t.Fatalf("%s: %d values, want %d", name, len(g.Data), len(want))
+	}
+	for i, v := range g.Data {
+		// Byte-identity, not tolerance: the decode path must be bit-stable.
+		if math.Float32bits(v) != math.Float32bits(want[i]) {
+			t.Fatalf("%s: value %d = %g, pinned corpus has %g", name, i, v, want[i])
+		}
+	}
+}
+
+func TestPinnedV1Corpus(t *testing.T) {
+	cases := []struct {
+		name   string
+		decode func([]byte) (*grid.Grid[float32], error)
+	}{
+		{"sz3_serial", func(b []byte) (*grid.Grid[float32], error) { return sz3.Decompress[float32](b) }},
+		{"sz3_chunked", func(b []byte) (*grid.Grid[float32], error) { return sz3.Decompress[float32](b) }},
+		{"core", func(b []byte) (*grid.Grid[float32], error) { return core.Decompress[float32](b) }},
+		{"core_codechunk", func(b []byte) (*grid.Grid[float32], error) { return core.Decompress[float32](b) }},
+		{"codec_sz3", func(b []byte) (*grid.Grid[float32], error) { return codec.Decode[float32](b, 2) }},
+		{"sperr", func(b []byte) (*grid.Grid[float32], error) { return sperr.Decompress[float32](b) }},
+		{"zfp", func(b []byte) (*grid.Grid[float32], error) { return zfp.Decompress[float32](b) }},
+		{"mgard", func(b []byte) (*grid.Grid[float32], error) { return mgard.Decompress[float32](b) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			archive, want := readCorpus(t, tc.name)
+			g, err := tc.decode(archive)
+			if err != nil {
+				t.Fatalf("decode pinned v1 archive: %v", err)
+			}
+			checkGrid(t, tc.name, g, want)
+		})
+	}
+}
+
+// TestPinnedCorpusMagics pins the format markers of the corpus so an
+// accidental regeneration with v2 writers (which would silently gut the
+// backward-compat coverage) is caught immediately.
+func TestPinnedCorpusMagics(t *testing.T) {
+	sz3Serial, _ := readCorpus(t, "sz3_serial")
+	if got := binary.LittleEndian.Uint32(sz3Serial); got != sz3.Magic {
+		t.Fatalf("sz3_serial corpus magic %#x, want v1 %#x", got, sz3.Magic)
+	}
+	sperrBlob, _ := readCorpus(t, "sperr")
+	if got := binary.LittleEndian.Uint32(sperrBlob); got != sperr.Magic {
+		t.Fatalf("sperr corpus magic %#x, want v1 %#x", got, sperr.Magic)
+	}
+}

@@ -5,17 +5,45 @@
 package parallel
 
 import (
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
 
-// DefaultWorkers mirrors the paper's OpenMP configuration of 8 threads,
-// capped by the machine's core count.
+// paperDefaultWorkers mirrors the paper's OpenMP configuration of 8
+// threads. It is a default, not a ceiling: machines with more cores opt in
+// via STZ_WORKERS (or the explicit -workers flags of cmd/stz and
+// cmd/stzd).
+const paperDefaultWorkers = 8
+
+// EnvWorkers reports the STZ_WORKERS override: the parsed value and true
+// when the variable holds a positive integer, 0 and false otherwise
+// (unset, empty, garbage and non-positive values all count as "no
+// override" — callers that gate behavior on the override must not treat a
+// malformed value as an opt-in).
+func EnvWorkers() (int, bool) {
+	if s := os.Getenv("STZ_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 1 {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// DefaultWorkers returns the worker-pool size used when the caller does
+// not pin one: the STZ_WORKERS environment variable when it parses to a
+// positive integer (uncapped, so big machines are not clamped to the
+// paper configuration), otherwise the paper default of 8 capped by the
+// machine's core count.
 func DefaultWorkers() int {
+	if v, ok := EnvWorkers(); ok {
+		return v
+	}
 	n := runtime.GOMAXPROCS(0)
-	if n > 8 {
-		return 8
+	if n > paperDefaultWorkers {
+		return paperDefaultWorkers
 	}
 	return n
 }

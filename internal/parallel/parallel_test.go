@@ -82,8 +82,24 @@ func TestChunks(t *testing.T) {
 }
 
 func TestDefaultWorkers(t *testing.T) {
+	t.Setenv("STZ_WORKERS", "")
 	w := DefaultWorkers()
 	if w < 1 || w > 8 {
 		t.Fatalf("workers=%d", w)
+	}
+}
+
+func TestDefaultWorkersEnvOverride(t *testing.T) {
+	// STZ_WORKERS lifts the paper-default clamp of 8 entirely.
+	t.Setenv("STZ_WORKERS", "32")
+	if got := DefaultWorkers(); got != 32 {
+		t.Fatalf("STZ_WORKERS=32: workers=%d", got)
+	}
+	// Garbage and non-positive values fall back to the default.
+	for _, bad := range []string{"0", "-3", "many", "8.5", ""} {
+		t.Setenv("STZ_WORKERS", bad)
+		if got := DefaultWorkers(); got < 1 || got > 8 {
+			t.Fatalf("STZ_WORKERS=%q: workers=%d", bad, got)
+		}
 	}
 }

@@ -30,8 +30,14 @@ import (
 	"stz/internal/scratch"
 )
 
-// Magic identifies a SPERR-lite stream.
-const Magic = uint32(0x52455053) // "SPER"
+// Magic identifies a version-1 SPERR-lite stream; MagicV2 a version-2
+// stream, identical except that the quantized-coefficient plan is
+// entropy-coded with the multi-lane Huffman payload (huffman.EncodeLanes).
+// Writers emit v2; readers accept both.
+const (
+	Magic   = uint32(0x52455053) // "SPER"
+	MagicV2 = uint32(0x32525053) // "SPR2"
+)
 
 // ErrFormat reports a malformed stream.
 var ErrFormat = errors.New("sperr: malformed stream")
@@ -318,7 +324,7 @@ func Compress[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
 		codes[i] = code
 		coeffRec[i] = rec
 	}
-	hblob := huffman.Encode(codes, q.Alphabet())
+	hblob := huffman.EncodeLanes(codes, q.Alphabet())
 
 	// Correction pass: invert the reconstructed coefficients and record
 	// corrections for every point whose error exceeds the tolerance.
@@ -350,7 +356,7 @@ func Compress[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
 	corrBlob := cw.Bytes()
 
 	out := make([]byte, 47, 47+len(outliers)+len(hblob)+len(corrBlob))
-	binary.LittleEndian.PutUint32(out[0:], Magic)
+	binary.LittleEndian.PutUint32(out[0:], MagicV2)
 	out[4] = dtypeOf[T]()
 	out[5] = byte(nlev)
 	binary.LittleEndian.PutUint32(out[6:], uint32(g.Nz))
@@ -373,7 +379,16 @@ func DecompressWorkers[T grid.Float](data []byte, workers int) (*grid.Grid[T], e
 	if workers < 1 {
 		workers = 1
 	}
-	if len(data) < 47 || binary.LittleEndian.Uint32(data) != Magic {
+	if len(data) < 47 {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	version := 0
+	switch binary.LittleEndian.Uint32(data) {
+	case Magic:
+		version = 1
+	case MagicV2:
+		version = 2
+	default:
 		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
 	}
 	if data[4] != dtypeOf[T]() {
@@ -404,7 +419,13 @@ func DecompressWorkers[T grid.Float](data []byte, workers int) (*grid.Grid[T], e
 	n := nz * ny * nx
 	codesBuf := scratch.U16.Lease(n)
 	defer scratch.U16.Release(codesBuf)
-	codes, err := huffman.DecodeInto(codesBuf[:0], hblob, q.Alphabet())
+	var codes []uint16
+	var err error
+	if version >= 2 {
+		codes, err = huffman.DecodeLanesInto(codesBuf[:0], hblob, q.Alphabet(), workers)
+	} else {
+		codes, err = huffman.DecodeInto(codesBuf[:0], hblob, q.Alphabet())
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sperr: %w", err)
 	}

@@ -28,10 +28,15 @@ import (
 	"stz/internal/scratch"
 )
 
-// Magic identifies a serial SZ3 stream; MagicChunked a chunked one.
+// Magic identifies a version-1 serial SZ3 stream; MagicChunked a chunked
+// one (whose slabs are self-describing serial streams of either version);
+// MagicV2 a version-2 serial stream, identical to v1 except that the
+// quantization codes are entropy-coded with the multi-lane Huffman payload
+// (huffman.EncodeLanes). Writers emit v2; readers accept both.
 const (
 	Magic        = uint32(0x335a5301) // "SZ3" + version 1
 	MagicChunked = uint32(0x335a5302)
+	MagicV2      = uint32(0x335a5303)
 )
 
 // ErrFormat reports a malformed or mismatching stream.
@@ -276,10 +281,10 @@ func compressSerial[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
 		rec.Data[idx] = r
 	})
 
-	hblob := huffman.Encode(codes, q.Alphabet())
+	hblob := huffman.EncodeLanes(codes, q.Alphabet())
 
 	out := make([]byte, 40, 40+len(anchors)+len(outliers)+len(hblob))
-	binary.LittleEndian.PutUint32(out[0:], Magic)
+	binary.LittleEndian.PutUint32(out[0:], MagicV2)
 	out[4] = dtypeOf[T]()
 	binary.LittleEndian.PutUint32(out[8:], uint32(g.Nz))
 	binary.LittleEndian.PutUint32(out[12:], uint32(g.Ny))
@@ -295,23 +300,35 @@ func compressSerial[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
 }
 
 // Decompress decodes a stream produced by Compress (either mode). The type
-// parameter must match the stream's element type.
+// parameter must match the stream's element type. It uses up to
+// parallel.DefaultWorkers goroutines (chunk-parallel for chunked streams,
+// lane-parallel entropy decoding for large v2 serial streams); use
+// DecompressWorkers to bound parallelism explicitly.
 func Decompress[T grid.Float](data []byte) (*grid.Grid[T], error) {
+	return DecompressWorkers[T](data, 0)
+}
+
+// DecompressWorkers decodes a stream produced by Compress (either mode)
+// with up to workers goroutines (0 selects parallel.DefaultWorkers).
+func DecompressWorkers[T grid.Float](data []byte, workers int) (*grid.Grid[T], error) {
 	if len(data) < 4 {
 		return nil, ErrFormat
 	}
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
 	switch binary.LittleEndian.Uint32(data) {
-	case Magic:
-		return decompressSerial[T](data)
+	case Magic, MagicV2:
+		return decompressSerial[T](data, workers)
 	case MagicChunked:
-		return DecompressChunked[T](data, 0)
+		return DecompressChunked[T](data, workers)
 	default:
 		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
 	}
 }
 
-func decompressSerial[T grid.Float](data []byte) (*grid.Grid[T], error) {
-	nz, ny, nx, err := parseSerialDims[T](data)
+func decompressSerial[T grid.Float](data []byte, laneWorkers int) (*grid.Grid[T], error) {
+	nz, ny, nx, _, err := parseSerialDims[T](data)
 	if err != nil {
 		return nil, err
 	}
@@ -319,43 +336,51 @@ func decompressSerial[T grid.Float](data []byte) (*grid.Grid[T], error) {
 	// transiently (the streaming reader, the chunk-parallel decoder) hand
 	// the buffer back; long-lived results simply never release it.
 	rec := &grid.Grid[T]{Data: scratch.LeaseFloat[T](nz * ny * nx), Nz: nz, Ny: ny, Nx: nx}
-	if err := decompressSerialInto(data, rec); err != nil {
+	if err := decompressSerialInto(data, rec, laneWorkers); err != nil {
 		scratch.ReleaseFloat(rec.Data)
 		return nil, err
 	}
 	return rec, nil
 }
 
-// parseSerialDims validates the serial-stream header and returns the dims.
-func parseSerialDims[T grid.Float](data []byte) (nz, ny, nx int, err error) {
+// parseSerialDims validates the serial-stream header and returns the dims
+// and the format version (1 or 2).
+func parseSerialDims[T grid.Float](data []byte) (nz, ny, nx, version int, err error) {
 	if len(data) < 40 {
-		return 0, 0, 0, ErrFormat
+		return 0, 0, 0, 0, ErrFormat
 	}
-	if binary.LittleEndian.Uint32(data) != Magic {
-		return 0, 0, 0, fmt.Errorf("%w: bad magic", ErrFormat)
+	switch binary.LittleEndian.Uint32(data) {
+	case Magic:
+		version = 1
+	case MagicV2:
+		version = 2
+	default:
+		return 0, 0, 0, 0, fmt.Errorf("%w: bad magic", ErrFormat)
 	}
 	if data[4] != dtypeOf[T]() {
-		return 0, 0, 0, fmt.Errorf("%w: element type mismatch", ErrFormat)
+		return 0, 0, 0, 0, fmt.Errorf("%w: element type mismatch", ErrFormat)
 	}
 	nz = int(binary.LittleEndian.Uint32(data[8:]))
 	ny = int(binary.LittleEndian.Uint32(data[12:]))
 	nx = int(binary.LittleEndian.Uint32(data[16:]))
 	if nz < 0 || ny < 0 || nx < 0 {
-		return 0, 0, 0, ErrFormat
+		return 0, 0, 0, 0, ErrFormat
 	}
 	const maxElems = 1 << 33
 	if int64(nz)*int64(ny)*int64(nx) > maxElems {
-		return 0, 0, 0, fmt.Errorf("%w: implausible dims", ErrFormat)
+		return 0, 0, 0, 0, fmt.Errorf("%w: implausible dims", ErrFormat)
 	}
-	return nz, ny, nx, nil
+	return nz, ny, nx, version, nil
 }
 
 // decompressSerialInto decodes a serial stream into rec, whose dimensions
 // must match the stream header (the chunk-parallel decoder passes
 // zero-copy slab views of the full output grid). Every element of rec is
-// overwritten on success.
-func decompressSerialInto[T grid.Float](data []byte, rec *grid.Grid[T]) error {
-	nz, ny, nx, err := parseSerialDims[T](data)
+// overwritten on success. laneWorkers bounds the lane-parallel entropy
+// decode of v2 streams (chunk-parallel callers pass 1: the chunks already
+// occupy the pool).
+func decompressSerialInto[T grid.Float](data []byte, rec *grid.Grid[T], laneWorkers int) error {
+	nz, ny, nx, version, err := parseSerialDims[T](data)
 	if err != nil {
 		return err
 	}
@@ -397,10 +422,15 @@ func decompressSerialInto[T grid.Float](data []byte, rec *grid.Grid[T]) error {
 	hblob := data[pos+outBytes : pos+outBytes+hlen]
 
 	// The code count equals the predicted-point count (≤ Len), so a lease
-	// of Len elements lets DecodeInto skip its output allocation.
+	// of Len elements lets the decoder skip its output allocation.
 	codesBuf := scratch.U16.Lease(rec.Len())
 	defer scratch.U16.Release(codesBuf)
-	codes, err := huffman.DecodeInto(codesBuf[:0], hblob, q.Alphabet())
+	var codes []uint16
+	if version >= 2 {
+		codes, err = huffman.DecodeLanesInto(codesBuf[:0], hblob, q.Alphabet(), laneWorkers)
+	} else {
+		codes, err = huffman.DecodeInto(codesBuf[:0], hblob, q.Alphabet())
+	}
 	if err != nil {
 		return fmt.Errorf("sz3: %w", err)
 	}
@@ -541,7 +571,9 @@ func DecompressChunked[T grid.Float](data []byte, workers int) (*grid.Grid[T], e
 			errs[c] = err
 			return
 		}
-		errs[c] = decompressSerialInto(data[offs[c]:offs[c+1]], sub)
+		// Chunks already occupy the worker pool, so each chunk's v2 lane
+		// decode runs on the register-resident single-thread interleave.
+		errs[c] = decompressSerialInto(data[offs[c]:offs[c+1]], sub, 1)
 	})
 	for _, err := range errs {
 		if err != nil {

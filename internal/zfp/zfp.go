@@ -231,20 +231,30 @@ func decodePlanes(r *bitio.Reader, u *[blockSize]uint32, minPlane int) error {
 			if b == 0 {
 				break
 			}
-			// Zero run terminated by a one bit.
+			// Zero run terminated by a one bit, scanned word-at-a-time on
+			// the refill-amortized reader: one trailing-zero count replaces
+			// the per-bit read loop.
 			run := 0
 			for {
-				bit, err := r.ReadBit()
-				if err != nil {
-					return err
+				avail := r.Refill()
+				if avail == 0 {
+					return bitio.ErrOutOfBits
 				}
-				if bit == 1 {
+				v := r.PeekFast(avail)
+				tz := uint(bits.TrailingZeros64(v))
+				if tz < avail {
+					r.SkipFast(tz + 1)
+					run += int(tz)
 					break
 				}
-				run++
+				r.SkipFast(avail)
+				run += int(avail)
 				if run > blockSize {
 					return ErrFormat
 				}
+			}
+			if run > blockSize {
+				return ErrFormat
 			}
 			n += run + 1
 			if n > blockSize {
