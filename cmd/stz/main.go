@@ -9,6 +9,8 @@
 //	stz decompress -in nyx.stz -level 1 -out coarse.f32        (progressive)
 //	stz decompress -in nyx.stz -box 0:32,0:32,0:32 -out roi.f32 (random access)
 //	stz decompress -in nyx.stz -slice 17 -out slice.f32
+//	stz extract    -in nyx.zfp -box 0:16,0:16,0:16 -out roi.f32 (works on
+//	               registry archives too; reads only the chunks it needs)
 //	stz roi        -in nyx.f32 -dims 64x64x64 -dtype f32 -mode max -threshold 81.66
 //	stz codecs
 //
@@ -52,6 +54,8 @@ func main() {
 		err = cmdCompress(os.Args[2:])
 	case "decompress":
 		err = cmdDecompress(os.Args[2:])
+	case "extract":
+		err = cmdExtract(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
 	case "roi":
@@ -71,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: stz <gen|compress|decompress|info|roi|render|codecs> [flags]
+	fmt.Fprintln(os.Stderr, `usage: stz <gen|compress|decompress|extract|info|roi|render|codecs> [flags]
 run "stz <command> -h" for command flags`)
 }
 
@@ -155,26 +159,11 @@ func parseDims(s string) (int, int, int, error) {
 	return d[0], d[1], d[2], nil
 }
 
-// parseBox parses "z0:z1,y0:y1,x0:x1".
+// parseBox parses "z0:z1,y0:y1,x0:x1" — the shared grammar lives at the
+// codec layer next to CheckBox, so the CLI and the stzd query API cannot
+// drift apart.
 func parseBox(s string) (grid.Box, error) {
-	parts := strings.Split(s, ",")
-	if len(parts) != 3 {
-		return grid.Box{}, fmt.Errorf("box must be z0:z1,y0:y1,x0:x1")
-	}
-	var lo, hi [3]int
-	for i, p := range parts {
-		r := strings.Split(p, ":")
-		if len(r) != 2 {
-			return grid.Box{}, fmt.Errorf("bad range %q", p)
-		}
-		a, err1 := strconv.Atoi(r[0])
-		b, err2 := strconv.Atoi(r[1])
-		if err1 != nil || err2 != nil {
-			return grid.Box{}, fmt.Errorf("bad range %q", p)
-		}
-		lo[i], hi[i] = a, b
-	}
-	return grid.Box{Z0: lo[0], Y0: lo[1], X0: lo[2], Z1: hi[0], Y1: hi[1], X1: hi[2]}, nil
+	return codec.ParseBox(s)
 }
 
 // readRaw loads a little-endian raw float file.
@@ -569,6 +558,93 @@ func decompressAs[T grid.Float](data []byte, out string, level int, boxSpec stri
 			st.L1SZ3, st.LevelDecode[0], st.LevelPredict[0], st.LevelRecon[0],
 			st.LevelDecode[1], st.LevelPredict[1], st.LevelRecon[1], st.Total)
 	}
+	return nil
+}
+
+// cmdExtract is offline sub-box extraction — random access against both
+// stream families. Registry (SZXC) archives decode through the codec
+// ReaderAt, touching only the z-slab chunks the box intersects (the
+// printed read accounting shows how little of the payload was fetched);
+// STZ core streams use the hierarchical reader's DecompressBox. The box
+// must lie entirely inside the grid (no silent clipping).
+func cmdExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	in := fs.String("in", "", "input archive (.stz or registry SZXC)")
+	out := fs.String("out", "", "output raw file")
+	boxSpec := fs.String("box", "", "sub-box z0:z1,y0:y1,x0:x1")
+	workers := fs.Int("workers", 0, "parallel workers (0 = auto: STZ_WORKERS or min(cores, 8))")
+	fs.Parse(args)
+	if *in == "" || *out == "" || *boxSpec == "" {
+		return fmt.Errorf("extract: -in, -out and -box required")
+	}
+	if *workers <= 0 {
+		*workers = parallel.DefaultWorkers()
+	}
+	b, err := parseBox(*boxSpec)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	if codec.IsEncoded(data) {
+		hdr, err := codec.ParseHeader(data)
+		if err != nil {
+			return err
+		}
+		if hdr.DType == 4 {
+			return extractEncoded[float32](data, b, *out, *workers, writeRaw32)
+		}
+		return extractEncoded[float64](data, b, *out, *workers, writeRaw64)
+	}
+	hdr, err := peekHeader(data)
+	if err != nil {
+		return err
+	}
+	if hdr.DType == 4 {
+		return extractCore[float32](data, b, *out, *workers, writeRaw32)
+	}
+	return extractCore[float64](data, b, *out, *workers, writeRaw64)
+}
+
+func extractEncoded[T grid.Float](data []byte, b grid.Box, out string,
+	workers int, write func(string, *grid.Grid[T]) error) error {
+
+	r, err := codec.OpenReaderAt[T](data)
+	if err != nil {
+		return err
+	}
+	r.Workers = workers
+	g, err := r.DecompressBox(b)
+	if err != nil {
+		return err
+	}
+	if err := write(out, g); err != nil {
+		return err
+	}
+	read, payload := r.BytesRead(), r.PayloadBytes()
+	fmt.Printf("%s: %dx%dx%d (read %d of %d payload bytes, %.1f%%)\n",
+		out, g.Nz, g.Ny, g.Nx, read, payload, 100*float64(read)/float64(payload))
+	return nil
+}
+
+func extractCore[T grid.Float](data []byte, b grid.Box, out string,
+	workers int, write func(string, *grid.Grid[T]) error) error {
+
+	r, err := core.NewReader[T](data)
+	if err != nil {
+		return err
+	}
+	r.Workers = workers
+	g, _, err := r.DecompressBox(b)
+	if err != nil {
+		return err
+	}
+	if err := write(out, g); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %dx%dx%d\n", out, g.Nz, g.Ny, g.Nx)
 	return nil
 }
 

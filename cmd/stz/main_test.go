@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -246,4 +247,81 @@ func TestCodecFlagRoundTrip(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestRandomAccessExtractCommand drives stz extract against both stream
+// families: a registry (SZXC) archive and a core STZ stream. The extracted
+// window must be byte-identical to the same region of a full decompression,
+// and invalid boxes must be rejected.
+func TestRandomAccessExtractCommand(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "in.f32")
+	if err := cmdGen([]string{"-dataset", "Nyx", "-dims", "24x16x16", "-out", raw}); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(label, enc string, full *grid.Grid[float32], b grid.Box) {
+		t.Helper()
+		out := filepath.Join(dir, label+".box.f32")
+		spec := boxSpecOf(b)
+		if err := cmdExtract([]string{"-in", enc, "-box", spec, "-out", out}); err != nil {
+			t.Fatalf("%s: extract: %v", label, err)
+		}
+		got, err := readRaw32(out, b.Z1-b.Z0, b.Y1-b.Y0, b.X1-b.X0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := full.ExtractBox(b)
+		for i := range want.Data {
+			if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+				t.Fatalf("%s: extracted box differs from full decode at %d", label, i)
+			}
+		}
+	}
+	b := grid.Box{Z0: 5, Y0: 2, X0: 3, Z1: 15, Y1: 12, X1: 13}
+
+	// Registry archive (chunked, so the extract can skip slabs).
+	encReg := filepath.Join(dir, "in.sz3")
+	if err := cmdCompress([]string{"-in", raw, "-dims", "24x16x16", "-codec", "sz3",
+		"-eb", "0.01", "-chunks", "3", "-out", encReg}); err != nil {
+		t.Fatal(err)
+	}
+	regBytes, err := os.ReadFile(encReg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullReg, err := codec.Decode[float32](regBytes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("registry", encReg, fullReg, b)
+
+	// Core STZ stream.
+	encCore := filepath.Join(dir, "in.stz")
+	if err := cmdCompress([]string{"-in", raw, "-dims", "24x16x16", "-eb", "0.01", "-out", encCore}); err != nil {
+		t.Fatal(err)
+	}
+	decFull := filepath.Join(dir, "full.f32")
+	if err := cmdDecompress([]string{"-in", encCore, "-out", decFull}); err != nil {
+		t.Fatal(err)
+	}
+	fullCore, err := readRaw32(decFull, 24, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("core", encCore, fullCore, b)
+
+	// Out-of-bounds and inverted boxes are rejected on both paths.
+	for _, enc := range []string{encReg, encCore} {
+		for _, spec := range []string{"0:25,0:16,0:16", "5:5,0:16,0:16", "8:4,0:16,0:16"} {
+			if err := cmdExtract([]string{"-in", enc, "-box", spec,
+				"-out", filepath.Join(dir, "bad.f32")}); err == nil {
+				t.Errorf("%s: box %s accepted", enc, spec)
+			}
+		}
+	}
+}
+
+func boxSpecOf(b grid.Box) string {
+	return fmt.Sprintf("%d:%d,%d:%d,%d:%d", b.Z0, b.Z1, b.Y0, b.Y1, b.X0, b.X1)
 }

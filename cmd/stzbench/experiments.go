@@ -207,6 +207,11 @@ func expFig10() error {
 	t1 := time.Now()
 	boxes := make([]grid.Box, len(sel))
 	for i, reg := range sel {
+		// The selector emits clipped in-grid boxes; validate through the
+		// codec layer's uniform checker rather than trusting that.
+		if err := codec.CheckBox(reg.Box, g.Nz, g.Ny, g.Nx); err != nil {
+			return err
+		}
 		boxes[i] = reg.Box
 	}
 	if _, _, err := r.DecompressBoxes(boxes); err != nil {
@@ -370,6 +375,9 @@ func expTable4() error {
 	}
 	box := grid.Box{Z0: g.Nz / 3, Y0: g.Ny / 3, X0: g.Nx / 3,
 		Z1: g.Nz/3 + bz, Y1: g.Ny/3 + by, X1: g.Nx/3 + bx}
+	if err := codec.CheckBox(box, g.Nz, g.Ny, g.Nx); err != nil {
+		return err
+	}
 	_, stBox, err := r.DecompressBox(box)
 	if err != nil {
 		return err

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+
+	"stz/internal/codec"
+	"stz/internal/grid"
+	"stz/internal/roi"
+)
+
+// The archive query API: clients PUT a compressed archive once, then issue
+// ROI-driven random-access queries against the resident copy — the
+// paper's partial-read workflow as a service. Responses carry the
+// container's chunk-read accounting (X-Stz-Read-Bytes / X-Stz-Payload-
+// Bytes) so clients can see that a sub-box query read only the slabs it
+// needed.
+
+// maxArchiveID bounds stored ids; validArchiveID restricts them to a safe
+// path-segment charset.
+const maxArchiveID = 128
+
+func validArchiveID(id string) bool {
+	if id == "" || len(id) > maxArchiveID {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// archiveJSON is the transport form of one resident archive.
+type archiveJSON struct {
+	ID     string `json:"id"`
+	Codec  string `json:"codec"`
+	Dims   string `json:"dims"`
+	Dtype  string `json:"dtype"`
+	Chunks int    `json:"chunks"`
+	Bytes  int64  `json:"bytes"`
+	Cost   int64  `json:"cost"`
+}
+
+func entryJSON(e *archiveEntry) archiveJSON {
+	dt := "f64"
+	if e.hdr().DType == 4 {
+		dt = "f32"
+	}
+	return archiveJSON{
+		ID: e.id, Codec: e.hdr().Codec,
+		Dims:  fmt.Sprintf("%dx%dx%d", e.hdr().Nz, e.hdr().Ny, e.hdr().Nx),
+		Dtype: dt, Chunks: e.hdr().Chunks(),
+		Bytes: e.size, Cost: e.cost,
+	}
+}
+
+// handleArchivePut stores the request body as a resident archive. A body
+// over -max-body is 413; one that parses as anything but a valid SZXC
+// archive is 422 (it is well-formed HTTP, just not a decodable archive).
+func (s *server) handleArchivePut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !validArchiveID(id) {
+		httpError(w, http.StatusBadRequest,
+			"archive id must be 1-%d chars of [A-Za-z0-9._-]", maxArchiveID)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.maxBody)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		httpError(w, requestErrorStatus(err), "reading archive: %v", err)
+		return
+	}
+	e, replaced, err := s.store.put(id, data)
+	if err != nil {
+		// A body that cannot fit the store is 413; one that is not a
+		// decodable SZXC archive is 422 (well-formed HTTP, bad entity).
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, errStoreBudget) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if replaced {
+		w.WriteHeader(http.StatusOK)
+	} else {
+		w.WriteHeader(http.StatusCreated)
+	}
+	json.NewEncoder(w).Encode(entryJSON(e))
+}
+
+func (s *server) handleArchiveList(w http.ResponseWriter, _ *http.Request) {
+	entries, bytes := s.store.snapshot()
+	out := make([]archiveJSON, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, entryJSON(e))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"archives":  out,
+		"bytes":     bytes,
+		"budget":    s.store.perShard * int64(len(s.store.shards)),
+		"evictions": s.store.evictions.Load(),
+	})
+}
+
+func (s *server) handleArchiveInfo(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown archive %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(entryJSON(e))
+}
+
+func (s *server) handleArchiveDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.store.delete(r.PathValue("id")) {
+		httpError(w, http.StatusNotFound, "unknown archive %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleArchiveBox serves GET /v1/archives/{id}/box?box=z0:z1,y0:y1,x0:x1 —
+// random-access sub-box decode against a resident archive. Box queries are
+// decode jobs and go through the admission semaphore like compress and
+// decompress.
+func (s *server) handleArchiveBox(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown archive %q", r.PathValue("id"))
+		return
+	}
+	spec := param(r, "box", "X-Stz-Box")
+	if spec == "" {
+		httpError(w, http.StatusBadRequest, "missing box parameter (z0:z1,y0:y1,x0:x1)")
+		return
+	}
+	b, err := codec.ParseBox(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Validate before claiming a job slot so malformed queries never wait.
+	if err := codec.CheckBox(b, e.hdr().Nz, e.hdr().Ny, e.hdr().Nx); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if !s.acquire(r) {
+		httpError(w, http.StatusServiceUnavailable, "compression pool saturated; retry")
+		return
+	}
+	defer s.release()
+
+	read0, _ := e.q.accounting()
+	resp := &boxResponse{w: w, e: e, box: b, read0: read0}
+	// The read delta is attributed to this query; under concurrent queries
+	// on the same archive it is approximate (the counter is shared).
+	if err := e.q.writeBox(resp, b); err != nil {
+		if resp.started {
+			// The status line is already out; the stream just truncates.
+			log.Printf("archive box: write failed mid-stream: %v", err)
+			return
+		}
+		// The box was validated, so pre-write failures are decode-side:
+		// the resident archive cannot produce the window.
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+}
+
+// boxResponse defers the success headers until the first body byte — by
+// then the decode work (and its read accounting) has happened, so the
+// X-Stz-Read-Bytes header reflects this query, and a decode failure can
+// still produce a clean error status.
+type boxResponse struct {
+	w       http.ResponseWriter
+	e       *archiveEntry
+	box     grid.Box
+	read0   int64
+	started bool
+}
+
+func (d *boxResponse) Write(p []byte) (int, error) {
+	if !d.started {
+		d.started = true
+		e, b := d.e, d.box
+		elem := int64(8)
+		dt := "f64"
+		if e.hdr().DType == 4 {
+			elem, dt = 4, "f32"
+		}
+		read, payload := e.q.accounting()
+		h := d.w.Header()
+		h.Set("Content-Type", "application/octet-stream")
+		h.Set("X-Stz-Codec", e.hdr().Codec)
+		h.Set("X-Stz-Dims", fmt.Sprintf("%dx%dx%d", b.Z1-b.Z0, b.Y1-b.Y0, b.X1-b.X0))
+		h.Set("X-Stz-Dtype", dt)
+		h.Set("X-Stz-Payload-Bytes", strconv.FormatInt(payload, 10))
+		h.Set("X-Stz-Read-Bytes", strconv.FormatInt(read-d.read0, 10))
+		h.Set("Content-Length", strconv.FormatInt(int64(b.Volume())*elem, 10))
+	}
+	return d.w.Write(p)
+}
+
+// roiRequest is the POST /v1/archives/{id}/roi body.
+type roiRequest struct {
+	Mode      string  `json:"mode"`      // "max" (default) or "range"
+	Block     int     `json:"block"`     // ROI block size (default 16)
+	Threshold float64 `json:"threshold"` // select stat > threshold…
+	Top       float64 `json:"top"`       // …or top X percent when > 0
+}
+
+type roiRegionJSON struct {
+	Box  string  `json:"box"` // z0:z1,y0:y1,x0:x1 — feed back to /box
+	Stat float64 `json:"stat"`
+}
+
+// handleArchiveROI runs the internal/roi selector server-side over a
+// resident archive and returns the selected regions, each addressable
+// through the box endpoint.
+func (s *server) handleArchiveROI(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown archive %q", r.PathValue("id"))
+		return
+	}
+	var req roiRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "request body: %v", err)
+		return
+	}
+	p := roiParams{block: 16, thresh: req.Threshold, topPct: req.Top}
+	if req.Block != 0 {
+		if req.Block < 1 {
+			httpError(w, http.StatusBadRequest, "block must be >= 1")
+			return
+		}
+		p.block = req.Block
+	}
+	switch req.Mode {
+	case "", "max":
+		p.mode = roi.MaxValue
+	case "range":
+		p.mode = roi.ValueRange
+	default:
+		httpError(w, http.StatusBadRequest, "mode must be max or range, got %q", req.Mode)
+		return
+	}
+	if !s.acquire(r) {
+		httpError(w, http.StatusServiceUnavailable, "compression pool saturated; retry")
+		return
+	}
+	defer s.release()
+	res, err := e.q.queryROI(p)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	regions := make([]roiRegionJSON, 0, len(res.regions))
+	for _, reg := range res.regions {
+		regions = append(regions, roiRegionJSON{
+			Box: fmt.Sprintf("%d:%d,%d:%d,%d:%d",
+				reg.Box.Z0, reg.Box.Z1, reg.Box.Y0, reg.Box.Y1, reg.Box.X0, reg.Box.X1),
+			Stat: reg.Stat,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"mode":     p.mode.String(),
+		"block":    p.block,
+		"scanned":  res.scanned,
+		"selected": len(regions),
+		"coverage": res.coverage,
+		"regions":  regions,
+	})
+}

@@ -10,8 +10,21 @@
 //	     response: SZXC archive (identical to codec.Encode / stz compress)
 //	POST /v1/decompress
 //	     body: SZXC archive; response: raw little-endian values
+//	PUT    /v1/archives/{id}        store an SZXC archive in the resident
+//	       query store (sharded, byte-budgeted LRU; see -archive-budget)
+//	GET    /v1/archives             list resident archives
+//	GET    /v1/archives/{id}        archive metadata as JSON
+//	DELETE /v1/archives/{id}        evict an archive
+//	GET    /v1/archives/{id}/box?box=z0:z1,y0:y1,x0:x1
+//	       random-access sub-box decode; response: raw little-endian
+//	       values, with X-Stz-Read-Bytes / X-Stz-Payload-Bytes reporting
+//	       how little of the archive the query touched
+//	POST   /v1/archives/{id}/roi    run the ROI selector server-side
+//	       body: {"mode":"max|range","block":16,"threshold":T,"top":P}
+//	       response: selected regions, each addressable via /box
 //	GET  /v1/codecs      registry capability matrix as JSON
-//	GET  /v1/stats       scratch-pool hit rates and in-flight job count
+//	GET  /v1/stats       scratch-pool hit rates, archive store and
+//	     in-flight job count
 //	GET  /healthz        liveness probe
 //
 // Every parameter may also be supplied as an X-Stz-* header (X-Stz-Codec,
@@ -52,14 +65,21 @@ func main() {
 		"per-request read and write deadline; bounds how long a stalled client can hold a job slot (0 = none)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	archiveBudget := flag.Int64("archive-budget", 1<<30,
+		"byte budget of the resident archive store (LRU-evicted beyond this; "+
+			"a single archive is capped at budget/shards)")
+	archiveShards := flag.Int("archive-shards", 8,
+		"archive store shard count (the budget splits evenly across shards)")
 	flag.Parse()
 
 	h := newServer(options{
-		maxBody:     *maxBody,
-		maxInflight: *maxInflight,
-		workers:     *workers,
-		window:      *window,
-		enablePprof: *pprofOn,
+		maxBody:       *maxBody,
+		maxInflight:   *maxInflight,
+		workers:       *workers,
+		window:        *window,
+		enablePprof:   *pprofOn,
+		archiveBudget: *archiveBudget,
+		archiveShards: *archiveShards,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -35,6 +35,13 @@ type options struct {
 	admissionWait time.Duration
 	// enablePprof mounts net/http/pprof under /debug/pprof/.
 	enablePprof bool
+	// archiveBudget caps the bytes charged by the resident archive store
+	// (raw archive bytes, plus the decoded-grid cache ceiling for backends
+	// without native sub-box decoding).
+	archiveBudget int64
+	// archiveShards is the archive store's shard count; the budget is
+	// split evenly across shards.
+	archiveShards int
 }
 
 func (o options) withDefaults() options {
@@ -50,26 +57,44 @@ func (o options) withDefaults() options {
 	if o.admissionWait <= 0 {
 		o.admissionWait = 100 * time.Millisecond
 	}
+	if o.archiveBudget <= 0 {
+		o.archiveBudget = 1 << 30
+	}
+	if o.archiveShards <= 0 {
+		o.archiveShards = 8
+	}
 	return o
 }
 
 // server is the stzd request handler: a mux over the v1 endpoints with a
-// semaphore-bounded job pool.
+// semaphore-bounded job pool and a resident archive store for the
+// random-access query API.
 type server struct {
-	opts options
-	sem  chan struct{}
-	mux  *http.ServeMux
+	opts  options
+	sem   chan struct{}
+	store *archiveStore
+	mux   *http.ServeMux
 }
 
 func newServer(o options) *server {
 	o = o.withDefaults()
-	s := &server{opts: o, sem: make(chan struct{}, o.maxInflight)}
+	s := &server{
+		opts:  o,
+		sem:   make(chan struct{}, o.maxInflight),
+		store: newArchiveStore(o.archiveBudget, o.archiveShards, o.workers),
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/codecs", s.handleCodecs)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/compress", s.handleCompress)
 	s.mux.HandleFunc("POST /v1/decompress", s.handleDecompress)
+	s.mux.HandleFunc("GET /v1/archives", s.handleArchiveList)
+	s.mux.HandleFunc("PUT /v1/archives/{id}", s.handleArchivePut)
+	s.mux.HandleFunc("GET /v1/archives/{id}", s.handleArchiveInfo)
+	s.mux.HandleFunc("DELETE /v1/archives/{id}", s.handleArchiveDelete)
+	s.mux.HandleFunc("GET /v1/archives/{id}/box", s.handleArchiveBox)
+	s.mux.HandleFunc("POST /v1/archives/{id}/roi", s.handleArchiveROI)
 	if o.enablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -143,12 +168,22 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	g := scratch.GlobalStats()
+	entries, archiveBytes := s.store.snapshot()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"inflight":      len(s.sem),
 		"max_inflight":  s.opts.maxInflight,
 		"pool_hit_rate": g.HitRate(),
 		"pools":         pools,
+		"archives": map[string]any{
+			"count":     len(entries),
+			"bytes":     archiveBytes,
+			"budget":    s.store.perShard * int64(len(s.store.shards)),
+			"shards":    len(s.store.shards),
+			"evictions": s.store.evictions.Load(),
+			"hits":      s.store.hits.Load(),
+			"misses":    s.store.misses.Load(),
+		},
 	})
 }
 

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"stz/internal/codec"
+	"stz/internal/grid"
+	"stz/internal/rawio"
+	"stz/internal/roi"
+)
+
+// errStoreBudget marks an archive whose budget charge alone exceeds a
+// shard's share — no amount of eviction can make it fit.
+var errStoreBudget = errors.New("archive exceeds store budget")
+
+// archiveStore is the server-side home of resident archives: a sharded,
+// byte-budgeted LRU of parsed SZXC archives, each wrapped in a
+// random-access reader so sub-box queries touch only the slabs they need.
+// Shards are independent LRUs — an id hashes to one shard, and the byte
+// budget is split evenly across shards, the usual trade of a slightly
+// approximate global bound for uncontended locking under concurrent
+// queries.
+type archiveStore struct {
+	shards    []*storeShard
+	perShard  int64
+	workers   int // decode parallelism handed to each resident reader
+	evictions atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+}
+
+// storeShard is one LRU partition. lru front = most recently used.
+type storeShard struct {
+	mu    sync.Mutex
+	byID  map[string]*list.Element // values are *archiveEntry
+	lru   *list.List
+	bytes int64
+}
+
+// archiveEntry is one resident archive. The querier keeps the raw bytes
+// alive (the reader holds views into them) and owns the parsed header;
+// cost charges the raw archive size plus — for backends without native
+// sub-box decoding — the decoded grid size, the ceiling of the reader's
+// slab cache.
+type archiveEntry struct {
+	id   string
+	size int64 // raw archive bytes
+	cost int64 // bytes charged against the shard budget
+	q    querier
+}
+
+// hdr is the entry's stream metadata (held by the querier's reader; not
+// duplicated here).
+func (e *archiveEntry) hdr() codec.Header { return e.q.header() }
+
+func newArchiveStore(budget int64, nShards, workers int) *archiveStore {
+	if nShards < 1 {
+		nShards = 1
+	}
+	per := budget / int64(nShards)
+	if per < 1 {
+		per = 1
+	}
+	s := &archiveStore{shards: make([]*storeShard, nShards), perShard: per, workers: workers}
+	for i := range s.shards {
+		s.shards[i] = &storeShard{byID: map[string]*list.Element{}, lru: list.New()}
+	}
+	return s
+}
+
+func (s *archiveStore) shard(id string) *storeShard {
+	h := fnv.New32a()
+	io.WriteString(h, id)
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// put parses and stores an archive under id, replacing any previous entry
+// and evicting least-recently-used archives until the shard fits its
+// budget share. It fails when the entry alone exceeds that share.
+func (s *archiveStore) put(id string, data []byte) (*archiveEntry, bool, error) {
+	hdr, err := codec.ParseHeader(data)
+	if err != nil {
+		return nil, false, err
+	}
+	q, err := newQuerier(hdr, data, s.workers)
+	if err != nil {
+		return nil, false, err
+	}
+	e := &archiveEntry{id: id, size: int64(len(data)), cost: q.cost(), q: q}
+	if e.cost > s.perShard {
+		return nil, false, fmt.Errorf("%w: needs %d budget bytes, shard budget is %d",
+			errStoreBudget, e.cost, s.perShard)
+	}
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	replaced := false
+	if el, ok := sh.byID[id]; ok {
+		sh.bytes -= el.Value.(*archiveEntry).cost
+		sh.lru.Remove(el)
+		delete(sh.byID, id)
+		replaced = true
+	}
+	for sh.bytes+e.cost > s.perShard {
+		back := sh.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*archiveEntry)
+		sh.bytes -= victim.cost
+		sh.lru.Remove(back)
+		delete(sh.byID, victim.id)
+		s.evictions.Add(1)
+	}
+	sh.byID[id] = sh.lru.PushFront(e)
+	sh.bytes += e.cost
+	return e, replaced, nil
+}
+
+// get returns the entry for id, marking it most recently used.
+func (s *archiveStore) get(id string) (*archiveEntry, bool) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.byID[id]
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	s.hits.Add(1)
+	return el.Value.(*archiveEntry), true
+}
+
+// delete removes id; it reports whether an entry existed.
+func (s *archiveStore) delete(id string) bool {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.byID[id]
+	if !ok {
+		return false
+	}
+	sh.bytes -= el.Value.(*archiveEntry).cost
+	sh.lru.Remove(el)
+	delete(sh.byID, id)
+	return true
+}
+
+// snapshot lists the resident entries (MRU first within each shard) and
+// the total charged bytes.
+func (s *archiveStore) snapshot() ([]*archiveEntry, int64) {
+	var out []*archiveEntry
+	var bytes int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			out = append(out, el.Value.(*archiveEntry))
+		}
+		bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return out, bytes
+}
+
+// querier hides the archive's element type behind a uniform query surface
+// (Go interfaces cannot carry generic methods, so the float32/float64
+// instantiations live behind this).
+type querier interface {
+	// header is the parsed stream metadata.
+	header() codec.Header
+	// cost is the byte charge against the store budget.
+	cost() int64
+	// writeBox decodes box b and writes its raw little-endian values to w.
+	writeBox(w io.Writer, b grid.Box) error
+	// queryROI runs the server-side ROI selector over the full grid.
+	queryROI(p roiParams) (roiResult, error)
+	// accounting reports (payload bytes read since open, total payload).
+	accounting() (read, payload int64)
+}
+
+// roiParams are the validated inputs of one ROI selection request.
+type roiParams struct {
+	mode   roi.Mode
+	block  int
+	thresh float64
+	topPct float64 // > 0 selects top-percent instead of threshold
+}
+
+// roiResult is the selector output in transport-ready form.
+type roiResult struct {
+	regions  []roi.Region
+	scanned  int
+	coverage float64
+}
+
+// typedQuerier adapts codec.ReaderAt to the querier interface for one
+// element type.
+type typedQuerier[T grid.Float] struct {
+	ra   *codec.ReaderAt[T]
+	size int64
+}
+
+func newQuerier(hdr codec.Header, data []byte, workers int) (querier, error) {
+	if hdr.DType == 4 {
+		ra, err := codec.OpenReaderAt[float32](data)
+		if err != nil {
+			return nil, err
+		}
+		ra.Workers = workers
+		return &typedQuerier[float32]{ra: ra, size: int64(len(data))}, nil
+	}
+	ra, err := codec.OpenReaderAt[float64](data)
+	if err != nil {
+		return nil, err
+	}
+	ra.Workers = workers
+	return &typedQuerier[float64]{ra: ra, size: int64(len(data))}, nil
+}
+
+func (q *typedQuerier[T]) header() codec.Header { return q.ra.Header() }
+
+func (q *typedQuerier[T]) cost() int64 {
+	hdr := q.ra.Header()
+	if q.ra.NativeRandomAccess() {
+		// Native sub-box decode holds no slab cache: only the raw bytes
+		// stay resident.
+		return q.size
+	}
+	elem := int64(4)
+	if hdr.DType == 8 {
+		elem = 8
+	}
+	return q.size + int64(hdr.Nz)*int64(hdr.Ny)*int64(hdr.Nx)*elem
+}
+
+func (q *typedQuerier[T]) writeBox(w io.Writer, b grid.Box) error {
+	g, err := q.ra.DecompressBox(b)
+	if err != nil {
+		return err
+	}
+	return rawio.NewWriter[T](w, 0).Write(g.Data)
+}
+
+func (q *typedQuerier[T]) queryROI(p roiParams) (roiResult, error) {
+	hdr := q.ra.Header()
+	full, err := q.ra.DecompressBox(grid.Box{Z1: hdr.Nz, Y1: hdr.Ny, X1: hdr.Nx})
+	if err != nil {
+		return roiResult{}, err
+	}
+	regions, err := roi.ScanBlocks(full, p.block, p.mode)
+	if err != nil {
+		return roiResult{}, err
+	}
+	var sel []roi.Region
+	if p.topPct > 0 {
+		sel = roi.TopPercent(regions, p.topPct)
+	} else {
+		sel = roi.Threshold(regions, p.thresh)
+	}
+	return roiResult{regions: sel, scanned: len(regions), coverage: roi.Coverage(full, sel)}, nil
+}
+
+func (q *typedQuerier[T]) accounting() (int64, int64) {
+	return q.ra.BytesRead(), q.ra.PayloadBytes()
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"testing"
+
+	"stz/internal/codec"
+	"stz/internal/datasets"
+	"stz/internal/grid"
+)
+
+// The random-access benchmarks measure the query path the stzd archive
+// store serves: a 16³ box out of a chunked 64³ archive. They report the
+// two numbers that matter for a query service — ns/op and bytes read per
+// queried voxel (the container's chunk-read accounting over the box
+// volume) — and run under the same benchdiff regression gate as the
+// codec benchmarks.
+
+const raChunks = 8
+
+func raGrid() *grid.Grid[float32] {
+	return datasets.Nyx(64, 64, 64, 7)
+}
+
+func raBox() grid.Box {
+	return grid.Box{Z0: 24, Y0: 24, X0: 24, Z1: 40, Y1: 40, X1: 40}
+}
+
+// BenchmarkRandomAccessBox is the cold-query cost: every iteration opens a
+// fresh reader over the archive bytes and decodes the box, the pattern of
+// a store serving each archive's first query (and every query, for
+// backends with native sub-box decode, which cache nothing).
+func BenchmarkRandomAccessBox(b *testing.B) {
+	g := raGrid()
+	box := raBox()
+	for _, name := range codec.Names() {
+		enc, err := codec.Encode(name, g, codec.Config{EB: 1e-3, Chunks: raChunks, Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var read, payload int64
+			b.SetBytes(int64(4 * box.Volume()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := codec.OpenReaderAt[float32](enc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r.Workers = 4
+				if _, err := r.DecompressBox(box); err != nil {
+					b.Fatal(err)
+				}
+				read, payload = r.BytesRead(), r.PayloadBytes()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(read)/float64(box.Volume()), "readB/voxel")
+			b.ReportMetric(100*float64(read)/float64(payload), "%payload")
+		})
+	}
+}
+
+// BenchmarkRandomAccessBoxWarm is the resident-archive steady state: one
+// reader serves every query, so fallback backends amortize their slab
+// decodes across iterations through the slab cache.
+func BenchmarkRandomAccessBoxWarm(b *testing.B) {
+	g := raGrid()
+	box := raBox()
+	for _, name := range codec.Names() {
+		enc, err := codec.Encode(name, g, codec.Config{EB: 1e-3, Chunks: raChunks, Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			r, err := codec.OpenReaderAt[float32](enc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.Workers = 4
+			if _, err := r.DecompressBox(box); err != nil { // warm the slab cache
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(4 * box.Volume()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.DecompressBox(box); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRandomAccessFullDecode is the no-random-access baseline the box
+// benchmarks are read against: decoding the whole archive to serve the
+// same 16³ window.
+func BenchmarkRandomAccessFullDecode(b *testing.B) {
+	g := raGrid()
+	box := raBox()
+	for _, name := range codec.Names() {
+		enc, err := codec.Encode(name, g, codec.Config{EB: 1e-3, Chunks: raChunks, Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(4 * box.Volume()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				full, err := codec.Decode[float32](enc, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = full.ExtractBox(box)
+			}
+		})
+	}
+}

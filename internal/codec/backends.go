@@ -46,6 +46,22 @@ func (b *backend) Decompress64(data []byte, workers int) (*grid.Grid[float64], e
 	return b.d64(data, workers)
 }
 
+// boxBackend extends backend with native sub-box decoding (the BoxDecoder
+// extension); only backends whose payload supports genuine sub-stream
+// addressing are registered through it.
+type boxBackend struct {
+	backend
+	b32 func([]byte, grid.Box, int) (*grid.Grid[float32], error)
+	b64 func([]byte, grid.Box, int) (*grid.Grid[float64], error)
+}
+
+func (b *boxBackend) DecompressBox32(data []byte, bx grid.Box, workers int) (*grid.Grid[float32], error) {
+	return b.b32(data, bx, workers)
+}
+func (b *boxBackend) DecompressBox64(data []byte, bx grid.Box, workers int) (*grid.Grid[float64], error) {
+	return b.b64(data, bx, workers)
+}
+
 func sz3Compress[T grid.Float](g *grid.Grid[T], cfg Config) ([]byte, error) {
 	return sz3.Compress(g, sz3.Options{EB: cfg.EB, Radius: cfg.radius(), Workers: cfg.Workers})
 }
@@ -81,12 +97,16 @@ func mgardDecompress[T grid.Float](data []byte, _ int) (*grid.Grid[T], error) {
 }
 
 func init() {
-	Register(&backend{
-		name: "sz3", id: IDSZ3,
-		caps: Caps{ParallelCompress: true, ParallelDecompress: true,
-			MaxDims: 3, Float32: true, Float64: true},
-		c32: sz3Compress[float32], d32: sz3Decompress[float32],
-		c64: sz3Compress[float64], d64: sz3Decompress[float64],
+	Register(&boxBackend{
+		backend: backend{
+			name: "sz3", id: IDSZ3,
+			caps: Caps{RandomAccess: true, ParallelCompress: true, ParallelDecompress: true,
+				MaxDims: 3, Float32: true, Float64: true},
+			c32: sz3Compress[float32], d32: sz3Decompress[float32],
+			c64: sz3Compress[float64], d64: sz3Decompress[float64],
+		},
+		b32: sz3.DecompressBox[float32],
+		b64: sz3.DecompressBox[float64],
 	})
 	Register(&backend{
 		name: "sperr", id: IDSPERR,

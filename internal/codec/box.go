@@ -1,0 +1,83 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"stz/internal/grid"
+)
+
+// ErrBox is the single error all layers report for an invalid sub-box
+// request: empty, inverted, or out of the grid's bounds. Callers branch on
+// it with errors.Is; the concrete *BoxError carries the offending box.
+//
+// Historically each package did its own ad-hoc validation — core silently
+// clipped out-of-bounds boxes and only rejected ones that clipped to
+// nothing, while stzbench did no checking at all — so the same request
+// could succeed, shrink, or fail depending on the entry point. Every
+// random-access path (codec.ReaderAt, core.Reader, the stzd query API and
+// the stz CLI) now validates through CheckBox instead: a box must be
+// non-empty, non-inverted and lie entirely inside the grid, or the request
+// fails with ErrBox. Callers that want the old clipping behaviour do it
+// explicitly with grid.Box.Clip before asking.
+var ErrBox = errors.New("codec: invalid box")
+
+// BoxError reports why a sub-box request was rejected against a grid.
+type BoxError struct {
+	Box        grid.Box
+	Nz, Ny, Nx int
+	Reason     string
+}
+
+func (e *BoxError) Error() string {
+	return fmt.Sprintf("codec: invalid box %d:%d,%d:%d,%d:%d for %d×%d×%d grid: %s",
+		e.Box.Z0, e.Box.Z1, e.Box.Y0, e.Box.Y1, e.Box.X0, e.Box.X1,
+		e.Nz, e.Ny, e.Nx, e.Reason)
+}
+
+func (e *BoxError) Unwrap() error { return ErrBox }
+
+// ParseBox parses the textual box grammar "z0:z1,y0:y1,x0:x1" shared by
+// the stz CLI and the stzd query API (half-open ranges). It only parses;
+// validate against a grid with CheckBox.
+func ParseBox(s string) (grid.Box, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return grid.Box{}, fmt.Errorf("box must be z0:z1,y0:y1,x0:x1")
+	}
+	var lo, hi [3]int
+	for i, p := range parts {
+		r := strings.Split(p, ":")
+		if len(r) != 2 {
+			return grid.Box{}, fmt.Errorf("bad range %q", p)
+		}
+		a, err1 := strconv.Atoi(r[0])
+		b, err2 := strconv.Atoi(r[1])
+		if err1 != nil || err2 != nil {
+			return grid.Box{}, fmt.Errorf("bad range %q", p)
+		}
+		lo[i], hi[i] = a, b
+	}
+	return grid.Box{Z0: lo[0], Y0: lo[1], X0: lo[2], Z1: hi[0], Y1: hi[1], X1: hi[2]}, nil
+}
+
+// CheckBox validates a sub-box request against a nz×ny×nx grid: the box
+// must contain at least one point (not empty or inverted) and lie entirely
+// inside the grid. It returns nil or a *BoxError wrapping ErrBox.
+func CheckBox(b grid.Box, nz, ny, nx int) error {
+	fail := func(reason string) error {
+		return &BoxError{Box: b, Nz: nz, Ny: ny, Nx: nx, Reason: reason}
+	}
+	if b.Z1 <= b.Z0 || b.Y1 <= b.Y0 || b.X1 <= b.X0 {
+		return fail("empty or inverted")
+	}
+	if b.Z0 < 0 || b.Y0 < 0 || b.X0 < 0 {
+		return fail("negative origin")
+	}
+	if b.Z1 > nz || b.Y1 > ny || b.X1 > nx {
+		return fail("exceeds grid extent")
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync/atomic"
 )
 
 // Magic identifies a container stream.
@@ -66,11 +67,17 @@ func (b *Builder) Bytes() []byte {
 }
 
 // Archive is a parsed container over a byte slice (sections are views, not
-// copies).
+// copies). It keeps a running count of the payload bytes handed out through
+// Section — the chunk-read accounting that random-access decoding uses to
+// prove a sub-box query touched only the slabs it needed.
 type Archive struct {
 	buf      []byte
 	offsets  []int // len = count+1, relative to payload start
 	payload0 int
+	// read accumulates the payload bytes returned by Section. Section is
+	// called concurrently by the chunk-parallel decoders, so the counter is
+	// atomic; it is monotonic until ResetReadBytes.
+	read atomic.Int64
 }
 
 // Open parses and validates the directory.
@@ -111,18 +118,44 @@ func Open(buf []byte) (*Archive, error) {
 // Count returns the number of sections.
 func (a *Archive) Count() int { return len(a.offsets) - 1 }
 
-// Section returns the i-th section payload.
+// Section returns the i-th section payload and charges its length to the
+// read accounting.
 func (a *Archive) Section(i int) ([]byte, error) {
 	if i < 0 || i >= a.Count() {
 		return nil, fmt.Errorf("%w: section %d of %d", ErrFormat, i, a.Count())
 	}
+	a.read.Add(int64(a.offsets[i+1] - a.offsets[i]))
 	return a.buf[a.payload0+a.offsets[i] : a.payload0+a.offsets[i+1]], nil
 }
 
-// SectionLen returns the length of section i without touching its payload.
+// SectionLen returns the length of section i without touching its payload
+// (and without charging the read accounting).
 func (a *Archive) SectionLen(i int) (int, error) {
 	if i < 0 || i >= a.Count() {
 		return 0, fmt.Errorf("%w: section %d of %d", ErrFormat, i, a.Count())
 	}
 	return a.offsets[i+1] - a.offsets[i], nil
 }
+
+// SectionOffset returns the absolute byte offset of section i within the
+// underlying buffer — the seek position a chunk-addressed reader would use
+// against a file or object store.
+func (a *Archive) SectionOffset(i int) (int, error) {
+	if i < 0 || i >= a.Count() {
+		return 0, fmt.Errorf("%w: section %d of %d", ErrFormat, i, a.Count())
+	}
+	return a.payload0 + a.offsets[i], nil
+}
+
+// PayloadLen returns the total payload size in bytes (all sections, not
+// counting the directory framing).
+func (a *Archive) PayloadLen() int { return a.offsets[len(a.offsets)-1] }
+
+// ReadBytes reports the payload bytes handed out through Section since the
+// archive was opened (or since the last ResetReadBytes). Repeated reads of
+// the same section are charged each time: the counter models I/O, not
+// coverage.
+func (a *Archive) ReadBytes() int64 { return a.read.Load() }
+
+// ResetReadBytes zeroes the read accounting.
+func (a *Archive) ResetReadBytes() { a.read.Store(0) }

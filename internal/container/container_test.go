@@ -112,6 +112,78 @@ func TestTruncatedDirectory(t *testing.T) {
 	}
 }
 
+// TestRandomAccessReadAccounting pins the chunk-read accounting that the
+// sub-box decode paths build on: Section charges exactly its payload
+// length (every time), SectionLen and SectionOffset charge nothing, and
+// ResetReadBytes restarts the counter.
+func TestRandomAccessReadAccounting(t *testing.T) {
+	var b Builder
+	secs := [][]byte{
+		bytes.Repeat([]byte{1}, 10),
+		bytes.Repeat([]byte{2}, 100),
+		{},
+		bytes.Repeat([]byte{3}, 1000),
+	}
+	for _, s := range secs {
+		b.Add(s)
+	}
+	buf := b.Bytes()
+	a, err := Open(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.PayloadLen(), 1110; got != want {
+		t.Fatalf("PayloadLen=%d want %d", got, want)
+	}
+	if a.ReadBytes() != 0 {
+		t.Fatalf("fresh archive ReadBytes=%d", a.ReadBytes())
+	}
+	if _, err := a.SectionLen(3); err != nil {
+		t.Fatal(err)
+	}
+	if a.ReadBytes() != 0 {
+		t.Fatal("SectionLen charged the read accounting")
+	}
+	if _, err := a.Section(1); err != nil {
+		t.Fatal(err)
+	}
+	if a.ReadBytes() != 100 {
+		t.Fatalf("after Section(1): ReadBytes=%d want 100", a.ReadBytes())
+	}
+	// Re-reading charges again: the counter models I/O, not coverage.
+	a.Section(1)
+	a.Section(0)
+	a.Section(2)
+	if a.ReadBytes() != 210 {
+		t.Fatalf("ReadBytes=%d want 210", a.ReadBytes())
+	}
+	a.ResetReadBytes()
+	if a.ReadBytes() != 0 {
+		t.Fatal("ResetReadBytes did not zero the counter")
+	}
+
+	// Offsets: section i starts where the directory says it does, and the
+	// payload at that offset is the section's bytes.
+	dirLen := 8 + 8*len(secs) + 4
+	wantOff := dirLen
+	for i, s := range secs {
+		off, err := a.SectionOffset(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != wantOff {
+			t.Fatalf("SectionOffset(%d)=%d want %d", i, off, wantOff)
+		}
+		if !bytes.Equal(buf[off:off+len(s)], s) {
+			t.Fatalf("payload at offset %d is not section %d", off, i)
+		}
+		wantOff += len(s)
+	}
+	if _, err := a.SectionOffset(len(secs)); err == nil {
+		t.Fatal("out-of-range SectionOffset accepted")
+	}
+}
+
 func TestManySections(t *testing.T) {
 	var b Builder
 	rng := rand.New(rand.NewSource(1))

@@ -76,8 +76,9 @@ func TestChunkedRandomAccessConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(53))
 	for trial := 0; trial < 25; trial++ {
 		z0, y0, x0 := rng.Intn(28), rng.Intn(28), rng.Intn(28)
+		// Strict validation: keep the random extents inside the 32³ grid.
 		b := grid.Box{Z0: z0, Y0: y0, X0: x0,
-			Z1: z0 + 1 + rng.Intn(8), Y1: y0 + 1 + rng.Intn(8), X1: x0 + 1 + rng.Intn(8)}
+			Z1: z0 + 1 + rng.Intn(8), Y1: y0 + 1 + rng.Intn(8), X1: x0 + 1 + rng.Intn(8)}.Clip(32, 32, 32)
 		got, _, err := r.DecompressBox(b)
 		if err != nil {
 			t.Fatalf("box %+v: %v", b, err)

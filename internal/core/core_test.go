@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
+	"stz/internal/codec"
 	"stz/internal/grid"
 )
 
@@ -375,19 +377,24 @@ func TestRandomAccessBoxOutOfRange(t *testing.T) {
 	g := testField[float64](8, 8, 8, 16)
 	enc, _ := Compress(g, DefaultConfig(1e-3))
 	r, _ := NewReader[float64](enc)
-	if _, _, err := r.DecompressBox(grid.Box{Z0: 9, Z1: 10, Y1: 1, X1: 1}); err == nil {
-		t.Fatal("out-of-range box accepted")
+	if _, _, err := r.DecompressBox(grid.Box{Z0: 9, Z1: 10, Y1: 1, X1: 1}); !errors.Is(err, codec.ErrBox) {
+		t.Fatalf("out-of-range box: err=%v, want codec.ErrBox", err)
 	}
 	if _, _, err := r.DecompressSliceZ(-1); err == nil {
 		t.Fatal("negative slice accepted")
 	}
-	// A partially overlapping box is clipped.
-	got, _, err := r.DecompressBox(grid.Box{Z0: 6, Z1: 20, Y0: 0, Y1: 8, X0: 0, X1: 8})
+	// A partially overlapping box is rejected with the unified error — no
+	// silent clipping (callers that want clip semantics clip explicitly).
+	oob := grid.Box{Z0: 6, Z1: 20, Y0: 0, Y1: 8, X0: 0, X1: 8}
+	if _, _, err := r.DecompressBox(oob); !errors.Is(err, codec.ErrBox) {
+		t.Fatalf("partially overlapping box: err=%v, want codec.ErrBox", err)
+	}
+	got, _, err := r.DecompressBox(oob.Clip(8, 8, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Nz != 2 {
-		t.Fatalf("clipped box Nz=%d want 2", got.Nz)
+		t.Fatalf("caller-clipped box Nz=%d want 2", got.Nz)
 	}
 }
 

@@ -25,10 +25,12 @@ func TestDecompressBoxesMatchesFull(t *testing.T) {
 	var boxes []grid.Box
 	for i := 0; i < 12; i++ {
 		z0, y0, x0 := rng.Intn(36), rng.Intn(32), rng.Intn(40)
+		// Boxes must be fully in bounds (validation is strict); clip the
+		// random extents to the grid.
 		boxes = append(boxes, grid.Box{
 			Z0: z0, Y0: y0, X0: x0,
 			Z1: z0 + 1 + rng.Intn(8), Y1: y0 + 1 + rng.Intn(8), X1: x0 + 1 + rng.Intn(8),
-		})
+		}.Clip(40, 36, 44))
 	}
 	outs, st, err := r.DecompressBoxes(boxes)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"stz/internal/codec"
 	"stz/internal/grid"
 	"stz/internal/parallel"
 	"stz/internal/quant"
@@ -76,9 +77,11 @@ func ciSpan(sb grid.Box, by, bx int) (int, int) {
 	return lo, hi
 }
 
-// DecompressBox reconstructs only the region b (clipped to the grid) —
-// random-access decompression. The result grid has the box's dimensions
-// and is bit-identical to the same region of a full decompression.
+// DecompressBox reconstructs only the region b — random-access
+// decompression. The box must lie entirely inside the grid (codec.CheckBox;
+// callers wanting clip semantics clip explicitly first). The result grid
+// has the box's dimensions and is bit-identical to the same region of a
+// full decompression.
 func (r *Reader[T]) DecompressBox(b grid.Box) (*grid.Grid[T], *Stats, error) {
 	outs, st, err := r.DecompressBoxes([]grid.Box{b})
 	if err != nil {
@@ -90,9 +93,11 @@ func (r *Reader[T]) DecompressBox(b grid.Box) (*grid.Grid[T], *Stats, error) {
 // DecompressBoxes reconstructs several regions in one pass: every class
 // stream needed by at least one region is entropy-decoded exactly once,
 // which makes many-small-ROI workflows (e.g. halo extraction) far cheaper
-// than repeated DecompressBox calls. Each result grid has its clipped
-// box's dimensions and is bit-identical to the same region of a full
-// decompression.
+// than repeated DecompressBox calls. Every box must lie entirely inside
+// the grid — validation is the codec layer's uniform codec.CheckBox, so an
+// empty, inverted or out-of-bounds request fails with codec.ErrBox instead
+// of being silently clipped. Each result grid has its box's dimensions and
+// is bit-identical to the same region of a full decompression.
 func (r *Reader[T]) DecompressBoxes(boxes []grid.Box) ([]*grid.Grid[T], *Stats, error) {
 	st := &Stats{}
 	t0 := time.Now()
@@ -101,12 +106,12 @@ func (r *Reader[T]) DecompressBoxes(boxes []grid.Box) ([]*grid.Grid[T], *Stats, 
 	if len(boxes) == 0 {
 		return nil, st, fmt.Errorf("core: no regions requested")
 	}
-	clipped := make([]grid.Box, len(boxes))
+	regions := make([]grid.Box, len(boxes))
 	for i, b := range boxes {
-		clipped[i] = b.Clip(r.hdr.Fz, r.hdr.Fy, r.hdr.Fx)
-		if clipped[i].Empty() {
-			return nil, st, fmt.Errorf("core: empty region request %d", i)
+		if err := codec.CheckBox(b, r.hdr.Fz, r.hdr.Fy, r.hdr.Fx); err != nil {
+			return nil, st, fmt.Errorf("core: region %d: %w", i, err)
 		}
+		regions[i] = b
 	}
 
 	if r.hdr.PartitionOnly {
@@ -114,8 +119,8 @@ func (r *Reader[T]) DecompressBoxes(boxes []grid.Box) ([]*grid.Grid[T], *Stats, 
 		if err != nil {
 			return nil, st, err
 		}
-		outs := make([]*grid.Grid[T], len(clipped))
-		for i, b := range clipped {
+		outs := make([]*grid.Grid[T], len(regions))
+		for i, b := range regions {
 			outs[i] = full.ExtractBox(b)
 		}
 		return outs, st, nil
@@ -126,9 +131,9 @@ func (r *Reader[T]) DecompressBoxes(boxes []grid.Box) ([]*grid.Grid[T], *Stats, 
 
 	// Per-region restriction chains; restricts[t] is the union region of
 	// chain grid t that must be reconstructed.
-	perBox := make([][]grid.Box, len(clipped))
+	perBox := make([][]grid.Box, len(regions))
 	restricts := make([]grid.Box, levels)
-	for i, b := range clipped {
+	for i, b := range regions {
 		perBox[i] = make([]grid.Box, levels)
 		perBox[i][0] = b
 		for t := 1; t < levels; t++ {
@@ -225,16 +230,16 @@ func (r *Reader[T]) DecompressBoxes(boxes []grid.Box) ([]*grid.Grid[T], *Stats, 
 	p := levels - 2
 	fz, fy, fx := dims[0][0], dims[0][1], dims[0][2]
 	q := quant.Quantizer{EB: r.levelEB(levels), Radius: r.hdr.Radius}
-	outs := make([]*grid.Grid[T], len(clipped))
-	for i, b := range clipped {
+	outs := make([]*grid.Grid[T], len(regions))
+	for i, b := range regions {
 		outs[i] = grid.New[T](b.Z1-b.Z0, b.Y1-b.Y0, b.X1-b.X0)
 	}
 
 	classes := predictedClasses()
 	// A class stream is needed when any region intersects it.
 	needClass := make([]bool, len(classes))
-	boxClass := make([][]grid.Box, len(clipped))
-	for i, b := range clipped {
+	boxClass := make([][]grid.Box, len(regions))
+	for i, b := range regions {
 		boxClass[i] = make([]grid.Box, len(classes))
 		for c, off := range classes {
 			boxClass[i][c] = grid.SubBox(b, off, 2, fz, fy, fx)
@@ -258,7 +263,7 @@ func (r *Reader[T]) DecompressBoxes(boxes []grid.Box) ([]*grid.Grid[T], *Stats, 
 		bz, by, bx := classDims(classes[c], fz, fy, fx)
 		n := bz * by * bx
 		lo, hi := n, 0
-		for i := range clipped {
+		for i := range regions {
 			if boxClass[i][c].Empty() {
 				continue
 			}
@@ -292,7 +297,7 @@ func (r *Reader[T]) DecompressBoxes(boxes []grid.Box) ([]*grid.Grid[T], *Stats, 
 			return
 		}
 		off := classes[c]
-		for i, b := range clipped {
+		for i, b := range regions {
 			if boxClass[i][c].Empty() {
 				continue
 			}
@@ -317,7 +322,7 @@ func (r *Reader[T]) DecompressBoxes(boxes []grid.Box) ([]*grid.Grid[T], *Stats, 
 
 	// Copy-through of the coarse lattice points inside each box.
 	tRec := time.Now()
-	for i, b := range clipped {
+	for i, b := range regions {
 		out := outs[i]
 		z0 := b.Z0 + (b.Z0 & 1)
 		y0 := b.Y0 + (b.Y0 & 1)

@@ -326,6 +326,29 @@ func (g *Grid[T]) ExtractBox(b Box) *Grid[T] {
 	return out
 }
 
+// CopyBoxFromSlab copies into g (whose dims are b's dims) the part of b
+// covered by slab, a z-slab view whose plane 0 is global plane zOff. Rows
+// of b outside the slab's z-range are left untouched, which lets a
+// chunk-addressed reader assemble a box from exactly the slabs that
+// intersect it. b.Y/X must lie within the slab's Y/X extent.
+func (g *Grid[T]) CopyBoxFromSlab(slab *Grid[T], b Box, zOff int) {
+	z0, z1 := b.Z0, b.Z1
+	if z0 < zOff {
+		z0 = zOff
+	}
+	if z1 > zOff+slab.Nz {
+		z1 = zOff + slab.Nz
+	}
+	w := b.X1 - b.X0
+	for z := z0; z < z1; z++ {
+		for y := b.Y0; y < b.Y1; y++ {
+			src := ((z-zOff)*slab.Ny+y)*slab.Nx + b.X0
+			dst := ((z-b.Z0)*g.Ny + (y - b.Y0)) * g.Nx
+			copy(g.Data[dst:dst+w], slab.Data[src:src+w])
+		}
+	}
+}
+
 // ToFloat64 converts the grid to float64 elements.
 func ToFloat64[T Float](g *Grid[T]) *Grid[float64] {
 	out := New[float64](g.Nz, g.Ny, g.Nx)

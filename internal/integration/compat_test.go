@@ -86,6 +86,80 @@ func TestPinnedV1Corpus(t *testing.T) {
 	}
 }
 
+// TestRandomAccessPinnedCorpus locks the random-access decode paths
+// byte-exact against the pinned corpus: extracting a sub-box from a
+// corpus archive must reproduce the corresponding window of the pinned
+// full reconstruction, through every box-capable reader. A future PR that
+// perturbs any box path (codec.ReaderAt, sz3.DecompressBox,
+// core.Reader.DecompressBox) breaks this immediately.
+func TestRandomAccessPinnedCorpus(t *testing.T) {
+	// Interior box with odd offsets; plus a corner voxel and a full box.
+	boxes := []grid.Box{
+		{Z0: 3, Y0: 5, X0: 7, Z1: 17, Y1: 19, X1: 23},
+		{Z0: 19, Y0: 23, X0: 27, Z1: 20, Y1: 24, X1: 28},
+		{Z0: 0, Y0: 0, X0: 0, Z1: 20, Y1: 24, X1: 28},
+	}
+	cases := []struct {
+		name   string
+		decode func([]byte, grid.Box) (*grid.Grid[float32], error)
+	}{
+		{"core", func(b []byte, bx grid.Box) (*grid.Grid[float32], error) {
+			r, err := core.NewReader[float32](b)
+			if err != nil {
+				return nil, err
+			}
+			g, _, err := r.DecompressBox(bx)
+			return g, err
+		}},
+		{"core_codechunk", func(b []byte, bx grid.Box) (*grid.Grid[float32], error) {
+			r, err := core.NewReader[float32](b)
+			if err != nil {
+				return nil, err
+			}
+			g, _, err := r.DecompressBox(bx)
+			return g, err
+		}},
+		{"codec_sz3", func(b []byte, bx grid.Box) (*grid.Grid[float32], error) {
+			r, err := codec.OpenReaderAt[float32](b)
+			if err != nil {
+				return nil, err
+			}
+			return r.DecompressBox(bx)
+		}},
+		{"sz3_serial", func(b []byte, bx grid.Box) (*grid.Grid[float32], error) {
+			return sz3.DecompressBox[float32](b, bx, 2)
+		}},
+		{"sz3_chunked", func(b []byte, bx grid.Box) (*grid.Grid[float32], error) {
+			return sz3.DecompressBox[float32](b, bx, 2)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			archive, want := readCorpus(t, tc.name)
+			pinned, err := grid.FromData(want, 20, 24, 28)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, bx := range boxes {
+				g, err := tc.decode(archive, bx)
+				if err != nil {
+					t.Fatalf("box %+v: %v", bx, err)
+				}
+				wantWin := pinned.ExtractBox(bx)
+				if g.Nz != wantWin.Nz || g.Ny != wantWin.Ny || g.Nx != wantWin.Nx {
+					t.Fatalf("box %+v: dims %dx%dx%d", bx, g.Nz, g.Ny, g.Nx)
+				}
+				for i, v := range g.Data {
+					if math.Float32bits(v) != math.Float32bits(wantWin.Data[i]) {
+						t.Fatalf("box %+v: value %d = %g, pinned corpus window has %g",
+							bx, i, v, wantWin.Data[i])
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestPinnedCorpusMagics pins the format markers of the corpus so an
 // accidental regeneration with v2 writers (which would silently gut the
 // backward-compat coverage) is caught immediately.

@@ -524,42 +524,133 @@ func CompressChunked[T grid.Float](g *grid.Grid[T], o Options) ([]byte, error) {
 	return out, nil
 }
 
-// DecompressChunked decodes a chunked stream, using up to workers
-// goroutines (0 selects parallel.DefaultWorkers).
-func DecompressChunked[T grid.Float](data []byte, workers int) (*grid.Grid[T], error) {
-	if len(data) < 24 || binary.LittleEndian.Uint32(data) != MagicChunked {
-		return nil, fmt.Errorf("%w: bad chunked magic", ErrFormat)
-	}
-	if data[4] != dtypeOf[T]() {
-		return nil, fmt.Errorf("%w: element type mismatch", ErrFormat)
-	}
-	nz := int(binary.LittleEndian.Uint32(data[8:]))
-	ny := int(binary.LittleEndian.Uint32(data[12:]))
-	nx := int(binary.LittleEndian.Uint32(data[16:]))
-	nChunks := int(binary.LittleEndian.Uint32(data[20:]))
-	if nChunks <= 0 || nChunks > nz+1 {
-		return nil, fmt.Errorf("%w: bad chunk count", ErrFormat)
+// DecompressBox decodes only the region b of a stream produced by Compress
+// (either mode) — native random access. For chunked ("OMP") streams the
+// z-slab chunks give genuine sub-stream addressing: only the slabs whose
+// plane range intersects b are entropy-decoded and reconstructed, the rest
+// of the payload is never touched. Serial streams have one global
+// interpolation traversal, so they are fully decoded and the box windowed
+// out; the result is bit-identical to the same region of Decompress in
+// both cases. The box must lie entirely inside the stream's grid — callers
+// wanting clip semantics clip first (the codec layer validates with
+// codec.CheckBox before dispatching here).
+func DecompressBox[T grid.Float](data []byte, b grid.Box, workers int) (*grid.Grid[T], error) {
+	if len(data) < 4 {
+		return nil, ErrFormat
 	}
 	if workers <= 0 {
 		workers = parallel.DefaultWorkers()
 	}
+	if binary.LittleEndian.Uint32(data) != MagicChunked {
+		g, err := decompressSerial[T](data, workers)
+		if err != nil {
+			return nil, err
+		}
+		defer scratch.ReleaseFloat(g.Data)
+		if err := checkBox(b, g.Nz, g.Ny, g.Nx); err != nil {
+			return nil, err
+		}
+		return g.ExtractBox(b), nil
+	}
+
+	nz, ny, nx, offs, bounds, err := parseChunkedDir[T](data)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBox(b, nz, ny, nx); err != nil {
+		return nil, err
+	}
+	// Collect the slabs intersecting the box's plane range; everything else
+	// is skipped without being read.
+	var need []int
+	for c := 0; c+1 < len(bounds); c++ {
+		if bounds[c] < b.Z1 && bounds[c+1] > b.Z0 {
+			need = append(need, c)
+		}
+	}
+	out := grid.New[T](b.Z1-b.Z0, b.Y1-b.Y0, b.X1-b.X0)
+	errs := make([]error, len(need))
+	parallel.For(len(need), workers, func(i int) {
+		c := need[i]
+		lo, hi := bounds[c], bounds[c+1]
+		slab := &grid.Grid[T]{Data: scratch.LeaseFloat[T]((hi - lo) * ny * nx), Nz: hi - lo, Ny: ny, Nx: nx}
+		defer scratch.ReleaseFloat(slab.Data)
+		if err := decompressSerialInto(data[offs[c]:offs[c+1]], slab, 1); err != nil {
+			errs[i] = err
+			return
+		}
+		out.CopyBoxFromSlab(slab, b, lo)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// checkBox rejects empty, inverted or out-of-bounds boxes (the package
+// cannot import the codec layer's canonical CheckBox without a cycle, so
+// it applies the same rule locally).
+func checkBox(b grid.Box, nz, ny, nx int) error {
+	if b.Z1 <= b.Z0 || b.Y1 <= b.Y0 || b.X1 <= b.X0 ||
+		b.Z0 < 0 || b.Y0 < 0 || b.X0 < 0 ||
+		b.Z1 > nz || b.Y1 > ny || b.X1 > nx {
+		return fmt.Errorf("sz3: invalid box %d:%d,%d:%d,%d:%d for %d×%d×%d grid",
+			b.Z0, b.Z1, b.Y0, b.Y1, b.X0, b.X1, nz, ny, nx)
+	}
+	return nil
+}
+
+// parseChunkedDir validates a chunked-stream header and returns the grid
+// dims, the per-chunk payload byte ranges (offs[c]..offs[c+1]) and the
+// z-slab plane boundaries. It is the single parser behind both the full
+// chunked decoder and the random-access box decoder.
+func parseChunkedDir[T grid.Float](data []byte) (nz, ny, nx int, offs, bounds []int, err error) {
+	if len(data) < 24 || binary.LittleEndian.Uint32(data) != MagicChunked {
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad chunked magic", ErrFormat)
+	}
+	if data[4] != dtypeOf[T]() {
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: element type mismatch", ErrFormat)
+	}
+	nz = int(binary.LittleEndian.Uint32(data[8:]))
+	ny = int(binary.LittleEndian.Uint32(data[12:]))
+	nx = int(binary.LittleEndian.Uint32(data[16:]))
+	nChunks := int(binary.LittleEndian.Uint32(data[20:]))
+	if nChunks <= 0 || nChunks > nz+1 {
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad chunk count", ErrFormat)
+	}
 	pos := 24
 	if pos+4*nChunks > len(data) {
-		return nil, ErrFormat
+		return 0, 0, 0, nil, nil, ErrFormat
 	}
-	offs := make([]int, nChunks+1)
+	offs = make([]int, nChunks+1)
 	offs[0] = pos + 4*nChunks
 	for c := 0; c < nChunks; c++ {
 		offs[c+1] = offs[c] + int(binary.LittleEndian.Uint32(data[pos+4*c:]))
 	}
 	if offs[nChunks] > len(data) {
-		return nil, ErrFormat
+		return 0, 0, 0, nil, nil, ErrFormat
+	}
+	bounds = parallel.Chunks(nz, nChunks)
+	if len(bounds)-1 != nChunks {
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: chunk bounds mismatch", ErrFormat)
+	}
+	return nz, ny, nx, offs, bounds, nil
+}
+
+// DecompressChunked decodes a chunked stream, using up to workers
+// goroutines (0 selects parallel.DefaultWorkers).
+func DecompressChunked[T grid.Float](data []byte, workers int) (*grid.Grid[T], error) {
+	nz, ny, nx, offs, bounds, err := parseChunkedDir[T](data)
+	if err != nil {
+		return nil, err
+	}
+	nChunks := len(bounds) - 1
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
 	}
 	out := grid.New[T](nz, ny, nx)
-	bounds := parallel.Chunks(nz, nChunks)
-	if len(bounds)-1 != nChunks {
-		return nil, fmt.Errorf("%w: chunk bounds mismatch", ErrFormat)
-	}
 	errs := make([]error, nChunks)
 	plane := ny * nx
 	parallel.For(nChunks, workers, func(c int) {

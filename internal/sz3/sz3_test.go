@@ -324,3 +324,97 @@ func TestRateDistortionMonotone(t *testing.T) {
 		prev = len(enc)
 	}
 }
+
+// TestRandomAccessBoxMatchesFull checks the native sub-box decoder against
+// the corresponding window of a full decompression, byte for byte, over
+// serial and chunked streams and both element types.
+func TestRandomAccessBoxMatchesFull(t *testing.T) {
+	const nz, ny, nx = 30, 22, 26
+	g := smoothField[float32](nz, ny, nx, 21)
+	for _, o := range []Options{
+		DefaultOptions(1e-3),
+		{EB: 1e-3, Workers: 4, Chunks: 5},
+	} {
+		enc, err := Compress(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Decompress[float32](enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(22))
+		boxes := []grid.Box{
+			{Z1: nz, Y1: ny, X1: nx},
+			{Z0: nz - 1, Y0: ny - 1, X0: nx - 1, Z1: nz, Y1: ny, X1: nx},
+			{Z0: 11, Y0: 3, X0: 7, Z1: 19, Y1: 17, X1: 23}, // spans chunk boundaries
+		}
+		for i := 0; i < 10; i++ {
+			z0, y0, x0 := rng.Intn(nz), rng.Intn(ny), rng.Intn(nx)
+			boxes = append(boxes, grid.Box{
+				Z0: z0, Y0: y0, X0: x0,
+				Z1: z0 + 1 + rng.Intn(nz-z0), Y1: y0 + 1 + rng.Intn(ny-y0), X1: x0 + 1 + rng.Intn(nx-x0),
+			})
+		}
+		for _, b := range boxes {
+			got, err := DecompressBox[float32](enc, b, 2)
+			if err != nil {
+				t.Fatalf("chunks=%d box %+v: %v", o.Chunks, b, err)
+			}
+			want := full.ExtractBox(b)
+			if got.Nz != want.Nz || got.Ny != want.Ny || got.Nx != want.Nx {
+				t.Fatalf("box %+v: dims %dx%dx%d", b, got.Nz, got.Ny, got.Nx)
+			}
+			for i := range want.Data {
+				if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+					t.Fatalf("chunks=%d box %+v: differs from full at %d", o.Chunks, b, i)
+				}
+			}
+		}
+	}
+
+	g64 := smoothField[float64](17, 9, 13, 23)
+	enc, err := Compress(g64, Options{EB: 1e-4, Workers: 2, Chunks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decompress[float64](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := grid.Box{Z0: 4, Y0: 2, X0: 5, Z1: 13, Y1: 8, X1: 11}
+	got, err := DecompressBox[float64](enc, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := full.ExtractBox(b)
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("f64 box differs from full at %d", i)
+		}
+	}
+}
+
+// TestRandomAccessBoxRejectsBadBoxes checks the package-local validation
+// (empty, inverted, out of bounds) on both stream variants.
+func TestRandomAccessBoxRejectsBadBoxes(t *testing.T) {
+	g := smoothField[float32](10, 10, 10, 24)
+	for _, o := range []Options{DefaultOptions(1e-3), {EB: 1e-3, Workers: 2, Chunks: 2}} {
+		enc, err := Compress(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range []grid.Box{
+			{},
+			{Z0: 5, Z1: 5, Y1: 10, X1: 10},
+			{Z0: 7, Z1: 3, Y1: 10, X1: 10},
+			{Z0: -1, Z1: 10, Y1: 10, X1: 10},
+			{Z1: 11, Y1: 10, X1: 10},
+			{Z1: 10, Y1: 10, X0: 4, X1: 14},
+		} {
+			if _, err := DecompressBox[float32](enc, b, 1); err == nil {
+				t.Errorf("chunks=%d: box %+v accepted", o.Chunks, b)
+			}
+		}
+	}
+}
