@@ -1,156 +1,100 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"math"
 	"sort"
 	"strconv"
 	"strings"
+
+	"stz/internal/benchfmt"
 )
 
-// Entry is one benchmark series point in the github-action-benchmark
-// go-tool extracted format. The primary (ns/op) entry of a benchmark run
-// with -benchmem additionally carries the memory metrics, so memory
-// baselines travel in the same JSON file the timing gate already caches.
-type Entry struct {
-	Name  string  `json:"name"`
-	Value float64 `json:"value"`
-	Unit  string  `json:"unit"`
-	Extra string  `json:"extra,omitempty"`
-	// MemBytesPerOp / AllocsPerOp mirror the B/op and allocs/op columns of
-	// the same benchmark line; nil when the run lacked -benchmem.
-	MemBytesPerOp *float64 `json:"mem_bytes_per_op,omitempty"`
-	AllocsPerOp   *float64 `json:"allocs_per_op,omitempty"`
-}
-
-// parseBench extracts entries from `go test -bench` text output. Each
-// benchmark line yields one entry per (value, unit) pair after the
-// iteration count: the ns/op metric keeps the bare benchmark name, and
-// secondary metrics (B/op, allocs/op, custom units) are suffixed with
-// " - <unit>", mirroring the series names github-action-benchmark builds.
-func parseBench(r io.Reader) ([]Entry, error) {
-	var out []Entry
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(line)
-		// name, iterations, then (value, unit) pairs.
-		if len(fields) < 4 || len(fields)%2 != 0 {
-			continue
-		}
-		name := fields[0]
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		extra := fmt.Sprintf("%d times", iters)
-		primary := -1 // index in out of this line's ns/op entry
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			unit := fields[i+1]
-			entryName := name
-			if unit != "ns/op" {
-				entryName = name + " - " + unit
-			}
-			out = append(out, Entry{Name: entryName, Value: v, Unit: unit, Extra: extra})
-			switch unit {
-			case "ns/op":
-				primary = len(out) - 1
-			case "B/op":
-				if primary >= 0 {
-					b := v
-					out[primary].MemBytesPerOp = &b
-				}
-			case "allocs/op":
-				if primary >= 0 {
-					a := v
-					out[primary].AllocsPerOp = &a
-				}
-			}
-		}
-	}
-	return mergeMin(out), sc.Err()
-}
-
-// mergeMin collapses repeated entries of the same name (as produced by
-// `go test -count N`) to their minimum — the standard low-noise estimate
-// for gating — preserving first-seen order.
-func mergeMin(entries []Entry) []Entry {
-	idx := make(map[string]int, len(entries))
-	reps := make(map[string]int, len(entries))
-	var out []Entry
-	for _, e := range entries {
-		i, ok := idx[e.Name]
-		if !ok {
-			idx[e.Name] = len(out)
-			reps[e.Name] = 1
-			out = append(out, e)
-			continue
-		}
-		reps[e.Name]++
-		if e.Value < out[i].Value {
-			out[i].Value = e.Value
-		}
-		out[i].MemBytesPerOp = minPtr(out[i].MemBytesPerOp, e.MemBytesPerOp)
-		out[i].AllocsPerOp = minPtr(out[i].AllocsPerOp, e.AllocsPerOp)
-	}
-	for name, i := range idx {
-		if n := reps[name]; n > 1 {
-			out[i].Extra = fmt.Sprintf("min of %d runs", n)
-		}
-	}
-	return out
-}
-
-// minPtr returns the smaller of two optional metrics (nil = absent).
-func minPtr(a, b *float64) *float64 {
-	if a == nil {
-		return b
-	}
-	if b == nil || *a <= *b {
-		return a
-	}
-	return b
-}
+// Entry aliases the shared series-point schema; parsing and merging live
+// in internal/benchfmt so cmd/stzsuite emits the same shape.
+type Entry = benchfmt.Entry
 
 // Regression is one benchmark metric that worsened beyond its threshold.
 type Regression struct {
 	Name     string
-	Unit     string // "ns/op" or "allocs/op"
+	Unit     string // "ns/op", "allocs/op", or a gated custom unit
 	Old, New float64
-	Ratio    float64
+	Ratio    float64 // degradation ratio (already direction-adjusted)
 }
 
-// compareEntries gates new against old on two axes: any ns/op entry whose
-// value grew beyond threshold× the baseline (and is above minNs, a noise
-// floor for ultra-short benchmarks) is a regression, and any entry whose
-// allocs/op grew beyond allocThreshold× the baseline (and is above
-// minAllocs — pool-warm-up jitter on nearly allocation-free benchmarks
-// must not trip the gate) is a memory regression. It returns the
-// regressions plus human-readable notes about entries present in only one
-// file.
-func compareEntries(old, new []Entry, threshold, minNs, allocThreshold, minAllocs float64) ([]Regression, []string) {
+// metricGate gates one custom benchmark unit (compression ratio, PSNR,
+// bytes-read-per-voxel, …) with its own threshold and direction. The
+// degradation ratio is new/old for lower-is-better units and old/new for
+// higher-is-better ones, so a gate always fails when degradation exceeds
+// the threshold regardless of the unit's sense.
+type metricGate struct {
+	unit      string
+	threshold float64
+	higher    bool // true when larger values are better
+}
+
+// parseMetricGate parses "unit:threshold[:higher|lower]" (default lower).
+func parseMetricGate(s string) (metricGate, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return metricGate{}, fmt.Errorf("metric gate %q: want unit:threshold[:higher|lower]", s)
+	}
+	g := metricGate{unit: parts[0]}
+	if g.unit == "" {
+		return metricGate{}, fmt.Errorf("metric gate %q: empty unit", s)
+	}
+	th, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || !(th > 1) {
+		return metricGate{}, fmt.Errorf("metric gate %q: threshold must be a ratio > 1", s)
+	}
+	g.threshold = th
+	if len(parts) == 3 {
+		switch parts[2] {
+		case "higher":
+			g.higher = true
+		case "lower":
+		default:
+			return metricGate{}, fmt.Errorf("metric gate %q: direction must be higher or lower", s)
+		}
+	}
+	return g, nil
+}
+
+// compareEntries gates new against old: any ns/op entry whose value grew
+// beyond threshold× the baseline (and is above minNs, a noise floor for
+// ultra-short benchmarks) is a regression; any entry whose allocs/op grew
+// beyond allocThreshold× the baseline (and is above minAllocs —
+// pool-warm-up jitter on nearly allocation-free benchmarks must not trip
+// the gate) is a memory regression; and any entry whose unit matches a
+// metric gate fails when its direction-adjusted degradation exceeds the
+// gate's threshold. It returns the regressions plus human-readable notes
+// about benchmarks present in only one file.
+func compareEntries(old, new []Entry, threshold, minNs, allocThreshold, minAllocs float64, gates []metricGate) ([]Regression, []string) {
 	baseline := make(map[string]Entry, len(old))
 	for _, e := range old {
-		if e.Unit == "ns/op" {
-			baseline[e.Name] = e
-		}
+		baseline[e.Name] = e
+	}
+	gateByUnit := make(map[string]metricGate, len(gates))
+	for _, g := range gates {
+		gateByUnit[g.unit] = g
 	}
 	var regs []Regression
 	var notes []string
 	seen := make(map[string]bool)
 	for _, e := range new {
+		if g, ok := gateByUnit[e.Unit]; ok && e.Unit != "ns/op" {
+			b, ok := baseline[e.Name]
+			if !ok {
+				continue // the cell's ns/op entry already produces the note
+			}
+			deg := degradation(b.Value, e.Value, g.higher)
+			if deg > g.threshold {
+				regs = append(regs, Regression{Name: e.Name, Unit: e.Unit, Old: b.Value, New: e.Value, Ratio: deg})
+			}
+			continue
+		}
 		if e.Unit != "ns/op" {
 			continue
 		}
@@ -182,14 +126,30 @@ func compareEntries(old, new []Entry, threshold, minNs, allocThreshold, minAlloc
 			}
 		}
 	}
-	for name := range baseline {
-		if !seen[name] {
+	for name, b := range baseline {
+		if b.Unit == "ns/op" && !seen[name] {
 			notes = append(notes, fmt.Sprintf("benchmark disappeared: %s", name))
 		}
 	}
 	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
 	sort.Strings(notes)
 	return regs, notes
+}
+
+// degradation is the direction-adjusted worsening ratio: how many times
+// worse new is than old. Matching zeros degrade by 1 (no change); a value
+// collapsing to the bad side of zero degrades infinitely.
+func degradation(old, new float64, higher bool) float64 {
+	if !higher {
+		old, new = new, old // now "old" is the numerator of worse/better
+	}
+	if old == new {
+		return 1
+	}
+	if new == 0 {
+		return math.Inf(1)
+	}
+	return old / new
 }
 
 func cmdConvert(args []string) error {
@@ -202,7 +162,7 @@ func cmdConvert(args []string) error {
 		return err
 	}
 	defer r.Close()
-	entries, err := parseBench(r)
+	entries, err := benchfmt.ParseGoBench(r)
 	if err != nil {
 		return err
 	}
@@ -214,14 +174,24 @@ func cmdConvert(args []string) error {
 
 func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
-	oldPath := fs.String("old", "", "baseline JSON (from convert)")
-	newPath := fs.String("new", "", "current JSON (from convert)")
+	oldPath := fs.String("old", "", "baseline: convert output or a BENCH_<date>.json document")
+	newPath := fs.String("new", "", "current: convert output or a BENCH_<date>.json document")
 	threshold := fs.Float64("threshold", 1.30, "failure ratio: new/old ns/op above this fails")
 	minNs := fs.Float64("min-ns", 0, "ignore benchmarks at or below this many ns/op (noise floor)")
 	allocThreshold := fs.Float64("alloc-threshold", 1.30,
 		"failure ratio: new/old allocs/op above this fails (0 disables the memory gate)")
 	minAllocs := fs.Float64("min-allocs", 10,
 		"ignore allocs/op gating at or below this many allocations (noise floor)")
+	var gates []metricGate
+	fs.Func("metric", "gate a custom unit: unit:threshold[:higher|lower] (repeatable, e.g. ratio:1.5:higher)",
+		func(s string) error {
+			g, err := parseMetricGate(s)
+			if err != nil {
+				return err
+			}
+			gates = append(gates, g)
+			return nil
+		})
 	fs.Parse(args)
 	if *oldPath == "" || *newPath == "" {
 		return fmt.Errorf("compare: -old and -new required")
@@ -232,8 +202,8 @@ func cmdCompare(args []string) error {
 			return nil, err
 		}
 		defer r.Close()
-		var entries []Entry
-		if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		entries, err := benchfmt.ReadSeries(r)
+		if err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		return entries, nil
@@ -246,18 +216,40 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	regs, notes := compareEntries(oldE, newE, *threshold, *minNs, *allocThreshold, *minAllocs)
+	regs, notes := compareEntries(oldE, newE, *threshold, *minNs, *allocThreshold, *minAllocs, gates)
 	for _, n := range notes {
 		fmt.Println("note:", n)
 	}
 	if len(regs) == 0 {
-		fmt.Printf("ok: no ns/op or allocs/op regressions beyond %.2fx across %d benchmarks\n",
+		fmt.Printf("ok: no ns/op, allocs/op or gated-metric regressions beyond %.2fx across %d benchmarks\n",
 			*threshold, len(newE))
 		return nil
 	}
 	for _, r := range regs {
-		fmt.Printf("REGRESSION %s: %.0f -> %.0f %s (%.2fx)\n",
+		fmt.Printf("REGRESSION %s: %g -> %g %s (%.2fx worse)\n",
 			r.Name, r.Old, r.New, r.Unit, r.Ratio)
 	}
 	return fmt.Errorf("%d benchmark metric(s) regressed", len(regs))
+}
+
+// cmdValidate checks that a BENCH_<date>.json document is schema-valid —
+// the CI smoke assertion for freshly emitted suite runs.
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	in := fs.String("in", "-", "BENCH_<date>.json document (- for stdin)")
+	fs.Parse(args)
+	r, err := readInput(*in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	var f benchfmt.File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("%s: not a BENCH document: %w", *in, err)
+	}
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", *in, err)
+	}
+	fmt.Printf("ok: %s is schema-valid (%d benches in the newest run)\n", *in, len(f.Latest()))
+	return nil
 }

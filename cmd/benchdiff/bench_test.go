@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"stz/internal/benchfmt"
 )
 
 const sampleBench = `goos: linux
@@ -13,65 +16,9 @@ pkg: stz
 BenchmarkCodecRegistry/sz3-8         	       1	  52034811 ns/op	 1204 B/op	      25 allocs/op
 BenchmarkCodecRegistry/zfp-8         	       3	   1200000 ns/op
 BenchmarkTable2Datasets-8            	       1	 903122382 ns/op	       5.000 custom_metric
-garbage line that is ignored
-Benchmark	notenoughfields
 PASS
 ok  	stz	4.766s
 `
-
-func TestParseBench(t *testing.T) {
-	entries, err := parseBench(strings.NewReader(sampleBench))
-	if err != nil {
-		t.Fatal(err)
-	}
-	byName := map[string]Entry{}
-	for _, e := range entries {
-		byName[e.Name] = e
-	}
-	e, ok := byName["BenchmarkCodecRegistry/sz3-8"]
-	if !ok || e.Value != 52034811 || e.Unit != "ns/op" || e.Extra != "1 times" {
-		t.Fatalf("sz3 ns/op entry wrong: %+v (ok=%v)", e, ok)
-	}
-	if e.MemBytesPerOp == nil || *e.MemBytesPerOp != 1204 {
-		t.Fatalf("MemBytesPerOp not captured on primary entry: %+v", e)
-	}
-	if e.AllocsPerOp == nil || *e.AllocsPerOp != 25 {
-		t.Fatalf("AllocsPerOp not captured on primary entry: %+v", e)
-	}
-	if z := byName["BenchmarkCodecRegistry/zfp-8"]; z.MemBytesPerOp != nil || z.AllocsPerOp != nil {
-		t.Fatalf("mem fields invented for a run without -benchmem: %+v", z)
-	}
-	if e := byName["BenchmarkCodecRegistry/sz3-8 - B/op"]; e.Value != 1204 || e.Unit != "B/op" {
-		t.Fatalf("B/op entry wrong: %+v", e)
-	}
-	if e := byName["BenchmarkCodecRegistry/sz3-8 - allocs/op"]; e.Value != 25 {
-		t.Fatalf("allocs/op entry wrong: %+v", e)
-	}
-	if e := byName["BenchmarkTable2Datasets-8 - custom_metric"]; e.Value != 5 {
-		t.Fatalf("custom metric entry wrong: %+v", e)
-	}
-	if _, ok := byName["Benchmark"]; ok {
-		t.Fatal("malformed line parsed")
-	}
-}
-
-func TestParseBenchMergesCountedRuns(t *testing.T) {
-	// `go test -count 3` repeats each benchmark line; the min is kept.
-	repeated := `BenchmarkX-8	10	300 ns/op
-BenchmarkX-8	10	250 ns/op
-BenchmarkX-8	10	400 ns/op
-`
-	entries, err := parseBench(strings.NewReader(repeated))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(entries) != 1 {
-		t.Fatalf("%d entries, want 1 merged: %+v", len(entries), entries)
-	}
-	if entries[0].Value != 250 || entries[0].Extra != "min of 3 runs" {
-		t.Fatalf("merged entry %+v, want min 250 of 3 runs", entries[0])
-	}
-}
 
 func TestCompareEntries(t *testing.T) {
 	old := []Entry{
@@ -86,7 +33,7 @@ func TestCompareEntries(t *testing.T) {
 		{Name: "BenchmarkNew", Value: 999, Unit: "ns/op"},    // no baseline: note only
 		{Name: "BenchmarkA - B/op", Value: 99, Unit: "B/op"}, // never gated
 	}
-	regs, notes := compareEntries(old, cur, 1.30, 0, 1.30, 10)
+	regs, notes := compareEntries(old, cur, 1.30, 0, 1.30, 10, nil)
 	if len(regs) != 1 || regs[0].Name != "BenchmarkA" {
 		t.Fatalf("regressions = %+v, want exactly BenchmarkA", regs)
 	}
@@ -97,7 +44,7 @@ func TestCompareEntries(t *testing.T) {
 		t.Fatalf("notes = %v, want new+disappeared", notes)
 	}
 	// A noise floor suppresses the tiny regression.
-	regs2, _ := compareEntries(old, cur, 1.30, 500, 1.30, 10)
+	regs2, _ := compareEntries(old, cur, 1.30, 500, 1.30, 10, nil)
 	if len(regs2) != 0 {
 		t.Fatalf("min-ns floor ignored: %+v", regs2)
 	}
@@ -119,7 +66,7 @@ func TestCompareAllocRegression(t *testing.T) {
 		// No -benchmem data on either side: never gated.
 		{Name: "BenchmarkNoMem", Value: 100, Unit: "ns/op"},
 	}
-	regs, _ := compareEntries(old, cur, 1.30, 0, 1.30, 10)
+	regs, _ := compareEntries(old, cur, 1.30, 0, 1.30, 10, nil)
 	if len(regs) != 1 || regs[0].Name != "BenchmarkA" || regs[0].Unit != "allocs/op" {
 		t.Fatalf("regs = %+v, want one allocs/op regression for BenchmarkA", regs)
 	}
@@ -127,27 +74,192 @@ func TestCompareAllocRegression(t *testing.T) {
 		t.Fatalf("alloc values %+v", regs[0])
 	}
 	// alloc-threshold 0 disables the memory gate entirely.
-	if regs, _ := compareEntries(old, cur, 1.30, 0, 0, 10); len(regs) != 0 {
+	if regs, _ := compareEntries(old, cur, 1.30, 0, 0, 10, nil); len(regs) != 0 {
 		t.Fatalf("disabled alloc gate still fired: %+v", regs)
 	}
 }
 
-func TestMergeMinMemFields(t *testing.T) {
-	repeated := `BenchmarkY-8	10	300 ns/op	2048 B/op	30 allocs/op
-BenchmarkY-8	10	280 ns/op	1024 B/op	20 allocs/op
-`
-	entries, err := parseBench(strings.NewReader(repeated))
+func TestCompareZeroAllocBaselineRegression(t *testing.T) {
+	// A benchmark that reached 0 allocs/op and later climbs back above the
+	// noise floor must fail the gate even though no finite ratio exists.
+	old := []Entry{{Name: "BenchmarkZero", Value: 100, Unit: "ns/op", AllocsPerOp: fp(0)}}
+	cur := []Entry{{Name: "BenchmarkZero", Value: 100, Unit: "ns/op", AllocsPerOp: fp(5000)}}
+	regs, _ := compareEntries(old, cur, 1.30, 0, 1.30, 10, nil)
+	if len(regs) != 1 || regs[0].Unit != "allocs/op" || regs[0].Old != 0 || regs[0].New != 5000 {
+		t.Fatalf("zero-baseline alloc regression missed: %+v", regs)
+	}
+	// Staying at (or returning to) zero passes.
+	regs, _ = compareEntries(old, []Entry{{Name: "BenchmarkZero", Value: 100, Unit: "ns/op", AllocsPerOp: fp(0)}}, 1.30, 0, 1.30, 10, nil)
+	if len(regs) != 0 {
+		t.Fatalf("zero-to-zero flagged: %+v", regs)
+	}
+}
+
+func TestParseMetricGate(t *testing.T) {
+	g, err := parseMetricGate("ratio:1.5:higher")
+	if err != nil || g.unit != "ratio" || g.threshold != 1.5 || !g.higher {
+		t.Fatalf("gate %+v err %v", g, err)
+	}
+	g, err = parseMetricGate("readB/voxel:2")
+	if err != nil || g.unit != "readB/voxel" || g.higher {
+		t.Fatalf("gate %+v err %v", g, err)
+	}
+	for _, bad := range []string{"", "ratio", "ratio:0.5", "ratio:x", "ratio:1.5:sideways", ":1.5", "a:1.5:higher:extra"} {
+		if _, err := parseMetricGate(bad); err == nil {
+			t.Fatalf("parseMetricGate accepted %q", bad)
+		}
+	}
+}
+
+// TestCompareMetricGates covers the custom-metric gating table: a
+// higher-is-better unit (compression ratio, PSNR) fails when it collapses
+// and passes within threshold; a lower-is-better unit (readB/voxel) fails
+// when it grows; ungated units never fire.
+func TestCompareMetricGates(t *testing.T) {
+	old := []Entry{
+		{Name: "Cell - ratio", Value: 10, Unit: "ratio"},
+		{Name: "Cell - psnr_db", Value: 80, Unit: "psnr_db"},
+		{Name: "Cell - readB/voxel", Value: 2, Unit: "readB/voxel"},
+		{Name: "Cell - ungated", Value: 1, Unit: "ungated"},
+	}
+	gates := []metricGate{
+		{unit: "ratio", threshold: 1.5, higher: true},
+		{unit: "psnr_db", threshold: 1.3, higher: true},
+		{unit: "readB/voxel", threshold: 1.5},
+	}
+	cases := []struct {
+		name string
+		cur  []Entry
+		want int // regressions
+	}{
+		{"within-threshold", []Entry{
+			{Name: "Cell - ratio", Value: 9, Unit: "ratio"},
+			{Name: "Cell - psnr_db", Value: 78, Unit: "psnr_db"},
+			{Name: "Cell - readB/voxel", Value: 2.2, Unit: "readB/voxel"},
+		}, 0},
+		{"ratio-halved", []Entry{{Name: "Cell - ratio", Value: 5, Unit: "ratio"}}, 1},
+		{"psnr-collapsed", []Entry{{Name: "Cell - psnr_db", Value: 40, Unit: "psnr_db"}}, 1},
+		{"read-amplified", []Entry{{Name: "Cell - readB/voxel", Value: 4, Unit: "readB/voxel"}}, 1},
+		{"ratio-to-zero", []Entry{{Name: "Cell - ratio", Value: 0, Unit: "ratio"}}, 1},
+		{"ungated-ignored", []Entry{{Name: "Cell - ungated", Value: 1000, Unit: "ungated"}}, 0},
+		{"new-cell-no-baseline", []Entry{{Name: "Other - ratio", Value: 1, Unit: "ratio"}}, 0},
+		{"improvement-passes", []Entry{
+			{Name: "Cell - ratio", Value: 30, Unit: "ratio"},
+			{Name: "Cell - readB/voxel", Value: 0.5, Unit: "readB/voxel"},
+		}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			regs, _ := compareEntries(old, tc.cur, 1.30, 0, 1.30, 10, gates)
+			if len(regs) != tc.want {
+				t.Fatalf("regs = %+v, want %d", regs, tc.want)
+			}
+		})
+	}
+}
+
+func writeBenchFile(t *testing.T, path string, date int64, benches []Entry) {
+	t.Helper()
+	f := benchfmt.NewFile("https://example.com/stz", benchfmt.Run{
+		Commit: benchfmt.Commit{
+			Author:    benchfmt.Author{Name: "stz"},
+			Committer: benchfmt.Author{Name: "stz"},
+			ID:        "0123abcd",
+			Message:   "suite run",
+			Timestamp: "2026-08-08T00:00:00Z",
+		},
+		Date: date, Tool: "go", Benches: benches,
+	})
+	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	byName := map[string]Entry{}
-	for _, e := range entries {
-		byName[e.Name] = e
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
 	}
-	e := byName["BenchmarkY-8"]
-	if e.Value != 280 || e.AllocsPerOp == nil || *e.AllocsPerOp != 20 ||
-		e.MemBytesPerOp == nil || *e.MemBytesPerOp != 1024 {
-		t.Fatalf("merged mem fields wrong: %+v", e)
+}
+
+// TestCompareBenchDocuments is the BENCH-vs-BENCH mode table: regression
+// detected, within threshold, new cell added, cell removed — plus custom
+// metric (ratio) gating — all through the full cmdCompare path with two
+// window.BENCHMARK_DATA documents on disk.
+func TestCompareBenchDocuments(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "BENCH_old.json")
+	newPath := filepath.Join(dir, "BENCH_new.json")
+	base := []Entry{
+		{Name: "StzSuite/Nyx/sz3/eb0.001/w1/compress", Value: 1e7, Unit: "ns/op"},
+		{Name: "StzSuite/Nyx/sz3/eb0.001/w1/compress - ratio", Value: 12, Unit: "ratio"},
+		{Name: "StzSuite/Nyx/zfp/eb0.001/w1/compress", Value: 5e6, Unit: "ns/op"},
+	}
+	writeBenchFile(t, oldPath, 1000, base)
+
+	cases := []struct {
+		name string
+		cur  []Entry
+		args []string
+		fail bool
+	}{
+		{"identical", base, nil, false},
+		{"within-threshold", []Entry{
+			{Name: base[0].Name, Value: 1.1e7, Unit: "ns/op"},
+			{Name: base[1].Name, Value: 11, Unit: "ratio"},
+			{Name: base[2].Name, Value: 5.5e6, Unit: "ns/op"},
+		}, nil, false},
+		{"regression-detected", []Entry{
+			{Name: base[0].Name, Value: 2e7, Unit: "ns/op"}, // 2x ns/op
+			{Name: base[2].Name, Value: 5e6, Unit: "ns/op"},
+		}, nil, true},
+		{"new-cell-added", append([]Entry{
+			{Name: "StzSuite/Nyx/sperr/eb0.001/w1/compress", Value: 9e6, Unit: "ns/op"},
+		}, base...), nil, false},
+		{"cell-removed", base[2:], nil, false},
+		{"ratio-halved", []Entry{
+			{Name: base[0].Name, Value: 1e7, Unit: "ns/op"},
+			{Name: base[1].Name, Value: 6, Unit: "ratio"}, // 0.5x ratio
+			{Name: base[2].Name, Value: 5e6, Unit: "ns/op"},
+		}, []string{"-metric", "ratio:1.5:higher"}, true},
+		{"ratio-halved-ungated", []Entry{
+			{Name: base[0].Name, Value: 1e7, Unit: "ns/op"},
+			{Name: base[1].Name, Value: 6, Unit: "ratio"},
+			{Name: base[2].Name, Value: 5e6, Unit: "ns/op"},
+		}, nil, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			writeBenchFile(t, newPath, 2000, tc.cur)
+			args := append([]string{"-old", oldPath, "-new", newPath, "-threshold", "1.30"}, tc.args...)
+			err := cmdCompare(args)
+			if tc.fail && err == nil {
+				t.Fatal("regression passed the gate")
+			}
+			if !tc.fail && err != nil {
+				t.Fatalf("clean comparison failed: %v", err)
+			}
+		})
+	}
+}
+
+func TestValidateCommand(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "BENCH_good.json")
+	writeBenchFile(t, good, 1000, []Entry{{Name: "StzSuite/a", Value: 1, Unit: "ns/op"}})
+	if err := cmdValidate([]string{"-in", good}); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	bad := filepath.Join(dir, "BENCH_bad.json")
+	if err := os.WriteFile(bad, []byte(`{"lastUpdate": 0, "entries": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdValidate([]string{"-in", bad}); err == nil {
+		t.Fatal("schema-invalid document validated")
+	}
+	flat := filepath.Join(dir, "flat.json")
+	if err := os.WriteFile(flat, []byte(`[{"name":"a","value":1,"unit":"ns/op"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdValidate([]string{"-in", flat}); err == nil {
+		t.Fatal("flat entry array accepted as a BENCH document")
 	}
 }
 
@@ -186,21 +298,5 @@ func TestConvertCompareEndToEnd(t *testing.T) {
 	}
 	if err := cmdConvert([]string{"-in", txt, "-out", newJSON}); err == nil {
 		t.Fatal("empty bench output accepted")
-	}
-}
-
-func TestCompareZeroAllocBaselineRegression(t *testing.T) {
-	// A benchmark that reached 0 allocs/op and later climbs back above the
-	// noise floor must fail the gate even though no finite ratio exists.
-	old := []Entry{{Name: "BenchmarkZero", Value: 100, Unit: "ns/op", AllocsPerOp: fp(0)}}
-	cur := []Entry{{Name: "BenchmarkZero", Value: 100, Unit: "ns/op", AllocsPerOp: fp(5000)}}
-	regs, _ := compareEntries(old, cur, 1.30, 0, 1.30, 10)
-	if len(regs) != 1 || regs[0].Unit != "allocs/op" || regs[0].Old != 0 || regs[0].New != 5000 {
-		t.Fatalf("zero-baseline alloc regression missed: %+v", regs)
-	}
-	// Staying at (or returning to) zero passes.
-	regs, _ = compareEntries(old, []Entry{{Name: "BenchmarkZero", Value: 100, Unit: "ns/op", AllocsPerOp: fp(0)}}, 1.30, 0, 1.30, 10)
-	if len(regs) != 0 {
-		t.Fatalf("zero-to-zero flagged: %+v", regs)
 	}
 }

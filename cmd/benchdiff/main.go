@@ -4,14 +4,24 @@
 //
 //	go test -run '^$' -bench . -benchtime 1x ./... | benchdiff convert -out bench.json
 //	benchdiff compare -old baseline.json -new bench.json -threshold 1.30
+//	benchdiff compare -old bench/BENCH_2026-08-08_quick.json -new new.json \
+//	  -metric ratio:1.5:higher -metric psnr_db:1.3:higher
+//	benchdiff validate -in bench/BENCH_2026-08-08_default.json
 //
 // convert emits one entry per measured metric (ns/op, B/op, allocs/op and
 // any custom metrics), named like the window.BENCHMARK_DATA series that
 // benchmark-action/github-action-benchmark (tool: "go") builds: the plain
 // benchmark name carries ns/op, and secondary metrics get a " - <unit>"
-// suffix. compare exits non-zero when any ns/op entry regresses beyond
-// the threshold ratio against the baseline; benchmarks present in only
-// one file are reported but never fail the gate.
+// suffix. compare accepts either that flat entry array or a full
+// window.BENCHMARK_DATA document (the BENCH_<date>.json files cmd/stzsuite
+// commits under bench/), gating on the document's newest run. It exits
+// non-zero when any ns/op entry regresses beyond the threshold ratio
+// against the baseline, when allocs/op regresses beyond -alloc-threshold,
+// or when a -metric gated custom unit (compression ratio, PSNR, …)
+// degrades beyond its own threshold in its own direction; benchmarks
+// present in only one file are reported but never fail the gate. validate
+// asserts a BENCH document is schema-valid, the smoke check CI runs on
+// freshly emitted suite output.
 package main
 
 import (
@@ -32,6 +42,8 @@ func main() {
 		err = cmdConvert(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -43,7 +55,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: benchdiff <convert|compare> [flags]
+	fmt.Fprintln(os.Stderr, `usage: benchdiff <convert|compare|validate> [flags]
 run "benchdiff <command> -h" for command flags`)
 }
 

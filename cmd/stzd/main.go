@@ -39,6 +39,10 @@
 //
 // -pprof (off by default) additionally mounts net/http/pprof under
 // /debug/pprof/ for live profiling of a loaded instance.
+//
+// The handler itself lives in internal/stzd so tests and the benchmark
+// suite driver (cmd/stzsuite) can embed the identical service in-process;
+// this command only binds flags and the listener around stzd.New.
 package main
 
 import (
@@ -53,6 +57,7 @@ import (
 	"time"
 
 	"stz/internal/parallel"
+	"stz/internal/stzd"
 )
 
 func main() {
@@ -72,14 +77,14 @@ func main() {
 		"archive store shard count (the budget splits evenly across shards)")
 	flag.Parse()
 
-	h := newServer(options{
-		maxBody:       *maxBody,
-		maxInflight:   *maxInflight,
-		workers:       *workers,
-		window:        *window,
-		enablePprof:   *pprofOn,
-		archiveBudget: *archiveBudget,
-		archiveShards: *archiveShards,
+	h := stzd.New(stzd.Options{
+		MaxBody:       *maxBody,
+		MaxInflight:   *maxInflight,
+		Workers:       *workers,
+		Window:        *window,
+		EnablePprof:   *pprofOn,
+		ArchiveBudget: *archiveBudget,
+		ArchiveShards: *archiveShards,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

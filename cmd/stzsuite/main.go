@@ -1,0 +1,132 @@
+// Command stzsuite runs a declarative benchmark suite and emits one
+// window.BENCHMARK_DATA document per run — the BENCH_<date>_<suite>.json
+// files committed under bench/ that cmd/benchdiff gates CI against.
+//
+//	go run ./cmd/stzsuite -suite suites/default.toml
+//	go run ./cmd/stzsuite -suite suites/quick.toml -runs 1 -out /tmp/bench.json
+//
+// A suite spec (a TOML subset; see docs/BENCHMARKS.md) declares matrices
+// of dataset × codec × error-bound × workers × workload cells. Each cell
+// runs N times and reports the minimum, with the workload's fidelity
+// metrics (compression ratio, PSNR, max abs error, bytes-read-per-voxel,
+// arena hit rate) as secondary series entries. Datasets are
+// self-describing corpus names ("Nyx-48x40x44-s1001"), so a committed
+// BENCH file fully documents its own inputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"stz/internal/bench"
+	"stz/internal/benchfmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stzsuite: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("stzsuite", flag.ExitOnError)
+	suitePath := fs.String("suite", "", "suite spec file (required)")
+	out := fs.String("out", "", "output BENCH JSON path (default bench/BENCH_<date>_<suite>.json)")
+	runs := fs.Int("runs", 0, "override the spec's per-cell run count")
+	commit := fs.String("commit", "", "commit id to record (default: git rev-parse HEAD)")
+	repoURL := fs.String("repo", "https://github.com/stz/stz", "repository URL recorded in the document")
+	fs.Parse(args)
+	if *suitePath == "" {
+		return fmt.Errorf("-suite is required")
+	}
+
+	f, err := os.Open(*suitePath)
+	if err != nil {
+		return err
+	}
+	spec, err := bench.ParseSuite(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if *runs > 0 {
+		spec.Runs = *runs
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		return err
+	}
+	log.Printf("suite %q: %d cells x %d runs", spec.Name, len(cells), spec.Runs)
+
+	start := time.Now()
+	results, err := bench.RunSuite(spec, spec.Runs, log.Printf)
+	if err != nil {
+		return err
+	}
+	log.Printf("completed in %s", time.Since(start).Round(time.Millisecond))
+
+	now := time.Now().UTC()
+	doc := benchfmt.NewFile(*repoURL, benchfmt.Run{
+		Commit: benchfmt.Commit{
+			Author:    benchfmt.Author{Name: "stzsuite"},
+			Committer: benchfmt.Author{Name: "stzsuite"},
+			ID:        commitID(*commit),
+			Message:   fmt.Sprintf("suite %s", spec.Name),
+			Timestamp: now.Format(time.RFC3339),
+		},
+		Date:    now.UnixMilli(),
+		Tool:    "go",
+		Benches: bench.SuiteEntries(results, spec.Runs),
+	})
+	if err := doc.Validate(); err != nil {
+		return fmt.Errorf("emitted document is not schema-valid: %w", err)
+	}
+
+	path := *out
+	if path == "" {
+		path = filepath.Join("bench",
+			fmt.Sprintf("BENCH_%s_%s.json", now.Format("2006-01-02"), spec.Name))
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := writeJSON(path, doc); err != nil {
+		return err
+	}
+	log.Printf("wrote %s (%d benches)", path, len(doc.Latest()))
+	return nil
+}
+
+// commitID resolves the commit recorded in the document: the -commit flag,
+// then git HEAD, then "unknown" (the suite still runs outside a checkout).
+func commitID(flagVal string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	if id := strings.TrimSpace(string(out)); id != "" {
+		return id
+	}
+	return "unknown"
+}
+
+func writeJSON(path string, doc *benchfmt.File) error {
+	data, err := benchfmt.MarshalIndent(doc)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The suite spec format is a small TOML subset — the repo has no external
+// dependencies, so the parser is hand-written and deliberately minimal:
+// `[section]` and `[[section]]` headers, `key = value` pairs, strings,
+// numbers, booleans and single-line arrays, with `#` comments. That covers
+// bent-style declarative suite files without pulling in a TOML library.
+
+// tomlKind tags a parsed value.
+type tomlKind uint8
+
+const (
+	tomlString tomlKind = iota
+	tomlNumber
+	tomlBool
+	tomlArray
+)
+
+func (k tomlKind) String() string {
+	switch k {
+	case tomlString:
+		return "string"
+	case tomlNumber:
+		return "number"
+	case tomlBool:
+		return "boolean"
+	default:
+		return "array"
+	}
+}
+
+// tomlValue is one parsed scalar or single-line array.
+type tomlValue struct {
+	kind tomlKind
+	str  string
+	num  float64
+	b    bool
+	arr  []tomlValue
+}
+
+// tomlKV is one ordered key/value pair with its source line.
+type tomlKV struct {
+	key  string
+	val  tomlValue
+	line int
+}
+
+// tomlTable is one `[name]` or `[[name]]` section with its ordered keys.
+type tomlTable struct {
+	name  string
+	array bool // declared with [[name]]
+	line  int
+	keys  []tomlKV
+}
+
+// get returns the value of key and whether it was present.
+func (t *tomlTable) get(key string) (tomlValue, bool) {
+	for _, kv := range t.keys {
+		if kv.key == key {
+			return kv.val, true
+		}
+	}
+	return tomlValue{}, false
+}
+
+// parseTOML splits a suite spec into its ordered section tables. Keys
+// before any section header are an error (this subset has no root table),
+// as are duplicate keys within a section.
+func parseTOML(input string) ([]tomlTable, error) {
+	var tables []tomlTable
+	for n, raw := range strings.Split(input, "\n") {
+		lineNo := n + 1
+		line, err := stripComment(raw, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			name, isArray, err := parseSectionHeader(line, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			tables = append(tables, tomlTable{name: name, array: isArray, line: lineNo})
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("line %d: expected key = value, got %q", lineNo, line)
+		}
+		key := strings.TrimSpace(line[:eq])
+		if key == "" || strings.ContainsAny(key, " \t\"'[]") {
+			return nil, fmt.Errorf("line %d: invalid key %q", lineNo, key)
+		}
+		if len(tables) == 0 {
+			return nil, fmt.Errorf("line %d: key %q outside any [section]", lineNo, key)
+		}
+		t := &tables[len(tables)-1]
+		if _, dup := t.get(key); dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q in [%s]", lineNo, key, t.name)
+		}
+		val, err := parseTOMLValue(strings.TrimSpace(line[eq+1:]), lineNo)
+		if err != nil {
+			return nil, err
+		}
+		t.keys = append(t.keys, tomlKV{key: key, val: val, line: lineNo})
+	}
+	return tables, nil
+}
+
+// stripComment removes a trailing # comment, respecting double-quoted
+// strings, and rejects unterminated quotes.
+func stripComment(line string, lineNo int) (string, error) {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inStr {
+				i++ // skip the escaped character
+			}
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return line[:i], nil
+			}
+		}
+	}
+	if inStr {
+		return "", fmt.Errorf("line %d: unterminated string", lineNo)
+	}
+	return line, nil
+}
+
+// parseSectionHeader handles `[name]` and `[[name]]`.
+func parseSectionHeader(line string, lineNo int) (name string, isArray bool, err error) {
+	switch {
+	case strings.HasPrefix(line, "[[") && strings.HasSuffix(line, "]]"):
+		name, isArray = strings.TrimSpace(line[2:len(line)-2]), true
+	case strings.HasSuffix(line, "]"):
+		name = strings.TrimSpace(line[1 : len(line)-1])
+	default:
+		return "", false, fmt.Errorf("line %d: malformed section header %q", lineNo, line)
+	}
+	if name == "" || strings.ContainsAny(name, "[]\" \t") {
+		return "", false, fmt.Errorf("line %d: invalid section name %q", lineNo, name)
+	}
+	return name, isArray, nil
+}
+
+// parseTOMLValue parses one scalar or single-line array literal.
+func parseTOMLValue(s string, lineNo int) (tomlValue, error) {
+	if s == "" {
+		return tomlValue{}, fmt.Errorf("line %d: missing value", lineNo)
+	}
+	switch {
+	case s[0] == '"':
+		str, rest, err := parseQuoted(s, lineNo)
+		if err != nil {
+			return tomlValue{}, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return tomlValue{}, fmt.Errorf("line %d: trailing characters after string: %q", lineNo, rest)
+		}
+		return tomlValue{kind: tomlString, str: str}, nil
+	case s[0] == '[':
+		if !strings.HasSuffix(s, "]") {
+			return tomlValue{}, fmt.Errorf("line %d: arrays must close on the same line", lineNo)
+		}
+		var arr []tomlValue
+		for _, elem := range splitArray(s[1 : len(s)-1]) {
+			elem = strings.TrimSpace(elem)
+			if elem == "" {
+				return tomlValue{}, fmt.Errorf("line %d: empty array element", lineNo)
+			}
+			v, err := parseTOMLValue(elem, lineNo)
+			if err != nil {
+				return tomlValue{}, err
+			}
+			if v.kind == tomlArray {
+				return tomlValue{}, fmt.Errorf("line %d: nested arrays are not supported", lineNo)
+			}
+			arr = append(arr, v)
+		}
+		return tomlValue{kind: tomlArray, arr: arr}, nil
+	case s == "true" || s == "false":
+		return tomlValue{kind: tomlBool, b: s == "true"}, nil
+	default:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return tomlValue{}, fmt.Errorf("line %d: cannot parse value %q", lineNo, s)
+		}
+		return tomlValue{kind: tomlNumber, num: f}, nil
+	}
+}
+
+// parseQuoted reads a double-quoted string with \" and \\ escapes,
+// returning the decoded string and the unconsumed remainder.
+func parseQuoted(s string, lineNo int) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("line %d: dangling escape in string", lineNo)
+			}
+			i++
+			switch s[i] {
+			case '"', '\\':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("line %d: unsupported escape \\%c", lineNo, s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("line %d: unterminated string", lineNo)
+}
+
+// splitArray splits array contents on top-level commas, respecting quotes.
+func splitArray(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var parts []string
+	start, inStr := 0, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '"':
+			inStr = !inStr
+		case ',':
+			if !inStr {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}

@@ -1,0 +1,165 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: stz
+BenchmarkCodecRegistry/sz3-8         	       1	  52034811 ns/op	 1204 B/op	      25 allocs/op
+BenchmarkCodecRegistry/zfp-8         	       3	   1200000 ns/op
+BenchmarkTable2Datasets-8            	       1	 903122382 ns/op	       5.000 custom_metric
+garbage line that is ignored
+Benchmark	notenoughfields
+PASS
+ok  	stz	4.766s
+`
+
+func TestParseGoBench(t *testing.T) {
+	entries, err := ParseGoBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Entry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	e, ok := byName["BenchmarkCodecRegistry/sz3-8"]
+	if !ok || e.Value != 52034811 || e.Unit != "ns/op" || e.Extra != "1 times" {
+		t.Fatalf("sz3 ns/op entry wrong: %+v (ok=%v)", e, ok)
+	}
+	if e.MemBytesPerOp == nil || *e.MemBytesPerOp != 1204 {
+		t.Fatalf("MemBytesPerOp not captured on primary entry: %+v", e)
+	}
+	if e.AllocsPerOp == nil || *e.AllocsPerOp != 25 {
+		t.Fatalf("AllocsPerOp not captured on primary entry: %+v", e)
+	}
+	if z := byName["BenchmarkCodecRegistry/zfp-8"]; z.MemBytesPerOp != nil || z.AllocsPerOp != nil {
+		t.Fatalf("mem fields invented for a run without -benchmem: %+v", z)
+	}
+	if e := byName["BenchmarkCodecRegistry/sz3-8 - B/op"]; e.Value != 1204 || e.Unit != "B/op" {
+		t.Fatalf("B/op entry wrong: %+v", e)
+	}
+	if e := byName["BenchmarkCodecRegistry/sz3-8 - allocs/op"]; e.Value != 25 {
+		t.Fatalf("allocs/op entry wrong: %+v", e)
+	}
+	if e := byName["BenchmarkTable2Datasets-8 - custom_metric"]; e.Value != 5 {
+		t.Fatalf("custom metric entry wrong: %+v", e)
+	}
+	if _, ok := byName["Benchmark"]; ok {
+		t.Fatal("malformed line parsed")
+	}
+}
+
+func TestParseGoBenchMergesCountedRuns(t *testing.T) {
+	// `go test -count 3` repeats each benchmark line; the min is kept.
+	repeated := `BenchmarkX-8	10	300 ns/op
+BenchmarkX-8	10	250 ns/op
+BenchmarkX-8	10	400 ns/op
+`
+	entries, err := ParseGoBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d entries, want 1 merged: %+v", len(entries), entries)
+	}
+	if entries[0].Value != 250 || entries[0].Extra != "min of 3 runs" {
+		t.Fatalf("merged entry %+v, want min 250 of 3 runs", entries[0])
+	}
+}
+
+func TestMergeMinMemFields(t *testing.T) {
+	repeated := `BenchmarkY-8	10	300 ns/op	2048 B/op	30 allocs/op
+BenchmarkY-8	10	280 ns/op	1024 B/op	20 allocs/op
+`
+	entries, err := ParseGoBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Entry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	e := byName["BenchmarkY-8"]
+	if e.Value != 280 || e.AllocsPerOp == nil || *e.AllocsPerOp != 20 ||
+		e.MemBytesPerOp == nil || *e.MemBytesPerOp != 1024 {
+		t.Fatalf("merged mem fields wrong: %+v", e)
+	}
+}
+
+func sampleRun(date int64, benches []Entry) Run {
+	return Run{
+		Commit: Commit{
+			Author:    Author{Name: "stz"},
+			Committer: Author{Name: "stz"},
+			ID:        "deadbeef",
+			Message:   "suite run",
+			Timestamp: "2026-08-08T00:00:00Z",
+		},
+		Date: date, Tool: "go", Benches: benches,
+	}
+}
+
+func TestFileValidateAndLatest(t *testing.T) {
+	old := sampleRun(1000, []Entry{{Name: "StzSuite/a", Value: 10, Unit: "ns/op"}})
+	newer := sampleRun(2000, []Entry{{Name: "StzSuite/a", Value: 20, Unit: "ns/op"}})
+	f := NewFile("https://example.com/stz", old)
+	f.Entries[DefaultSeries] = append(f.Entries[DefaultSeries], newer)
+	f.LastUpdate = 2000
+	if err := f.Validate(); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	latest := f.Latest()
+	if len(latest) != 1 || latest[0].Value != 20 {
+		t.Fatalf("Latest picked %+v, want the date-2000 run", latest)
+	}
+
+	bad := []struct {
+		name   string
+		mutate func(*File)
+	}{
+		{"zero-lastUpdate", func(f *File) { f.LastUpdate = 0 }},
+		{"no-series", func(f *File) { f.Entries = nil }},
+		{"empty-series", func(f *File) { f.Entries = map[string][]Run{"Benchmark": {}} }},
+		{"no-tool", func(f *File) { r := f.Entries["Benchmark"]; r[0].Tool = "" }},
+		{"no-commit", func(f *File) { r := f.Entries["Benchmark"]; r[0].Commit.ID = "" }},
+		{"no-benches", func(f *File) { r := f.Entries["Benchmark"]; r[0].Benches = nil }},
+		{"no-date", func(f *File) { r := f.Entries["Benchmark"]; r[0].Date = 0 }},
+		{"unnamed-bench", func(f *File) { f.Entries["Benchmark"][0].Benches[0].Name = "" }},
+		{"unitless-bench", func(f *File) { f.Entries["Benchmark"][0].Benches[0].Unit = "" }},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewFile("u", sampleRun(1000, []Entry{{Name: "b", Value: 1, Unit: "ns/op"}}))
+			tc.mutate(g)
+			if err := g.Validate(); err == nil {
+				t.Fatal("invalid file validated")
+			}
+		})
+	}
+}
+
+func TestReadSeriesSniffsBothShapes(t *testing.T) {
+	entries := []Entry{{Name: "StzSuite/x", Value: 42, Unit: "ns/op"}}
+	flat, _ := json.Marshal(entries)
+	got, err := ReadSeries(strings.NewReader(string(flat)))
+	if err != nil || len(got) != 1 || got[0].Value != 42 {
+		t.Fatalf("flat array: %v %+v", err, got)
+	}
+
+	doc, _ := json.Marshal(NewFile("u", sampleRun(1234, entries)))
+	got, err = ReadSeries(strings.NewReader(string(doc)))
+	if err != nil || len(got) != 1 || got[0].Name != "StzSuite/x" {
+		t.Fatalf("BENCH document: %v %+v", err, got)
+	}
+
+	for _, bad := range []string{"", "   ", "ns/op", "{\"entries\":{}}", "[{\"name\":"} {
+		if _, err := ReadSeries(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ReadSeries accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// DefaultSeries is the entries key used for this repo's suite runs; it
+// matches the default series name github-action-benchmark publishes.
+const DefaultSeries = "Benchmark"
+
+// Author identifies a commit participant in the window.BENCHMARK_DATA
+// commit block.
+type Author struct {
+	Name     string `json:"name"`
+	Username string `json:"username,omitempty"`
+}
+
+// Commit is the provenance block of one recorded run.
+type Commit struct {
+	Author    Author `json:"author"`
+	Committer Author `json:"committer"`
+	ID        string `json:"id"`
+	Message   string `json:"message"`
+	Timestamp string `json:"timestamp"`
+	URL       string `json:"url,omitempty"`
+}
+
+// Run is one recorded benchmark run: a commit, a date (Unix milliseconds),
+// the extraction tool, and the flat entry list.
+type Run struct {
+	Commit  Commit  `json:"commit"`
+	Date    int64   `json:"date"`
+	Tool    string  `json:"tool"`
+	Benches []Entry `json:"benches"`
+}
+
+// File is the window.BENCHMARK_DATA document: the schema committed as
+// BENCH_<date>.json files so the repo's perf trajectory is plottable by
+// the same tooling that renders github-action-benchmark dashboards.
+type File struct {
+	LastUpdate int64            `json:"lastUpdate"`
+	RepoURL    string           `json:"repoUrl"`
+	Entries    map[string][]Run `json:"entries"`
+}
+
+// NewFile wraps one run in a fresh document under the default series.
+func NewFile(repoURL string, run Run) *File {
+	return &File{
+		LastUpdate: run.Date,
+		RepoURL:    repoURL,
+		Entries:    map[string][]Run{DefaultSeries: {run}},
+	}
+}
+
+// Validate checks the structural invariants every committed BENCH file
+// must hold: a positive timestamp, at least one run with tool and commit
+// id, non-empty benches, and finite named metric values.
+func (f *File) Validate() error {
+	if f.LastUpdate <= 0 {
+		return fmt.Errorf("benchfmt: lastUpdate must be positive, got %d", f.LastUpdate)
+	}
+	if len(f.Entries) == 0 {
+		return fmt.Errorf("benchfmt: no entry series")
+	}
+	for series, runs := range f.Entries {
+		if len(runs) == 0 {
+			return fmt.Errorf("benchfmt: series %q has no runs", series)
+		}
+		for i, r := range runs {
+			if r.Date <= 0 {
+				return fmt.Errorf("benchfmt: %s run %d: date must be positive", series, i)
+			}
+			if r.Tool == "" {
+				return fmt.Errorf("benchfmt: %s run %d: missing tool", series, i)
+			}
+			if r.Commit.ID == "" {
+				return fmt.Errorf("benchfmt: %s run %d: missing commit id", series, i)
+			}
+			if len(r.Benches) == 0 {
+				return fmt.Errorf("benchfmt: %s run %d: no benches", series, i)
+			}
+			for j, e := range r.Benches {
+				if e.Name == "" {
+					return fmt.Errorf("benchfmt: %s run %d bench %d: missing name", series, i, j)
+				}
+				if e.Unit == "" {
+					return fmt.Errorf("benchfmt: %s run %d bench %q: missing unit", series, i, e.Name)
+				}
+				if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+					return fmt.Errorf("benchfmt: %s run %d bench %q: non-finite value", series, i, e.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Latest returns the benches of the newest run (largest Date) across all
+// series — the snapshot a comparison against this file gates on.
+func (f *File) Latest() []Entry {
+	var best *Run
+	for _, runs := range f.Entries {
+		for i := range runs {
+			if best == nil || runs[i].Date > best.Date {
+				best = &runs[i]
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.Benches
+}
+
+// MarshalIndent renders the document the way committed BENCH files are
+// stored: two-space indented with a trailing newline.
+func MarshalIndent(f *File) ([]byte, error) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ReadSeries reads a benchmark entry list from either supported JSON
+// shape: a flat entry array (benchdiff convert output) or a full
+// window.BENCHMARK_DATA document (a committed BENCH_<date>.json), in
+// which case the newest run's benches are returned after validation.
+func ReadSeries(r io.Reader) ([]Entry, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("benchfmt: empty input")
+	}
+	switch trimmed[0] {
+	case '[':
+		var entries []Entry
+		if err := json.Unmarshal(trimmed, &entries); err != nil {
+			return nil, fmt.Errorf("benchfmt: entry array: %w", err)
+		}
+		return entries, nil
+	case '{':
+		var f File
+		if err := json.Unmarshal(trimmed, &f); err != nil {
+			return nil, fmt.Errorf("benchfmt: BENCH document: %w", err)
+		}
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+		return f.Latest(), nil
+	default:
+		return nil, fmt.Errorf("benchfmt: input is neither an entry array nor a BENCH document")
+	}
+}

@@ -1,0 +1,72 @@
+package datasets
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NameFor builds the self-describing corpus name used by suite specs and
+// benchmark cell names: "<Gen>-<nz>x<ny>x<nx>-s<seed>", e.g.
+// "Nyx-48x40x44-s1001". Everything needed to regenerate the exact corpus
+// is in the name, so a committed BENCH file documents its own inputs.
+func NameFor(gen string, nz, ny, nx int, seed int64) string {
+	return fmt.Sprintf("%s-%dx%dx%d-s%d", gen, nz, ny, nx, seed)
+}
+
+// ParseName splits a self-describing corpus name back into its generator
+// name, dims and seed. The generator name may itself contain hyphens, so
+// the dims and seed segments are taken from the right.
+func ParseName(name string) (gen string, dims [3]int, seed int64, err error) {
+	fail := func(msg string) (string, [3]int, int64, error) {
+		return "", [3]int{}, 0, fmt.Errorf("datasets: corpus name %q: %s (want <Gen>-<nz>x<ny>x<nx>-s<seed>)", name, msg)
+	}
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return fail("no seed segment")
+	}
+	seedPart := name[i+1:]
+	if !strings.HasPrefix(seedPart, "s") {
+		return fail("seed segment must look like s<seed>")
+	}
+	seed, serr := strconv.ParseInt(seedPart[1:], 10, 64)
+	if serr != nil {
+		return fail("bad seed " + strconv.Quote(seedPart[1:]))
+	}
+	rest := name[:i]
+	j := strings.LastIndexByte(rest, '-')
+	if j < 0 {
+		return fail("no dims segment")
+	}
+	parts := strings.Split(rest[j+1:], "x")
+	if len(parts) != 3 {
+		return fail("dims must be <nz>x<ny>x<nx>")
+	}
+	for k, p := range parts {
+		d, derr := strconv.Atoi(p)
+		if derr != nil || d <= 0 {
+			return fail("bad dim " + strconv.Quote(p))
+		}
+		dims[k] = d
+	}
+	gen = rest[:j]
+	if gen == "" {
+		return fail("empty generator name")
+	}
+	return gen, dims, seed, nil
+}
+
+// Lookup returns the Spec whose generator name matches gen ("Nyx",
+// "WarpX", "Mag_Rec", "Miranda").
+func Lookup(gen string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == gen {
+			return s, nil
+		}
+	}
+	known := make([]string, 0, 4)
+	for _, s := range All() {
+		known = append(known, s.Name)
+	}
+	return Spec{}, fmt.Errorf("datasets: unknown generator %q (known: %s)", gen, strings.Join(known, ", "))
+}

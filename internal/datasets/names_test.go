@@ -1,0 +1,127 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNameForParseNameRoundTrip(t *testing.T) {
+	// Property: for every generator and any positive dims/seed, the
+	// self-describing name parses back to exactly what built it.
+	rng := rand.New(rand.NewSource(1))
+	prop := func() bool {
+		spec := All()[rng.Intn(4)]
+		nz, ny, nx := 1+rng.Intn(200), 1+rng.Intn(200), 1+rng.Intn(200)
+		seed := rng.Int63n(1 << 40)
+		name := NameFor(spec.Name, nz, ny, nx, seed)
+		gen, dims, s, err := ParseName(name)
+		if err != nil {
+			t.Logf("ParseName(%q): %v", name, err)
+			return false
+		}
+		return gen == spec.Name && dims == [3]int{nz, ny, nx} && s == seed
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNameExamples(t *testing.T) {
+	gen, dims, seed, err := ParseName("Mag_Rec-40x40x40-s1003")
+	if err != nil || gen != "Mag_Rec" || dims != [3]int{40, 40, 40} || seed != 1003 {
+		t.Fatalf("got %q %v %d, err %v", gen, dims, seed, err)
+	}
+	// A generator name containing a hyphen still parses: dims and seed are
+	// taken from the right.
+	gen, dims, seed, err = ParseName("my-gen-8x9x10-s7")
+	if err != nil || gen != "my-gen" || dims != [3]int{8, 9, 10} || seed != 7 {
+		t.Fatalf("hyphenated gen: got %q %v %d, err %v", gen, dims, seed, err)
+	}
+	for _, bad := range []string{
+		"", "Nyx", "Nyx-s5", "Nyx-8x8-s5", "Nyx-8x8x8x8-s5", "Nyx-8x8x8-5",
+		"Nyx-8x8x8-sx", "Nyx-0x8x8-s5", "Nyx-8x-8x8-s5", "-8x8x8-s5", "Nyx-8x8x8-s",
+	} {
+		if _, _, _, err := ParseName(bad); err == nil {
+			t.Errorf("ParseName accepted %q", bad)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, want := range []string{"Nyx", "WarpX", "Mag_Rec", "Miranda"} {
+		s, err := Lookup(want)
+		if err != nil || s.Name != want {
+			t.Fatalf("Lookup(%q) = %+v, %v", want, s.Name, err)
+		}
+	}
+	if _, err := Lookup("CESM"); err == nil {
+		t.Fatal("Lookup accepted an unknown generator")
+	}
+}
+
+// TestGeneratorsSeedReproducible is the seed-reproducibility property for
+// every generator: the same (dims, seed) yields a byte-identical grid and
+// a different seed yields a different one. Bit-pattern equality (not ==)
+// is the contract, since committed BENCH baselines assume regenerating a
+// named corpus reproduces its exact bytes.
+func TestGeneratorsSeedReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				nz, ny, nx := 4+rng.Intn(13), 4+rng.Intn(13), 4+rng.Intn(13)
+				seed := rng.Int63n(1 << 30)
+				var a, b, c []uint64
+				switch spec.DType {
+				case "float32":
+					a = bits32(spec.Generate32(nz, ny, nx, seed).Data)
+					b = bits32(spec.Generate32(nz, ny, nx, seed).Data)
+					c = bits32(spec.Generate32(nz, ny, nx, seed+1).Data)
+				case "float64":
+					a = bits64(spec.Generate64(nz, ny, nx, seed).Data)
+					b = bits64(spec.Generate64(nz, ny, nx, seed).Data)
+					c = bits64(spec.Generate64(nz, ny, nx, seed+1).Data)
+				default:
+					t.Fatalf("unknown dtype %q", spec.DType)
+				}
+				if !equalBits(a, b) {
+					t.Fatalf("%s %dx%dx%d seed %d not byte-identical across runs", spec.Name, nz, ny, nx, seed)
+				}
+				if equalBits(a, c) {
+					t.Fatalf("%s %dx%dx%d: seeds %d and %d produced identical fields", spec.Name, nz, ny, nx, seed, seed+1)
+				}
+			}
+		})
+	}
+}
+
+func bits32(data []float32) []uint64 {
+	out := make([]uint64, len(data))
+	for i, v := range data {
+		out[i] = uint64(math.Float32bits(v))
+	}
+	return out
+}
+
+func bits64(data []float64) []uint64 {
+	out := make([]uint64, len(data))
+	for i, v := range data {
+		out[i] = math.Float64bits(v)
+	}
+	return out
+}
+
+func equalBits(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

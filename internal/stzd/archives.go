@@ -1,4 +1,4 @@
-package main
+package stzd
 
 import (
 	"encoding/json"
@@ -67,14 +67,14 @@ func entryJSON(e *archiveEntry) archiveJSON {
 // handleArchivePut stores the request body as a resident archive. A body
 // over -max-body is 413; one that parses as anything but a valid SZXC
 // archive is 422 (it is well-formed HTTP, just not a decodable archive).
-func (s *server) handleArchivePut(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleArchivePut(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !validArchiveID(id) {
 		httpError(w, http.StatusBadRequest,
 			"archive id must be 1-%d chars of [A-Za-z0-9._-]", maxArchiveID)
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, s.opts.maxBody)
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBody)
 	data, err := io.ReadAll(body)
 	if err != nil {
 		httpError(w, requestErrorStatus(err), "reading archive: %v", err)
@@ -100,7 +100,7 @@ func (s *server) handleArchivePut(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(entryJSON(e))
 }
 
-func (s *server) handleArchiveList(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleArchiveList(w http.ResponseWriter, _ *http.Request) {
 	entries, bytes := s.store.snapshot()
 	out := make([]archiveJSON, 0, len(entries))
 	for _, e := range entries {
@@ -115,7 +115,7 @@ func (s *server) handleArchiveList(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *server) handleArchiveInfo(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleArchiveInfo(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.store.get(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown archive %q", r.PathValue("id"))
@@ -125,7 +125,7 @@ func (s *server) handleArchiveInfo(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(entryJSON(e))
 }
 
-func (s *server) handleArchiveDelete(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleArchiveDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.store.delete(r.PathValue("id")) {
 		httpError(w, http.StatusNotFound, "unknown archive %q", r.PathValue("id"))
 		return
@@ -137,7 +137,7 @@ func (s *server) handleArchiveDelete(w http.ResponseWriter, r *http.Request) {
 // random-access sub-box decode against a resident archive. Box queries are
 // decode jobs and go through the admission semaphore like compress and
 // decompress.
-func (s *server) handleArchiveBox(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleArchiveBox(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.store.get(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown archive %q", r.PathValue("id"))
@@ -231,7 +231,7 @@ type roiRegionJSON struct {
 // handleArchiveROI runs the internal/roi selector server-side over a
 // resident archive and returns the selected regions, each addressable
 // through the box endpoint.
-func (s *server) handleArchiveROI(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleArchiveROI(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.store.get(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown archive %q", r.PathValue("id"))

@@ -1,4 +1,4 @@
-package main
+package stzd
 
 import (
 	"bytes"
@@ -64,7 +64,7 @@ func decode32(t *testing.T, raw []byte) []float32 {
 // codec and checks that box queries against the resident copy are
 // byte-identical to the matching window of a local full decode.
 func TestRandomAccessArchiveRoundTrip(t *testing.T) {
-	ts := testServer(t, options{workers: 2})
+	ts := testServer(t, Options{Workers: 2})
 	g := datasets.Nyx(24, 18, 20, 11)
 	boxes := []grid.Box{
 		{Z1: 24, Y1: 18, X1: 20},                         // full grid
@@ -136,7 +136,7 @@ func TestRandomAccessArchiveRoundTrip(t *testing.T) {
 // reading < 25% of the payload bytes, observed through the container's
 // chunk-read accounting surfaced in the response headers.
 func TestRandomAccessArchiveQueryReadsSubset(t *testing.T) {
-	ts := testServer(t, options{workers: 4})
+	ts := testServer(t, Options{Workers: 4})
 	g := datasets.Nyx(128, 128, 128, 5)
 	enc, err := codec.Encode("sz3", g, codec.Config{EB: 1e-3, Chunks: 16, Workers: 4})
 	if err != nil {
@@ -184,7 +184,7 @@ func TestRandomAccessArchiveLRUEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	// One shard, budget for two-and-a-bit archives of this size.
-	ts := testServer(t, options{workers: 1, archiveShards: 1, archiveBudget: int64(3*len(enc) - 1)})
+	ts := testServer(t, Options{Workers: 1, ArchiveShards: 1, ArchiveBudget: int64(3*len(enc) - 1)})
 
 	putArchive(t, ts.URL, "a", enc)
 	putArchive(t, ts.URL, "b", enc)
@@ -215,7 +215,7 @@ func TestRandomAccessArchiveLRUEviction(t *testing.T) {
 	}
 
 	// An archive that exceeds the whole shard budget is refused with 413.
-	ts2 := testServer(t, options{workers: 1, archiveShards: 1, archiveBudget: int64(len(enc) - 1)})
+	ts2 := testServer(t, Options{Workers: 1, ArchiveShards: 1, ArchiveBudget: int64(len(enc) - 1)})
 	resp2, _ := do(t, http.MethodPut, ts2.URL+"/v1/archives/toobig", bytes.NewReader(enc))
 	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("over-budget PUT status %d, want 413", resp2.StatusCode)
@@ -226,7 +226,7 @@ func TestRandomAccessArchiveLRUEviction(t *testing.T) {
 // from many goroutines (the -race CI leg runs this against the shared
 // reader and LRU) and checks every response against the local decode.
 func TestRandomAccessArchiveConcurrentQueries(t *testing.T) {
-	ts := testServer(t, options{workers: 2, maxInflight: 8})
+	ts := testServer(t, Options{Workers: 2, MaxInflight: 8})
 	g := datasets.Nyx(32, 24, 24, 7)
 	for _, name := range []string{"sz3", "zfp"} { // native and cached-fallback paths
 		enc, err := codec.Encode(name, g, codec.Config{EB: 0.05, Chunks: 4, Workers: 2})
@@ -291,7 +291,7 @@ func TestRandomAccessArchiveConcurrentQueries(t *testing.T) {
 // ids, 413 for oversized uploads, 422 for bodies that are not archives and
 // for boxes outside the grid, 400 for malformed requests.
 func TestRandomAccessArchiveErrors(t *testing.T) {
-	ts := testServer(t, options{workers: 1, maxBody: 1 << 20})
+	ts := testServer(t, Options{Workers: 1, MaxBody: 1 << 20})
 	g := datasets.Nyx(12, 12, 12, 9)
 	enc, err := codec.Encode("sz3", g, codec.Config{EB: 0.05, Chunks: 2})
 	if err != nil {
@@ -337,7 +337,7 @@ func TestRandomAccessArchiveErrors(t *testing.T) {
 	}
 
 	// An upload beyond -max-body is 413.
-	ts2 := testServer(t, options{workers: 1, maxBody: 64})
+	ts2 := testServer(t, Options{Workers: 1, MaxBody: 64})
 	resp, _ := do(t, http.MethodPut, ts2.URL+"/v1/archives/big", bytes.NewReader(enc))
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized PUT status %d, want 413", resp.StatusCode)
@@ -352,11 +352,11 @@ func mutateMagic(enc []byte) []byte {
 	return out
 }
 
-// TestRandomAccessArchiveROI runs the server-side ROI selector and checks
+// TestRandomAccessArchiveROI runs the Server-side ROI selector and checks
 // the selected regions agree with running internal/roi locally, and that
 // each returned box is addressable through the box endpoint.
 func TestRandomAccessArchiveROI(t *testing.T) {
-	ts := testServer(t, options{workers: 2})
+	ts := testServer(t, Options{Workers: 2})
 	g := datasets.Nyx(24, 24, 24, 13)
 	enc, err := codec.Encode("sz3", g, codec.Config{EB: 1e-3, Chunks: 3, Workers: 2})
 	if err != nil {

@@ -1,0 +1,14 @@
+package stzd
+
+import "net/http/httptest"
+
+// StartTest starts an in-process stzd instance over httptest and returns
+// the running server. It is the one construction path shared by the stzd
+// test suite and by out-of-package consumers that need a live service
+// without a network deployment — most prominently the HTTP workload of
+// cmd/stzsuite, whose end-to-end cells must measure exactly the handler
+// stack the real daemon serves. The caller owns the returned server and
+// must Close it.
+func StartTest(o Options) *httptest.Server {
+	return httptest.NewServer(New(o))
+}

@@ -1,4 +1,10 @@
-package main
+// Package stzd implements the stzd HTTP service: streaming
+// compress/decompress endpoints and the resident-archive random-access
+// query API in front of internal/codec. Command stzd (cmd/stzd) is a thin
+// flag wrapper around New; the stzd tests and the suite driver
+// (cmd/stzsuite) embed the same handler in-process through StartTest, so
+// every consumer shares one construction path.
+package stzd
 
 import (
 	"encoding/json"
@@ -18,70 +24,72 @@ import (
 	"stz/internal/scratch"
 )
 
-// options configures the service.
-type options struct {
-	// maxBody caps the request body and the decompressed output size, in
+// Options configures the service.
+type Options struct {
+	// MaxBody caps the request body and the decompressed output size, in
 	// bytes.
-	maxBody int64
-	// maxInflight bounds concurrently running compression/decompression
+	MaxBody int64
+	// MaxInflight bounds concurrently running compression/decompression
 	// jobs; excess requests wait briefly, then receive 503.
-	maxInflight int
-	// workers is the per-job codec worker budget.
-	workers int
-	// window is the bounded streaming window (slabs in flight per job);
+	MaxInflight int
+	// Workers is the per-job codec worker budget.
+	Workers int
+	// Window is the bounded streaming window (slabs in flight per job);
 	// 0 lets the codec layer choose.
-	window int
-	// admissionWait is how long a request waits for a job slot before 503.
-	admissionWait time.Duration
-	// enablePprof mounts net/http/pprof under /debug/pprof/.
-	enablePprof bool
-	// archiveBudget caps the bytes charged by the resident archive store
+	Window int
+	// AdmissionWait is how long a request waits for a job slot before 503.
+	AdmissionWait time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// ArchiveBudget caps the bytes charged by the resident archive store
 	// (raw archive bytes, plus the decoded-grid cache ceiling for backends
 	// without native sub-box decoding).
-	archiveBudget int64
-	// archiveShards is the archive store's shard count; the budget is
+	ArchiveBudget int64
+	// ArchiveShards is the archive store's shard count; the budget is
 	// split evenly across shards.
-	archiveShards int
+	ArchiveShards int
 }
 
-func (o options) withDefaults() options {
-	if o.maxBody <= 0 {
-		o.maxBody = 1 << 30
+func (o Options) withDefaults() Options {
+	if o.MaxBody <= 0 {
+		o.MaxBody = 1 << 30
 	}
-	if o.maxInflight <= 0 {
-		o.maxInflight = 4
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 4
 	}
-	if o.workers <= 0 {
-		o.workers = 1
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
-	if o.admissionWait <= 0 {
-		o.admissionWait = 100 * time.Millisecond
+	if o.AdmissionWait <= 0 {
+		o.AdmissionWait = 100 * time.Millisecond
 	}
-	if o.archiveBudget <= 0 {
-		o.archiveBudget = 1 << 30
+	if o.ArchiveBudget <= 0 {
+		o.ArchiveBudget = 1 << 30
 	}
-	if o.archiveShards <= 0 {
-		o.archiveShards = 8
+	if o.ArchiveShards <= 0 {
+		o.ArchiveShards = 8
 	}
 	return o
 }
 
-// server is the stzd request handler: a mux over the v1 endpoints with a
+// Server is the stzd request handler: a mux over the v1 endpoints with a
 // semaphore-bounded job pool and a resident archive store for the
 // random-access query API.
-type server struct {
-	opts  options
+type Server struct {
+	opts  Options
 	sem   chan struct{}
 	store *archiveStore
 	mux   *http.ServeMux
 }
 
-func newServer(o options) *server {
+// New builds the stzd handler: the full v1 endpoint mux with a
+// semaphore-bounded job pool and a fresh archive store.
+func New(o Options) *Server {
 	o = o.withDefaults()
-	s := &server{
+	s := &Server{
 		opts:  o,
-		sem:   make(chan struct{}, o.maxInflight),
-		store: newArchiveStore(o.archiveBudget, o.archiveShards, o.workers),
+		sem:   make(chan struct{}, o.MaxInflight),
+		store: newArchiveStore(o.ArchiveBudget, o.ArchiveShards, o.Workers),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -95,7 +103,7 @@ func newServer(o options) *server {
 	s.mux.HandleFunc("DELETE /v1/archives/{id}", s.handleArchiveDelete)
 	s.mux.HandleFunc("GET /v1/archives/{id}/box", s.handleArchiveBox)
 	s.mux.HandleFunc("POST /v1/archives/{id}/roi", s.handleArchiveROI)
-	if o.enablePprof {
+	if o.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -105,16 +113,16 @@ func newServer(o options) *server {
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// acquire claims a job slot, waiting up to admissionWait.
-func (s *server) acquire(r *http.Request) bool {
+// acquire claims a job slot, waiting up to AdmissionWait.
+func (s *Server) acquire(r *http.Request) bool {
 	select {
 	case s.sem <- struct{}{}:
 		return true
 	default:
 	}
-	t := time.NewTimer(s.opts.admissionWait)
+	t := time.NewTimer(s.opts.AdmissionWait)
 	defer t.Stop()
 	select {
 	case s.sem <- struct{}{}:
@@ -126,7 +134,7 @@ func (s *server) acquire(r *http.Request) bool {
 	}
 }
 
-func (s *server) release() { <-s.sem }
+func (s *Server) release() { <-s.sem }
 
 // httpError writes a JSON error payload.
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -144,14 +152,14 @@ func param(r *http.Request, name, header string) string {
 	return r.Header.Get(header)
 }
 
-func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{"status": "ok", "inflight": len(s.sem)})
 }
 
 // handleStats reports the scratch-arena counters (the memory-reuse health
 // of the hot paths) plus the in-flight job count.
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	type arenaJSON struct {
 		Hits     uint64  `json:"hits"`
 		Misses   uint64  `json:"misses"`
@@ -172,7 +180,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"inflight":      len(s.sem),
-		"max_inflight":  s.opts.maxInflight,
+		"max_inflight":  s.opts.MaxInflight,
 		"pool_hit_rate": g.HitRate(),
 		"pools":         pools,
 		"archives": map[string]any{
@@ -187,7 +195,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *server) handleCodecs(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleCodecs(w http.ResponseWriter, _ *http.Request) {
 	type capsJSON struct {
 		Name               string `json:"name"`
 		ID                 uint8  `json:"id"`
@@ -222,7 +230,7 @@ type compressParams struct {
 	relEB      float64
 }
 
-func parseCompressParams(r *http.Request, maxBody int64) (compressParams, error) {
+func parseCompressParams(r *http.Request, MaxBody int64) (compressParams, error) {
 	var p compressParams
 	p.codecName = param(r, "codec", "X-Stz-Codec")
 	if p.codecName == "" {
@@ -260,8 +268,8 @@ func parseCompressParams(r *http.Request, maxBody int64) (compressParams, error)
 	if p.dtype == "f64" {
 		elem = 8
 	}
-	if elems > maxBody/elem {
-		return p, fmt.Errorf("grid of %d bytes exceeds the per-request limit of %d", elems*elem, maxBody)
+	if elems > MaxBody/elem {
+		return p, fmt.Errorf("grid of %d bytes exceeds the per-request limit of %d", elems*elem, MaxBody)
 	}
 	ebStr := param(r, "eb", "X-Stz-Error-Bound")
 	if ebStr == "" {
@@ -290,8 +298,8 @@ func parseCompressParams(r *http.Request, maxBody int64) (compressParams, error)
 	return p, nil
 }
 
-func (s *server) handleCompress(w http.ResponseWriter, r *http.Request) {
-	p, err := parseCompressParams(r, s.opts.maxBody)
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	p, err := parseCompressParams(r, s.opts.MaxBody)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -305,12 +313,12 @@ func (s *server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	p.cfg.Workers = s.opts.workers
-	body := http.MaxBytesReader(w, r.Body, s.opts.maxBody)
+	p.cfg.Workers = s.opts.Workers
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBody)
 	if p.dtype == "f32" {
-		err = compressRequest[float32](w, body, p, s.opts.window)
+		err = compressRequest[float32](w, body, p, s.opts.Window)
 	} else {
-		err = compressRequest[float64](w, body, p, s.opts.window)
+		err = compressRequest[float64](w, body, p, s.opts.Window)
 	}
 	if err != nil {
 		// Nothing has been written yet (the streaming writer buffers the
@@ -433,13 +441,13 @@ func (d *deferredResponse) Write(b []byte) (int, error) {
 	return n, err
 }
 
-func (s *server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	if !s.acquire(r) {
 		httpError(w, http.StatusServiceUnavailable, "compression pool saturated; retry")
 		return
 	}
 	defer s.release()
-	body := http.MaxBytesReader(w, r.Body, s.opts.maxBody)
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBody)
 	st, err := codec.OpenStream(body)
 	if err != nil {
 		httpError(w, requestErrorStatus(err), "%v", err)
@@ -451,9 +459,9 @@ func (s *server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 		elem = 4
 	}
 	rawBytes := int64(hdr.Nz) * int64(hdr.Ny) * int64(hdr.Nx) * elem
-	if rawBytes > s.opts.maxBody {
+	if rawBytes > s.opts.MaxBody {
 		httpError(w, http.StatusRequestEntityTooLarge,
-			"decompressed grid of %d bytes exceeds the per-request limit of %d", rawBytes, s.opts.maxBody)
+			"decompressed grid of %d bytes exceeds the per-request limit of %d", rawBytes, s.opts.MaxBody)
 		return
 	}
 	if hdr.DType == 4 {
@@ -473,13 +481,13 @@ func (s *server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 // decompressRequest streams decoded planes to the client. The first slab
 // window is decoded before the status line goes out so malformed payloads
 // still get a 4xx; later failures can only abort the stream.
-func decompressRequest[T grid.Float](w http.ResponseWriter, st *codec.Stream, hdr codec.Header, o options) error {
+func decompressRequest[T grid.Float](w http.ResponseWriter, st *codec.Stream, hdr codec.Header, o Options) error {
 	sr, err := codec.NewStreamReader[T](st)
 	if err != nil {
 		return err
 	}
-	sr.Workers = o.workers
-	sr.Window = o.window
+	sr.Workers = o.Workers
+	sr.Window = o.Window
 	n := hdr.Nz * hdr.Ny * hdr.Nx
 	buf := scratch.LeaseFloat[T](min(n, 64*1024))
 	defer scratch.ReleaseFloat(buf)

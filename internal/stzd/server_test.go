@@ -1,4 +1,4 @@
-package main
+package stzd
 
 import (
 	"bytes"
@@ -17,9 +17,11 @@ import (
 	"stz/internal/rawio"
 )
 
-func testServer(t *testing.T, o options) *httptest.Server {
+// testServer wraps the exported StartTest harness — the same in-process
+// setup path cmd/stzsuite's HTTP workload uses — adding test cleanup.
+func testServer(t *testing.T, o Options) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(o))
+	ts := StartTest(o)
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -50,7 +52,7 @@ func post(t *testing.T, url string, body io.Reader) (*http.Response, []byte) {
 // compress → decompress round trip must agree with the in-process codec
 // pipeline byte for byte, on both the archive and the reconstruction.
 func TestCompressDecompressRoundTrip(t *testing.T) {
-	ts := testServer(t, options{workers: 2, maxInflight: 2})
+	ts := testServer(t, Options{Workers: 2, MaxInflight: 2})
 	g := datasets.Nyx(24, 10, 12, 4)
 	cfg := codec.Config{EB: 0.05, Workers: 2, Chunks: 3}
 
@@ -90,7 +92,7 @@ func TestCompressDecompressRoundTrip(t *testing.T) {
 }
 
 func TestCompressRelativeMode(t *testing.T) {
-	ts := testServer(t, options{workers: 1})
+	ts := testServer(t, Options{Workers: 1})
 	g := grid.ToFloat64(datasets.Nyx(16, 8, 8, 1))
 	resp, archive := post(t,
 		ts.URL+"/v1/compress?codec=sperr&dims=16x8x8&dtype=f64&eb=1e-3&mode=rel",
@@ -112,7 +114,7 @@ func TestCompressRelativeMode(t *testing.T) {
 }
 
 func TestHeaderParams(t *testing.T) {
-	ts := testServer(t, options{})
+	ts := testServer(t, Options{})
 	g := datasets.Nyx(8, 8, 8, 2)
 	req, err := http.NewRequest("POST", ts.URL+"/v1/compress", rawBody(g))
 	if err != nil {
@@ -136,7 +138,7 @@ func TestHeaderParams(t *testing.T) {
 }
 
 func TestCompressRejectsBadRequests(t *testing.T) {
-	ts := testServer(t, options{maxBody: 1 << 20})
+	ts := testServer(t, Options{MaxBody: 1 << 20})
 	g := datasets.Nyx(8, 8, 8, 1)
 	cases := []struct {
 		name, url string
@@ -180,7 +182,7 @@ func TestCompressRejectsBadRequests(t *testing.T) {
 // corrupt-input satellite: arbitrary prefixes of a valid archive must
 // produce a clean 4xx, never a hang or a panic.
 func TestDecompressRejectsTruncatedArchives(t *testing.T) {
-	ts := testServer(t, options{})
+	ts := testServer(t, Options{})
 	g := datasets.Nyx(16, 8, 8, 3)
 	enc, err := codec.Encode("sz3", g, codec.Config{EB: 0.05, Chunks: 2})
 	if err != nil {
@@ -201,7 +203,7 @@ func TestDecompressRejectsTruncatedArchives(t *testing.T) {
 }
 
 func TestDecompressOutputLimit(t *testing.T) {
-	ts := testServer(t, options{maxBody: 4 << 20})
+	ts := testServer(t, Options{MaxBody: 4 << 20})
 	g := datasets.Nyx(16, 8, 8, 1)
 	enc, err := codec.Encode("zfp", g, codec.Config{EB: 0.05})
 	if err != nil {
@@ -214,7 +216,7 @@ func TestDecompressOutputLimit(t *testing.T) {
 	}
 	// …but one that would decompress beyond the limit is rejected before
 	// any payload work happens. Shrink the limit below the grid size.
-	ts2 := testServer(t, options{maxBody: 1024})
+	ts2 := testServer(t, Options{MaxBody: 1024})
 	resp2, _ := post(t, ts2.URL+"/v1/decompress", bytes.NewReader(enc))
 	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status %d, want 413", resp2.StatusCode)
@@ -239,7 +241,7 @@ func TestDecompressOutputLimit(t *testing.T) {
 		}
 		b.Add(sec)
 	}
-	ts3 := testServer(t, options{maxBody: 8192})
+	ts3 := testServer(t, Options{MaxBody: 8192})
 	resp3, body := post(t, ts3.URL+"/v1/decompress", bytes.NewReader(b.Bytes()))
 	if resp3.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized upload: status %d, want 413 (%s)", resp3.StatusCode, body)
@@ -247,7 +249,7 @@ func TestDecompressOutputLimit(t *testing.T) {
 }
 
 func TestHealthAndCodecs(t *testing.T) {
-	ts := testServer(t, options{})
+	ts := testServer(t, Options{})
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -290,7 +292,7 @@ func TestHealthAndCodecs(t *testing.T) {
 // TestAdmissionControl saturates the single job slot and verifies the
 // overflow request is turned away with 503 rather than queued forever.
 func TestAdmissionControl(t *testing.T) {
-	s := newServer(options{maxInflight: 1, admissionWait: 10 * time.Millisecond})
+	s := New(Options{MaxInflight: 1, AdmissionWait: 10 * time.Millisecond})
 	// Occupy the only slot directly.
 	s.sem <- struct{}{}
 	g := datasets.Nyx(8, 8, 8, 1)
@@ -306,7 +308,7 @@ func TestAdmissionControl(t *testing.T) {
 // TestStatsEndpoint exercises a round trip and then checks that /v1/stats
 // reports the scratch arenas (with activity) and the in-flight gauge.
 func TestStatsEndpoint(t *testing.T) {
-	ts := testServer(t, options{workers: 2, maxInflight: 3})
+	ts := testServer(t, Options{Workers: 2, MaxInflight: 3})
 	g := datasets.Nyx(16, 12, 10, 2)
 	resp, _ := post(t, ts.URL+"/v1/compress?codec=sz3&dims=16x12x10&dtype=f32&eb=0.05", rawBody(g))
 	if resp.StatusCode != http.StatusOK {
@@ -353,7 +355,7 @@ func TestStatsEndpoint(t *testing.T) {
 // TestPprofDisabledByDefault ensures the profiling surface stays off unless
 // explicitly enabled.
 func TestPprofDisabledByDefault(t *testing.T) {
-	ts := testServer(t, options{})
+	ts := testServer(t, Options{})
 	r, err := http.Get(ts.URL + "/debug/pprof/")
 	if err != nil {
 		t.Fatal(err)
@@ -363,13 +365,13 @@ func TestPprofDisabledByDefault(t *testing.T) {
 		t.Fatalf("pprof reachable without -pprof: status %d", r.StatusCode)
 	}
 
-	ts2 := testServer(t, options{enablePprof: true})
+	ts2 := testServer(t, Options{EnablePprof: true})
 	r2, err := http.Get(ts2.URL + "/debug/pprof/")
 	if err != nil {
 		t.Fatal(err)
 	}
 	r2.Body.Close()
 	if r2.StatusCode != http.StatusOK {
-		t.Fatalf("pprof not served with enablePprof: status %d", r2.StatusCode)
+		t.Fatalf("pprof not served with EnablePprof: status %d", r2.StatusCode)
 	}
 }

@@ -1,4 +1,4 @@
-package main
+package stzd
 
 import (
 	"container/list"
