@@ -37,6 +37,15 @@
 // admission wait) and request lifetimes by -timeout, so stalled clients
 // cannot pin job slots.
 //
+// Errors are structured: every non-2xx response carries a JSON envelope
+// {"error":{"code":"...","message":"...","retryable":bool}} with a stable
+// machine code (docs/API.md lists them all).
+//
+// Cluster mode: -peers host:port,... plus -self places archive ids on a
+// consistent-hash ring over the peer set; requests for ids owned by
+// another node are forwarded transparently (X-Stz-Served-By names the
+// node that did the work). See docs/API.md for the full semantics.
+//
 // -pprof (off by default) additionally mounts net/http/pprof under
 // /debug/pprof/ for live profiling of a loaded instance.
 //
@@ -75,16 +84,26 @@ func main() {
 			"a single archive is capped at budget/shards)")
 	archiveShards := flag.Int("archive-shards", 8,
 		"archive store shard count (the budget splits evenly across shards)")
+	boxCacheBudget := flag.Int64("box-cache-budget", 0,
+		"byte budget of the decoded hot-box result cache (0 = default 256 MiB, negative disables)")
+	self := flag.String("self", "",
+		"this node's advertised host:port in cluster mode (must appear in -peers)")
+	peers := flag.String("peers", "",
+		"comma-separated host:port peer list enabling cluster mode; "+
+			"archive requests route to the consistent-hash owner of the id")
 	flag.Parse()
 
 	h := stzd.New(stzd.Options{
-		MaxBody:       *maxBody,
-		MaxInflight:   *maxInflight,
-		Workers:       *workers,
-		Window:        *window,
-		EnablePprof:   *pprofOn,
-		ArchiveBudget: *archiveBudget,
-		ArchiveShards: *archiveShards,
+		MaxBody:        *maxBody,
+		MaxInflight:    *maxInflight,
+		Workers:        *workers,
+		Window:         *window,
+		EnablePprof:    *pprofOn,
+		ArchiveBudget:  *archiveBudget,
+		ArchiveShards:  *archiveShards,
+		BoxCacheBudget: *boxCacheBudget,
+		Self:           *self,
+		Peers:          stzd.SplitPeers(*peers),
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"stz/internal/codec"
+	"stz/internal/grid"
+	"stz/internal/rawio"
+	"stz/internal/stzd"
+)
+
+// Cluster workload shape. The cell drives a zipfian box-query mix through
+// an in-process 3-node stzd cluster: every query targets a random node,
+// so roughly (nodes-1)/nodes of them are forwarded to the consistent-hash
+// owner, and the skewed popularity makes the owners' hot-box caches do
+// most of the serving.
+const (
+	clusterNodes    = 3
+	clusterArchives = 6   // distinct archive ids spread across the ring
+	clusterWindows  = 48  // distinct query windows per archive
+	clusterQueries  = 600 // queries per timed run
+	clusterClients  = 8   // concurrent client goroutines
+	clusterZipfS    = 1.4 // zipf exponent over the (archive, window) pairs
+)
+
+// clusterCounters are the cluster-wide cumulative counters the workload
+// observes, summed across nodes from each /v1/stats document.
+type clusterCounters struct {
+	decodes   float64 // box decodes that actually ran
+	forwarded float64 // requests proxied between nodes
+}
+
+func (a clusterCounters) sub(b clusterCounters) clusterCounters {
+	return clusterCounters{decodes: a.decodes - b.decodes, forwarded: a.forwarded - b.forwarded}
+}
+
+// runClusterCell measures the clustered archive tier end to end. One
+// archive payload is encoded once and stored under several ids (placed on
+// different nodes by the ring); each run fires a fixed zipfian query list
+// at random nodes and reports per-query latency plus three mix metrics:
+// qps, the fraction of queries served without a box decode (hit-%), and
+// the fraction forwarded between nodes (fwd-%). Counters are cumulative,
+// so each run observes its own delta; min-folding then keeps the coldest
+// run (the first), the conservative estimate.
+func runClusterCell[T grid.Float](c Cell, g *grid.Grid[T], runs int, agg *cellAgg) error {
+	mn, mx := g.Range()
+	ebAbs := c.EB * (float64(mx) - float64(mn))
+	if !(ebAbs > 0) {
+		ebAbs = c.EB
+	}
+	enc, err := codec.Encode(c.Codec, g, codec.Config{EB: ebAbs, Workers: c.Workers, Chunks: c.Chunks})
+	if err != nil {
+		return err
+	}
+	cl := stzd.StartTestCluster(clusterNodes, stzd.Options{
+		Workers: c.Workers, MaxInflight: clusterClients,
+	})
+	defer cl.Close()
+
+	// Store the payload under every id via node 0 — non-owned ids exercise
+	// the forwarded write path.
+	ids := make([]string, clusterArchives)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%s-a%d", c.Dataset, i)
+		req, err := http.NewRequest(http.MethodPut, cl.URL(0)+"/v1/archives/"+ids[i], bytes.NewReader(enc))
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("PUT %s: status %d: %s", ids[i], resp.StatusCode, bytes.TrimSpace(body))
+		}
+	}
+
+	// The query population: (archive, window) pairs, shuffled so zipf
+	// popularity rank is independent of archive identity, then drawn with
+	// a skew that concentrates most queries on a hot minority.
+	h := fnv.New32a()
+	io.WriteString(h, c.Name)
+	rng := rand.New(rand.NewSource(int64(h.Sum32())))
+	elem := int64(rawio.ElemSize[T]())
+	type target struct {
+		path  string
+		bytes int64
+	}
+	var pop []target
+	for _, id := range ids {
+		for w := 0; w < clusterWindows; w++ {
+			b := randomBox(rng, g, c.Box)
+			pop = append(pop, target{
+				path: fmt.Sprintf("/v1/archives/%s/box?box=%d:%d,%d:%d,%d:%d",
+					id, b.Z0, b.Z1, b.Y0, b.Y1, b.X0, b.X1),
+				bytes: int64(b.Volume()) * elem,
+			})
+		}
+	}
+	rng.Shuffle(len(pop), func(i, j int) { pop[i], pop[j] = pop[j], pop[i] })
+	zipf := rand.NewZipf(rng, clusterZipfS, 1, uint64(len(pop)-1))
+
+	base, err := scrapeCluster(cl)
+	if err != nil {
+		return err
+	}
+	for run := 0; run < runs; run++ {
+		// Pre-draw the run's queries so the timed section is pure serving.
+		type query struct {
+			node int
+			t    target
+		}
+		queries := make([]query, clusterQueries)
+		for i := range queries {
+			queries[i] = query{node: rng.Intn(clusterNodes), t: pop[zipf.Uint64()]}
+		}
+
+		var (
+			wg       sync.WaitGroup
+			errOnce  sync.Once
+			queryErr error
+		)
+		work := make(chan query)
+		t0 := time.Now()
+		for w := 0; w < clusterClients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for q := range work {
+					if err := fetchBox(cl.URL(q.node)+q.t.path, q.t.bytes); err != nil {
+						errOnce.Do(func() { queryErr = err })
+					}
+				}
+			}()
+		}
+		for _, q := range queries {
+			work <- q
+		}
+		close(work)
+		wg.Wait()
+		elapsed := time.Since(t0)
+		if queryErr != nil {
+			return queryErr
+		}
+
+		cur, err := scrapeCluster(cl)
+		if err != nil {
+			return err
+		}
+		d := cur.sub(base)
+		base = cur
+		agg.observeNs(elapsed / clusterQueries)
+		agg.observe("qps", clusterQueries/elapsed.Seconds())
+		agg.observe("hit-%", 100*(1-d.decodes/clusterQueries))
+		agg.observe("fwd-%", 100*d.forwarded/clusterQueries)
+	}
+	return nil
+}
+
+// fetchBox issues one box query and validates status and payload size.
+func fetchBox(url string, want int64) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("box query %s: status %d", url, resp.StatusCode)
+	}
+	if n != want {
+		return fmt.Errorf("box query %s: %d payload bytes, want %d", url, n, want)
+	}
+	return nil
+}
+
+// randomBox places a window of the requested dims (clipped to the grid)
+// at a random offset.
+func randomBox[T grid.Float](rng *rand.Rand, g *grid.Grid[T], want [3]int) grid.Box {
+	bz, by, bx := minInt(want[0], g.Nz), minInt(want[1], g.Ny), minInt(want[2], g.Nx)
+	z0, y0, x0 := rng.Intn(g.Nz-bz+1), rng.Intn(g.Ny-by+1), rng.Intn(g.Nx-bx+1)
+	return grid.Box{Z0: z0, Z1: z0 + bz, Y0: y0, Y1: y0 + by, X0: x0, X1: x0 + bx}
+}
+
+// scrapeCluster sums the workload-relevant counters across every node's
+// /v1/stats document.
+func scrapeCluster(cl *stzd.TestCluster) (clusterCounters, error) {
+	var out clusterCounters
+	for i := range cl.Servers {
+		resp, err := http.Get(cl.URL(i) + "/v1/stats")
+		if err != nil {
+			return out, err
+		}
+		var doc struct {
+			BoxCache struct {
+				Decodes float64 `json:"decodes"`
+			} `json:"box_cache"`
+			Cluster struct {
+				Forwarded float64 `json:"forwarded"`
+			} `json:"cluster"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			return out, fmt.Errorf("node %d stats: %w", i, err)
+		}
+		out.decodes += doc.BoxCache.Decodes
+		out.forwarded += doc.Cluster.Forwarded
+	}
+	return out, nil
+}

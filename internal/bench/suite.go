@@ -14,16 +14,18 @@ import (
 
 // Suite workload names. Every benchmark cell runs exactly one of these:
 // in-process compression, in-process decompression, random-access box
-// queries against an encoded archive, or an HTTP round trip through an
-// in-process stzd instance.
+// queries against an encoded archive, an HTTP round trip through an
+// in-process stzd instance, or a zipfian box-query mix against a 3-node
+// stzd cluster (consistent-hash routing, forwarding, hot-box caching).
 const (
 	WorkloadCompress   = "compress"
 	WorkloadDecompress = "decompress"
 	WorkloadBox        = "box"
 	WorkloadHTTP       = "http"
+	WorkloadCluster    = "cluster"
 )
 
-var knownWorkloads = []string{WorkloadCompress, WorkloadDecompress, WorkloadBox, WorkloadHTTP}
+var knownWorkloads = []string{WorkloadCompress, WorkloadDecompress, WorkloadBox, WorkloadHTTP, WorkloadCluster}
 
 // SuiteSpec is a declarative benchmark suite: a name, a run count, and one
 // or more cell matrices whose cross products define the cells.
@@ -275,11 +277,11 @@ func (m *Matrix) validate() error {
 	}
 	for _, c := range m.Codecs {
 		if c == "stz" {
-			// The paper's codec binds directly to internal/core; the box and
-			// http workloads go through the registry container / stzd, which
-			// serve registry codecs only.
+			// The paper's codec binds directly to internal/core; the box,
+			// http and cluster workloads go through the registry container /
+			// stzd, which serve registry codecs only.
 			for _, w := range m.Workloads {
-				if w == WorkloadBox || w == WorkloadHTTP {
+				if w == WorkloadBox || w == WorkloadHTTP || w == WorkloadCluster {
 					return fmt.Errorf("codec \"stz\" supports only the compress and decompress workloads, not %q", w)
 				}
 			}

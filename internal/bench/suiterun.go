@@ -152,6 +152,8 @@ func runCellT[T grid.Float](c Cell, g *grid.Grid[T], runs int) (CellResult, erro
 		err = runBoxCell(c, g, runs, agg)
 	case WorkloadHTTP:
 		err = runHTTPCell(c, g, runs, agg)
+	case WorkloadCluster:
+		err = runClusterCell(c, g, runs, agg)
 	default:
 		err = fmt.Errorf("unknown workload %q", c.Workload)
 	}

@@ -1,0 +1,124 @@
+// Package cluster implements the placement layer of the stzd archive
+// tier: a consistent-hash ring over a static peer topology. Every peer
+// builds the same ring from the same -peers list, so any node can answer
+// "which peer owns archive X" without coordination, and adding or
+// removing one peer relocates only ~1/N of the keyspace instead of
+// rehashing everything.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// defaultReplicas is the virtual-node count per peer. 128 points per
+// peer keeps the expected per-peer load imbalance of an FNV-placed ring
+// within a few percent for small clusters.
+const defaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring over a fixed peer set. Build
+// one with New; a Ring is safe for concurrent use.
+type Ring struct {
+	peers  []string // sorted, deduplicated
+	hashes []uint64 // sorted virtual-node positions
+	owner  []int    // hashes[i] belongs to peers[owner[i]]
+}
+
+// New builds a ring over peers with the default virtual-node count.
+// Peers are deduplicated and order-insensitive: every node that passes
+// the same set (in any order) derives the identical placement. An empty
+// peer list is allowed and yields a ring that owns nothing.
+func New(peers []string) *Ring {
+	return NewReplicas(peers, defaultReplicas)
+}
+
+// NewReplicas builds a ring with an explicit virtual-node count per peer
+// (values < 1 are clamped to 1).
+func NewReplicas(peers []string, replicas int) *Ring {
+	if replicas < 1 {
+		replicas = 1
+	}
+	uniq := make([]string, 0, len(peers))
+	seen := map[string]bool{}
+	for _, p := range peers {
+		p = strings.TrimSpace(p)
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		uniq = append(uniq, p)
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		peers:  uniq,
+		hashes: make([]uint64, 0, len(uniq)*replicas),
+		owner:  make([]int, 0, len(uniq)*replicas),
+	}
+	type point struct {
+		h    uint64
+		peer int
+	}
+	pts := make([]point, 0, len(uniq)*replicas)
+	for i, p := range uniq {
+		for v := 0; v < replicas; v++ {
+			pts = append(pts, point{hash(fmt.Sprintf("%s#%d", p, v)), i})
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].h != pts[b].h {
+			return pts[a].h < pts[b].h
+		}
+		// Break hash collisions by peer index so every node sorts
+		// identically.
+		return pts[a].peer < pts[b].peer
+	})
+	for _, pt := range pts {
+		r.hashes = append(r.hashes, pt.h)
+		r.owner = append(r.owner, pt.peer)
+	}
+	return r
+}
+
+// Peers returns the ring's peer set, sorted. The caller must not mutate
+// the returned slice.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Len reports the number of peers on the ring.
+func (r *Ring) Len() int { return len(r.peers) }
+
+// Contains reports whether peer is a member of the ring.
+func (r *Ring) Contains(peer string) bool {
+	i := sort.SearchStrings(r.peers, peer)
+	return i < len(r.peers) && r.peers[i] == peer
+}
+
+// Owner returns the peer that owns key: the first virtual node at or
+// clockwise after the key's hash. It returns "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.hashes) == 0 {
+		return ""
+	}
+	h := hash(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap past the highest point
+	}
+	return r.peers[r.owner[i]]
+}
+
+// hash is FNV-1a with a splitmix64 finalizer: raw FNV of short, similar
+// strings ("host:port#3") clusters on the ring badly enough to starve
+// peers, and the avalanche pass restores a uniform spread.
+func hash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestOwnerDeterministicAcrossOrderings: every node building the ring
+// from the same peer set — in any order, with duplicates or whitespace —
+// must place every key identically, or forwarding would loop.
+func TestOwnerDeterministicAcrossOrderings(t *testing.T) {
+	a := New([]string{"h1:1", "h2:2", "h3:3"})
+	b := New([]string{"h3:3", "h1:1", "h2:2", "h1:1", " h2:2 "})
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("len %d/%d, want 3", a.Len(), b.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("archive-%d", i)
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("key %q: owners differ (%q vs %q)", key, ao, bo)
+		}
+	}
+}
+
+// TestOwnerDistribution: with virtual nodes, 3 peers each own a
+// reasonable share of a large keyspace (no peer starved or dominant).
+func TestOwnerDistribution(t *testing.T) {
+	peers := []string{"h1:1", "h2:2", "h3:3"}
+	r := New(peers)
+	counts := map[string]int{}
+	const N = 10000
+	for i := 0; i < N; i++ {
+		counts[r.Owner(fmt.Sprintf("archive-%d", i))]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / N
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("peer %s owns %.1f%% of keys, want a balanced share (counts %v)",
+				p, 100*share, counts)
+		}
+	}
+}
+
+// TestOwnerStabilityUnderMembershipChange pins the consistent-hashing
+// property: removing one of four peers must relocate only the removed
+// peer's keys — every key owned by a surviving peer keeps its owner.
+func TestOwnerStabilityUnderMembershipChange(t *testing.T) {
+	full := New([]string{"h1:1", "h2:2", "h3:3", "h4:4"})
+	reduced := New([]string{"h1:1", "h2:2", "h3:3"})
+	moved, kept := 0, 0
+	const N = 10000
+	for i := 0; i < N; i++ {
+		key := fmt.Sprintf("archive-%d", i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before == "h4:4" {
+			continue // had to move
+		}
+		if before == after {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys owned by surviving peers relocated (kept %d)", moved, kept)
+	}
+}
+
+// TestEmptyAndSingle covers the degenerate topologies stzd actually runs
+// in: no peers (single-node mode) and a one-peer ring.
+func TestEmptyAndSingle(t *testing.T) {
+	empty := New(nil)
+	if got := empty.Owner("x"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	if empty.Contains("h1:1") {
+		t.Fatal("empty ring contains a peer")
+	}
+	one := New([]string{"h1:1"})
+	for i := 0; i < 100; i++ {
+		if got := one.Owner(fmt.Sprintf("k%d", i)); got != "h1:1" {
+			t.Fatalf("single-peer ring owner = %q", got)
+		}
+	}
+	if !one.Contains("h1:1") || one.Contains("h2:2") {
+		t.Fatal("Contains wrong on single-peer ring")
+	}
+}

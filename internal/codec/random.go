@@ -6,6 +6,7 @@ import (
 
 	"stz/internal/container"
 	"stz/internal/grid"
+	"stz/internal/singleflight"
 )
 
 // BoxDecoder is an optional Codec extension: backends whose payload
@@ -51,6 +52,19 @@ type ReaderAt[T grid.Float] struct {
 	// Workers bounds the per-query decode parallelism (values < 1 mean
 	// serial). Set it before issuing queries.
 	Workers int
+
+	// Flight, when set, deduplicates slab decodes across ReaderAt
+	// instances through a shared single-flight group keyed
+	// "FlightKey\x00<chunk>". The per-reader sync.Once already collapses
+	// concurrent first touches of a chunk within one reader; the flight
+	// additionally collapses the cache-fill race across readers of the
+	// same archive (e.g. an archive store whose entry was replaced while
+	// queries were in flight). FlightKey must uniquely identify the
+	// archive *content* — two readers may share a key only if their
+	// bytes are identical, since followers receive the leader's decoded
+	// slab. Set both before issuing queries.
+	Flight    *singleflight.Group[string, any]
+	FlightKey string
 
 	arc    *container.Archive
 	hdr    Header
@@ -124,7 +138,10 @@ func (r *ReaderAt[T]) workers() int {
 
 // slab returns the decoded z-slab of chunk i, decoding and caching it on
 // first touch (the fallback path for backends without native sub-box
-// support). The cached grid is shared: callers must not mutate it.
+// support). The cached grid is shared: callers must not mutate it. With
+// a Flight configured, the decode itself runs under the shared
+// single-flight group, so concurrent first touches across readers of
+// the same archive also collapse to one decode.
 func (r *ReaderAt[T]) slab(i int) (*grid.Grid[T], error) {
 	r.mu.Lock()
 	e, ok := r.slabs[i]
@@ -134,24 +151,42 @@ func (r *ReaderAt[T]) slab(i int) (*grid.Grid[T], error) {
 	}
 	r.mu.Unlock()
 	e.once.Do(func() {
-		sec, err := r.arc.Section(i + 1)
+		if r.Flight == nil {
+			e.g, e.err = r.decodeSlab(i)
+			return
+		}
+		v, _, err := r.Flight.Do(fmt.Sprintf("%s\x00%d", r.FlightKey, i),
+			func() (any, error) {
+				g, err := r.decodeSlab(i)
+				if err != nil {
+					return nil, err
+				}
+				return g, nil
+			})
 		if err != nil {
 			e.err = err
 			return
 		}
-		g, err := Decompress[T](r.c, sec, r.workers())
-		if err != nil {
-			e.err = fmt.Errorf("codec: chunk %d: %w", i, err)
-			return
-		}
-		lo, hi := r.hdr.ChunkBounds[i], r.hdr.ChunkBounds[i+1]
-		if g.Nz != hi-lo || g.Ny != r.hdr.Ny || g.Nx != r.hdr.Nx {
-			e.err = fmt.Errorf("%w: chunk %d dims mismatch", ErrFormat, i)
-			return
-		}
-		e.g = g
+		e.g = v.(*grid.Grid[T])
 	})
 	return e.g, e.err
+}
+
+// decodeSlab decodes chunk i's whole z-slab and validates its dims.
+func (r *ReaderAt[T]) decodeSlab(i int) (*grid.Grid[T], error) {
+	sec, err := r.arc.Section(i + 1)
+	if err != nil {
+		return nil, err
+	}
+	g, err := Decompress[T](r.c, sec, r.workers())
+	if err != nil {
+		return nil, fmt.Errorf("codec: chunk %d: %w", i, err)
+	}
+	lo, hi := r.hdr.ChunkBounds[i], r.hdr.ChunkBounds[i+1]
+	if g.Nz != hi-lo || g.Ny != r.hdr.Ny || g.Nx != r.hdr.Nx {
+		return nil, fmt.Errorf("%w: chunk %d dims mismatch", ErrFormat, i)
+	}
+	return g, nil
 }
 
 // DecompressBox reconstructs only the region b — random-access

@@ -1,0 +1,65 @@
+// Package singleflight deduplicates concurrent calls that would compute
+// the same value: the first caller of a key runs the function, every
+// caller that arrives while it is in flight blocks and receives the same
+// result. It is the decode-collapsing primitive of the stzd cluster tier
+// — N concurrent queries of a hot chunk or box trigger exactly one decode
+// — kept generic so any keyed computation can share it.
+//
+// Unlike golang.org/x/sync/singleflight, results are not cached beyond
+// the in-flight window: once the leader returns and all followers have
+// been served, the next call with the same key runs the function again.
+// Layer an LRU above the group when results should stay hot.
+package singleflight
+
+import "sync"
+
+// call is one in-flight computation.
+type call[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Group deduplicates concurrent Do calls by key. The zero value is ready
+// to use. A Group is safe for concurrent use.
+type Group[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*call[V]
+}
+
+// Do runs fn exactly once per key among concurrent callers: the first
+// caller (the leader) executes fn, callers that arrive before the leader
+// finishes wait and receive the leader's result. shared reports whether
+// this caller joined an in-flight computation instead of running fn
+// itself. When V carries a pointer, all callers receive the same value
+// and must treat it as immutable.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (val V, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[K]*call[V]{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true, c.err
+	}
+	c := &call[V]{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, false, c.err
+}
+
+// Inflight reports the number of keys currently being computed.
+func (g *Group[K, V]) Inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

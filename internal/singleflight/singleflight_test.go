@@ -1,0 +1,118 @@
+package singleflight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSingleFlightDoCollapsesConcurrentCalls is the core contract: callers that
+// arrive while a key is in flight observe exactly one execution and all
+// receive the leader's value.
+func TestSingleFlightDoCollapsesConcurrentCalls(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int64
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan int)
+	go func() {
+		v, _, err := g.Do("k", func() (int, error) {
+			calls.Add(1)
+			close(inFlight)
+			<-release
+			return 42, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		leaderDone <- v
+	}()
+	<-inFlight
+
+	// Every follower starts while the leader is provably still inside fn,
+	// so each must join the flight rather than run its own.
+	const K = 15
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared, err := g.Do("k", func() (int, error) {
+				calls.Add(1)
+				return -1, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if !shared {
+				t.Error("follower did not share the flight")
+			}
+			if v != 42 {
+				t.Errorf("follower got %d, want 42", v)
+			}
+		}()
+	}
+	// Give the followers a moment to park on the flight, then release the
+	// leader. (They registered as sharers the instant Do saw the in-flight
+	// key, so this sleep only affects scheduling, not correctness.)
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if v := <-leaderDone; v != 42 {
+		t.Fatalf("leader got %d, want 42", v)
+	}
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	if g.Inflight() != 0 {
+		t.Fatalf("inflight = %d after completion, want 0", g.Inflight())
+	}
+}
+
+// TestSingleFlightDoDistinctKeysRunIndependently: different keys never share results.
+func TestSingleFlightDoDistinctKeysRunIndependently(t *testing.T) {
+	var g Group[int, int]
+	var wg sync.WaitGroup
+	var calls atomic.Int64
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		k := k
+		go func() {
+			defer wg.Done()
+			v, _, err := g.Do(k, func() (int, error) {
+				calls.Add(1)
+				return k * 10, nil
+			})
+			if err != nil || v != k*10 {
+				t.Errorf("key %d: v=%d err=%v", k, v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 8 {
+		t.Fatalf("fn ran %d times, want 8", calls.Load())
+	}
+}
+
+// TestSingleFlightDoErrorsPropagate: followers receive the leader's error, and the
+// key is retried (not cached) after the flight completes.
+func TestSingleFlightDoErrorsPropagate(t *testing.T) {
+	var g Group[string, int]
+	wantErr := errors.New("decode failed")
+	_, _, err := g.Do("k", func() (int, error) { return 0, wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// The failed flight must not poison the key.
+	v, _, err := g.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry after error: v=%d err=%v", v, err)
+	}
+	if g.Inflight() != 0 {
+		t.Fatalf("inflight = %d after completion, want 0", g.Inflight())
+	}
+}

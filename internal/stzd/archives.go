@@ -1,6 +1,7 @@
 package stzd
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -70,25 +71,26 @@ func entryJSON(e *archiveEntry) archiveJSON {
 func (s *Server) handleArchivePut(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !validArchiveID(id) {
-		httpError(w, http.StatusBadRequest,
+		httpError(w, http.StatusBadRequest, CodeBadRequest,
 			"archive id must be 1-%d chars of [A-Za-z0-9._-]", maxArchiveID)
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBody)
 	data, err := io.ReadAll(body)
 	if err != nil {
-		httpError(w, requestErrorStatus(err), "reading archive: %v", err)
+		status := requestErrorStatus(err)
+		httpError(w, status, codeForRequestError(status), "reading archive: %v", err)
 		return
 	}
 	e, replaced, err := s.store.put(id, data)
 	if err != nil {
 		// A body that cannot fit the store is 413; one that is not a
 		// decodable SZXC archive is 422 (well-formed HTTP, bad entity).
-		status := http.StatusUnprocessableEntity
 		if errors.Is(err, errStoreBudget) {
-			status = http.StatusRequestEntityTooLarge
+			httpError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "%v", err)
+			return
 		}
-		httpError(w, status, "%v", err)
+		httpError(w, http.StatusUnprocessableEntity, CodeBadArchive, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -118,7 +120,7 @@ func (s *Server) handleArchiveList(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleArchiveInfo(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.store.get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown archive %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, CodeUnknownArchive, "unknown archive %q", r.PathValue("id"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -127,7 +129,7 @@ func (s *Server) handleArchiveInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleArchiveDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.store.delete(r.PathValue("id")) {
-		httpError(w, http.StatusNotFound, "unknown archive %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, CodeUnknownArchive, "unknown archive %q", r.PathValue("id"))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -137,35 +139,50 @@ func (s *Server) handleArchiveDelete(w http.ResponseWriter, r *http.Request) {
 // random-access sub-box decode against a resident archive. Box queries are
 // decode jobs and go through the admission semaphore like compress and
 // decompress.
+//
+// Hot-box path: payloads small enough for the result cache are served
+// from it when present (X-Stz-Cache: hit, no archive bytes read), and on
+// a miss the decode runs under single-flight — concurrent queries of the
+// same archive+box collapse to one decode whose result all of them (and
+// the cache) share. Payloads beyond the cache's entry cap stream
+// directly (X-Stz-Cache: bypass).
 func (s *Server) handleArchiveBox(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.store.get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown archive %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, CodeUnknownArchive, "unknown archive %q", r.PathValue("id"))
 		return
 	}
 	spec := param(r, "box", "X-Stz-Box")
 	if spec == "" {
-		httpError(w, http.StatusBadRequest, "missing box parameter (z0:z1,y0:y1,x0:x1)")
+		httpError(w, http.StatusBadRequest, CodeBadBox, "missing box parameter (z0:z1,y0:y1,x0:x1)")
 		return
 	}
 	b, err := codec.ParseBox(spec)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, CodeBadBox, "%v", err)
 		return
 	}
 	// Validate before claiming a job slot so malformed queries never wait.
 	if err := codec.CheckBox(b, e.hdr().Nz, e.hdr().Ny, e.hdr().Nx); err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		httpError(w, http.StatusUnprocessableEntity, CodeBadBox, "%v", err)
+		return
+	}
+	elem := int64(8)
+	if e.hdr().DType == 4 {
+		elem = 4
+	}
+	if s.boxCache.cacheable(int64(b.Volume()) * elem) {
+		s.serveBoxCached(w, r, e, b)
 		return
 	}
 	if !s.acquire(r) {
-		httpError(w, http.StatusServiceUnavailable, "compression pool saturated; retry")
+		saturated(w)
 		return
 	}
 	defer s.release()
 
 	read0, _ := e.q.accounting()
-	resp := &boxResponse{w: w, e: e, box: b, read0: read0}
+	resp := &boxResponse{w: w, e: e, box: b, read0: read0, cache: "bypass"}
 	// The read delta is attributed to this query; under concurrent queries
 	// on the same archive it is approximate (the counter is shared).
 	if err := e.q.writeBox(resp, b); err != nil {
@@ -176,9 +193,93 @@ func (s *Server) handleArchiveBox(w http.ResponseWriter, r *http.Request) {
 		}
 		// The box was validated, so pre-write failures are decode-side:
 		// the resident archive cannot produce the window.
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		httpError(w, http.StatusUnprocessableEntity, CodeBadArchive, "%v", err)
 		return
 	}
+}
+
+// boxResult is one single-flight decode outcome: the full payload bytes
+// plus the archive bytes the decode read.
+type boxResult struct {
+	data []byte
+	read int64
+}
+
+// errSaturatedFlight marks a single-flight leader that could not claim a
+// job slot; mapped back to the pool_saturated envelope by every caller.
+var errSaturatedFlight = errors.New("job pool saturated")
+
+// boxKey names one decoded window: archive id, entry generation (so a
+// replaced archive never serves stale windows), and the canonical box.
+func boxKey(e *archiveEntry, b grid.Box) string {
+	return fmt.Sprintf("%s\x00%d\x00%d:%d,%d:%d,%d:%d",
+		e.id, e.gen, b.Z0, b.Z1, b.Y0, b.Y1, b.X0, b.X1)
+}
+
+// serveBoxCached serves a box through the hot-box tier: result cache
+// first, then a single-flight decode (the leader claims a job slot and
+// decodes; followers wait and reuse the result) that fills the cache.
+func (s *Server) serveBoxCached(w http.ResponseWriter, r *http.Request, e *archiveEntry, b grid.Box) {
+	key := boxKey(e, b)
+	if data, ok := s.boxCache.get(key); ok {
+		writeBoxHeaders(w, e, b, 0, "hit")
+		w.Write(data)
+		return
+	}
+	res, _, err := s.boxFlights.Do(key, func() (boxResult, error) {
+		// Re-check under the flight: a just-finished flight may have
+		// filled the cache after our lookup missed but before this flight
+		// started; serving it keeps "one decode per cached window" exact.
+		if data, ok := s.boxCache.get(key); ok {
+			return boxResult{data: data}, nil
+		}
+		if !s.acquire(r) {
+			return boxResult{}, errSaturatedFlight
+		}
+		defer s.release()
+		s.boxDecodes.Add(1)
+		read0, _ := e.q.accounting()
+		var buf bytes.Buffer
+		if err := e.q.writeBox(&buf, b); err != nil {
+			return boxResult{}, err
+		}
+		read1, _ := e.q.accounting()
+		res := boxResult{data: buf.Bytes(), read: read1 - read0}
+		// Fill the cache before the flight key is released so no later
+		// request can slip between flight teardown and cache fill.
+		s.boxCache.put(key, res.data)
+		return res, nil
+	})
+	if err != nil {
+		if errors.Is(err, errSaturatedFlight) {
+			saturated(w)
+			return
+		}
+		httpError(w, http.StatusUnprocessableEntity, CodeBadArchive, "%v", err)
+		return
+	}
+	writeBoxHeaders(w, e, b, res.read, "miss")
+	w.Write(res.data)
+}
+
+// writeBoxHeaders emits the box response headers: dims/dtype/codec, the
+// accounting pair, the cache disposition, and the exact Content-Length.
+func writeBoxHeaders(w http.ResponseWriter, e *archiveEntry, b grid.Box, read int64, cache string) {
+	elem := int64(8)
+	dt := "f64"
+	if e.hdr().DType == 4 {
+		elem, dt = 4, "f32"
+	}
+	_, payload := e.q.accounting()
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-Stz-Codec", e.hdr().Codec)
+	h.Set("X-Stz-Dims", fmt.Sprintf("%dx%dx%d", b.Z1-b.Z0, b.Y1-b.Y0, b.X1-b.X0))
+	h.Set("X-Stz-Dtype", dt)
+	h.Set("X-Stz-Payload-Bytes", strconv.FormatInt(payload, 10))
+	h.Set("X-Stz-Read-Bytes", strconv.FormatInt(read, 10))
+	h.Set("X-Stz-Cache", cache)
+	h.Set("Content-Length", strconv.FormatInt(int64(b.Volume())*elem, 10))
 }
 
 // boxResponse defers the success headers until the first body byte — by
@@ -190,27 +291,15 @@ type boxResponse struct {
 	e       *archiveEntry
 	box     grid.Box
 	read0   int64
+	cache   string
 	started bool
 }
 
 func (d *boxResponse) Write(p []byte) (int, error) {
 	if !d.started {
 		d.started = true
-		e, b := d.e, d.box
-		elem := int64(8)
-		dt := "f64"
-		if e.hdr().DType == 4 {
-			elem, dt = 4, "f32"
-		}
-		read, payload := e.q.accounting()
-		h := d.w.Header()
-		h.Set("Content-Type", "application/octet-stream")
-		h.Set("X-Stz-Codec", e.hdr().Codec)
-		h.Set("X-Stz-Dims", fmt.Sprintf("%dx%dx%d", b.Z1-b.Z0, b.Y1-b.Y0, b.X1-b.X0))
-		h.Set("X-Stz-Dtype", dt)
-		h.Set("X-Stz-Payload-Bytes", strconv.FormatInt(payload, 10))
-		h.Set("X-Stz-Read-Bytes", strconv.FormatInt(read-d.read0, 10))
-		h.Set("Content-Length", strconv.FormatInt(int64(b.Volume())*elem, 10))
+		read, _ := d.e.q.accounting()
+		writeBoxHeaders(d.w, d.e, d.box, read-d.read0, d.cache)
 	}
 	return d.w.Write(p)
 }
@@ -234,19 +323,19 @@ type roiRegionJSON struct {
 func (s *Server) handleArchiveROI(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.store.get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown archive %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, CodeUnknownArchive, "unknown archive %q", r.PathValue("id"))
 		return
 	}
 	var req roiRequest
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "request body: %v", err)
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "request body: %v", err)
 		return
 	}
 	p := roiParams{block: 16, thresh: req.Threshold, topPct: req.Top}
 	if req.Block != 0 {
 		if req.Block < 1 {
-			httpError(w, http.StatusBadRequest, "block must be >= 1")
+			httpError(w, http.StatusBadRequest, CodeBadRequest, "block must be >= 1")
 			return
 		}
 		p.block = req.Block
@@ -257,17 +346,17 @@ func (s *Server) handleArchiveROI(w http.ResponseWriter, r *http.Request) {
 	case "range":
 		p.mode = roi.ValueRange
 	default:
-		httpError(w, http.StatusBadRequest, "mode must be max or range, got %q", req.Mode)
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "mode must be max or range, got %q", req.Mode)
 		return
 	}
 	if !s.acquire(r) {
-		httpError(w, http.StatusServiceUnavailable, "compression pool saturated; retry")
+		saturated(w)
 		return
 	}
 	defer s.release()
 	res, err := e.q.queryROI(p)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		httpError(w, http.StatusUnprocessableEntity, CodeBadArchive, "%v", err)
 		return
 	}
 	regions := make([]roiRegionJSON, 0, len(res.regions))

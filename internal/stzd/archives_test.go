@@ -303,25 +303,26 @@ func TestRandomAccessArchiveErrors(t *testing.T) {
 		name, method, url string
 		body              io.Reader
 		status            int
+		code              string
 	}{
-		{"unknown-info", "GET", "/v1/archives/nope", nil, 404},
-		{"unknown-box", "GET", "/v1/archives/nope/box?box=0:1,0:1,0:1", nil, 404},
-		{"unknown-delete", "DELETE", "/v1/archives/nope", nil, 404},
-		{"unknown-roi", "POST", "/v1/archives/nope/roi", strings.NewReader(`{}`), 404},
-		{"bad-id", "PUT", "/v1/archives/" + strings.Repeat("x", 200), bytes.NewReader(enc), 400},
-		{"garbage-archive", "PUT", "/v1/archives/bad", strings.NewReader("not an archive"), 422},
-		{"truncated-archive", "PUT", "/v1/archives/bad", bytes.NewReader(enc[:len(enc)/2]), 422},
-		{"core-stream", "PUT", "/v1/archives/bad", bytes.NewReader(mutateMagic(enc)), 422},
-		{"missing-box", "GET", "/v1/archives/ok/box", nil, 400},
-		{"bad-box-syntax", "GET", "/v1/archives/ok/box?box=1:2", nil, 400},
-		{"bad-box-number", "GET", "/v1/archives/ok/box?box=a:b,0:1,0:1", nil, 400},
-		{"empty-box", "GET", "/v1/archives/ok/box?box=3:3,0:12,0:12", nil, 422},
-		{"inverted-box", "GET", "/v1/archives/ok/box?box=8:2,0:12,0:12", nil, 422},
-		{"oob-box", "GET", "/v1/archives/ok/box?box=0:13,0:12,0:12", nil, 422},
-		{"negative-box", "GET", "/v1/archives/ok/box?box=-1:4,0:12,0:12", nil, 422},
-		{"roi-bad-json", "POST", "/v1/archives/ok/roi", strings.NewReader("{"), 400},
-		{"roi-bad-mode", "POST", "/v1/archives/ok/roi", strings.NewReader(`{"mode":"median"}`), 400},
-		{"roi-bad-block", "POST", "/v1/archives/ok/roi", strings.NewReader(`{"block":-4}`), 400},
+		{"unknown-info", "GET", "/v1/archives/nope", nil, 404, CodeUnknownArchive},
+		{"unknown-box", "GET", "/v1/archives/nope/box?box=0:1,0:1,0:1", nil, 404, CodeUnknownArchive},
+		{"unknown-delete", "DELETE", "/v1/archives/nope", nil, 404, CodeUnknownArchive},
+		{"unknown-roi", "POST", "/v1/archives/nope/roi", strings.NewReader(`{}`), 404, CodeUnknownArchive},
+		{"bad-id", "PUT", "/v1/archives/" + strings.Repeat("x", 200), bytes.NewReader(enc), 400, CodeBadRequest},
+		{"garbage-archive", "PUT", "/v1/archives/bad", strings.NewReader("not an archive"), 422, CodeBadArchive},
+		{"truncated-archive", "PUT", "/v1/archives/bad", bytes.NewReader(enc[:len(enc)/2]), 422, CodeBadArchive},
+		{"core-stream", "PUT", "/v1/archives/bad", bytes.NewReader(mutateMagic(enc)), 422, CodeBadArchive},
+		{"missing-box", "GET", "/v1/archives/ok/box", nil, 400, CodeBadBox},
+		{"bad-box-syntax", "GET", "/v1/archives/ok/box?box=1:2", nil, 400, CodeBadBox},
+		{"bad-box-number", "GET", "/v1/archives/ok/box?box=a:b,0:1,0:1", nil, 400, CodeBadBox},
+		{"empty-box", "GET", "/v1/archives/ok/box?box=3:3,0:12,0:12", nil, 422, CodeBadBox},
+		{"inverted-box", "GET", "/v1/archives/ok/box?box=8:2,0:12,0:12", nil, 422, CodeBadBox},
+		{"oob-box", "GET", "/v1/archives/ok/box?box=0:13,0:12,0:12", nil, 422, CodeBadBox},
+		{"negative-box", "GET", "/v1/archives/ok/box?box=-1:4,0:12,0:12", nil, 422, CodeBadBox},
+		{"roi-bad-json", "POST", "/v1/archives/ok/roi", strings.NewReader("{"), 400, CodeBadRequest},
+		{"roi-bad-mode", "POST", "/v1/archives/ok/roi", strings.NewReader(`{"mode":"median"}`), 400, CodeBadRequest},
+		{"roi-bad-block", "POST", "/v1/archives/ok/roi", strings.NewReader(`{"block":-4}`), 400, CodeBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -329,19 +330,17 @@ func TestRandomAccessArchiveErrors(t *testing.T) {
 			if resp.StatusCode != tc.status {
 				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, tc.status, body)
 			}
-			var msg map[string]string
-			if err := json.Unmarshal(body, &msg); err != nil || msg["error"] == "" {
-				t.Fatalf("error payload %q not JSON", body)
-			}
+			assertEnvelope(t, body, tc.code)
 		})
 	}
 
-	// An upload beyond -max-body is 413.
+	// An upload beyond -max-body is 413 payload_too_large.
 	ts2 := testServer(t, Options{Workers: 1, MaxBody: 64})
-	resp, _ := do(t, http.MethodPut, ts2.URL+"/v1/archives/big", bytes.NewReader(enc))
+	resp, body := do(t, http.MethodPut, ts2.URL+"/v1/archives/big", bytes.NewReader(enc))
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized PUT status %d, want 413", resp.StatusCode)
 	}
+	assertEnvelope(t, body, CodePayloadTooLarge)
 }
 
 // mutateMagic flips the container magic so the body is structurally close

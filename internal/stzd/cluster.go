@@ -1,0 +1,114 @@
+package stzd
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"strings"
+)
+
+// Cluster mode: archives are placed on a static peer topology by
+// consistent-hashing their id (internal/cluster), and any node answers
+// any request — a request for an archive owned elsewhere is forwarded
+// transparently to the owner, one hop at most. The client talks to one
+// address and sees one namespace; X-Stz-Served-By names the node that
+// actually did the work.
+//
+// Forwarding is verbatim in both directions: the owner's response —
+// status, headers (including error envelopes, Retry-After, accounting
+// headers), body — streams back unmodified. The X-Stz-Forwarded header
+// is the hop guard: a forwarded request that lands on a non-owner is
+// answered with 421/not_owner instead of being forwarded again, so
+// disagreeing topologies fail loudly rather than looping.
+
+// ForwardedHeader marks a request as already forwarded once; its value
+// is the address of the forwarding node.
+const ForwardedHeader = "X-Stz-Forwarded"
+
+// ServedByHeader names the node whose store served the request.
+const ServedByHeader = "X-Stz-Served-By"
+
+// normalizeAddr canonicalizes a peer address to bare host:port.
+func normalizeAddr(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "http://")
+	s = strings.TrimPrefix(s, "https://")
+	return strings.TrimSuffix(s, "/")
+}
+
+// SplitPeers parses a -peers style comma-separated address list,
+// trimming whitespace and URL scheme noise and dropping empty entries.
+func SplitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = normalizeAddr(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// routed wraps an archive handler with ownership routing. Single-node
+// deployments (no ring) serve everything locally; in cluster mode the
+// request is served locally when this node owns the id, forwarded to the
+// owner otherwise, and rejected with not_owner when it arrives already
+// forwarded yet still lands on a non-owner.
+func (s *Server) routed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.ring == nil {
+			h(w, r)
+			return
+		}
+		id := r.PathValue("id")
+		owner := s.ring.Owner(id)
+		if owner == s.opts.Self {
+			w.Header().Set(ServedByHeader, s.opts.Self)
+			h(w, r)
+			return
+		}
+		if from := r.Header.Get(ForwardedHeader); from != "" {
+			s.notOwner.Add(1)
+			httpError(w, http.StatusMisdirectedRequest, CodeNotOwner,
+				"archive %q is owned by %s, not %s (request forwarded by %s; peer topologies disagree)",
+				id, owner, s.opts.Self, from)
+			return
+		}
+		s.forward(w, r, owner)
+	}
+}
+
+// forward proxies the request to the owning peer and streams the
+// response back verbatim. The client's context travels with the proxied
+// request, so client deadlines and disconnects propagate to the peer.
+func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner string) {
+	s.forwarded.Add(1)
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		"http://"+owner+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "forwarding to %s: %v", owner, err)
+		return
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(ForwardedHeader, s.opts.Self)
+	if r.ContentLength >= 0 {
+		req.ContentLength = r.ContentLength
+	}
+	resp, err := s.forwardClient.Do(req)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, CodePeerUnreachable,
+			"archive owner %s unreachable: %v", owner, err)
+		return
+	}
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The status line is already out; the stream just truncates.
+		log.Printf("stzd: forward to %s: response copy: %v", owner, err)
+	}
+}

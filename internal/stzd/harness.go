@@ -12,3 +12,62 @@ import "net/http/httptest"
 func StartTest(o Options) *httptest.Server {
 	return httptest.NewServer(New(o))
 }
+
+// TestCluster is a running in-process stzd cluster: n nodes on localhost
+// listeners, each built with the full static peer topology, forwarding
+// to each other over real HTTP. It backs the cluster tests and the
+// suite driver's cluster workload.
+type TestCluster struct {
+	// Servers are the running nodes, index-aligned with Addrs.
+	Servers []*httptest.Server
+	// Addrs are the host:port peer addresses (the -peers list every node
+	// was built with).
+	Addrs []string
+	// Nodes are the handlers behind Servers, for direct state inspection.
+	Nodes []*Server
+}
+
+// StartTestCluster starts an n-node cluster. Every node shares o except
+// for Self/Peers, which are derived from the freshly bound listeners.
+// The caller owns the cluster and must Close it.
+func StartTestCluster(n int, o Options) *TestCluster {
+	c := &TestCluster{}
+	// Bind all listeners first: every node needs the full address list
+	// before its handler is constructed.
+	for i := 0; i < n; i++ {
+		ts := httptest.NewUnstartedServer(nil)
+		c.Servers = append(c.Servers, ts)
+		c.Addrs = append(c.Addrs, ts.Listener.Addr().String())
+	}
+	for i, ts := range c.Servers {
+		no := o
+		no.Self = c.Addrs[i]
+		no.Peers = append([]string(nil), c.Addrs...)
+		node := New(no)
+		c.Nodes = append(c.Nodes, node)
+		ts.Config.Handler = node
+		ts.Start()
+	}
+	return c
+}
+
+// URL returns node i's base URL.
+func (c *TestCluster) URL(i int) string { return c.Servers[i].URL }
+
+// Owner returns the index of the node that owns archive id.
+func (c *TestCluster) Owner(id string) int {
+	owner := c.Nodes[0].ring.Owner(id)
+	for i, a := range c.Addrs {
+		if a == owner {
+			return i
+		}
+	}
+	return -1
+}
+
+// Close shuts every node down.
+func (c *TestCluster) Close() {
+	for _, ts := range c.Servers {
+		ts.Close()
+	}
+}

@@ -16,12 +16,15 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"stz/internal/cluster"
 	"stz/internal/codec"
 	"stz/internal/grid"
 	"stz/internal/rawio"
 	"stz/internal/scratch"
+	"stz/internal/singleflight"
 )
 
 // Options configures the service.
@@ -48,6 +51,17 @@ type Options struct {
 	// ArchiveShards is the archive store's shard count; the budget is
 	// split evenly across shards.
 	ArchiveShards int
+	// BoxCacheBudget caps the hot-box result cache (decoded box payloads
+	// kept above the slab cache), in bytes. 0 picks the default; negative
+	// disables the cache.
+	BoxCacheBudget int64
+	// Self is this node's advertised host:port in cluster mode. Required
+	// when Peers is non-empty; it is added to the ring if absent from
+	// Peers.
+	Self string
+	// Peers is the full static peer topology (host:port each, including
+	// Self). Empty means single-node mode: no ring, no forwarding.
+	Peers []string
 }
 
 func (o Options) withDefaults() Options {
@@ -69,27 +83,61 @@ func (o Options) withDefaults() Options {
 	if o.ArchiveShards <= 0 {
 		o.ArchiveShards = 8
 	}
+	if o.BoxCacheBudget == 0 {
+		o.BoxCacheBudget = 256 << 20
+	}
+	o.Self = normalizeAddr(o.Self)
+	for i, p := range o.Peers {
+		o.Peers[i] = normalizeAddr(p)
+	}
 	return o
 }
 
 // Server is the stzd request handler: a mux over the v1 endpoints with a
-// semaphore-bounded job pool and a resident archive store for the
-// random-access query API.
+// semaphore-bounded job pool, a resident archive store for the
+// random-access query API, and — in cluster mode — a consistent-hash
+// ring that routes archive requests to their owning peer.
 type Server struct {
 	opts  Options
 	sem   chan struct{}
 	store *archiveStore
 	mux   *http.ServeMux
+
+	// Cluster placement and forwarding. ring is nil in single-node mode.
+	ring          *cluster.Ring
+	forwardClient *http.Client
+	forwarded     atomic.Int64 // requests proxied to a peer
+	notOwner      atomic.Int64 // hop-guard rejections (421)
+
+	// Hot-box tier: single-flight decode dedup plus the result LRU.
+	// boxFlights collapses concurrent decodes of the same archive+box to
+	// one; boxDecodes counts the decodes that actually ran (the counter
+	// the single-flight tests and the cluster workload observe).
+	boxFlights *singleflight.Group[string, boxResult]
+	boxCache   *boxCache
+	boxDecodes atomic.Int64
 }
 
 // New builds the stzd handler: the full v1 endpoint mux with a
-// semaphore-bounded job pool and a fresh archive store.
+// semaphore-bounded job pool and a fresh archive store. A non-empty
+// o.Peers turns on cluster mode: archive routes are wrapped with
+// consistent-hash ownership routing (see cluster.go).
 func New(o Options) *Server {
 	o = o.withDefaults()
 	s := &Server{
-		opts:  o,
-		sem:   make(chan struct{}, o.MaxInflight),
-		store: newArchiveStore(o.ArchiveBudget, o.ArchiveShards, o.Workers),
+		opts:       o,
+		sem:        make(chan struct{}, o.MaxInflight),
+		boxFlights: &singleflight.Group[string, boxResult]{},
+		boxCache:   newBoxCache(o.BoxCacheBudget),
+	}
+	s.store = newArchiveStore(o.ArchiveBudget, o.ArchiveShards, o.Workers)
+	if len(o.Peers) > 0 {
+		peers := o.Peers
+		if o.Self != "" {
+			peers = append(append([]string(nil), peers...), o.Self)
+		}
+		s.ring = cluster.New(peers)
+		s.forwardClient = &http.Client{}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -98,11 +146,28 @@ func New(o Options) *Server {
 	s.mux.HandleFunc("POST /v1/compress", s.handleCompress)
 	s.mux.HandleFunc("POST /v1/decompress", s.handleDecompress)
 	s.mux.HandleFunc("GET /v1/archives", s.handleArchiveList)
-	s.mux.HandleFunc("PUT /v1/archives/{id}", s.handleArchivePut)
-	s.mux.HandleFunc("GET /v1/archives/{id}", s.handleArchiveInfo)
-	s.mux.HandleFunc("DELETE /v1/archives/{id}", s.handleArchiveDelete)
-	s.mux.HandleFunc("GET /v1/archives/{id}/box", s.handleArchiveBox)
-	s.mux.HandleFunc("POST /v1/archives/{id}/roi", s.handleArchiveROI)
+	s.mux.HandleFunc("PUT /v1/archives/{id}", s.routed(s.handleArchivePut))
+	s.mux.HandleFunc("GET /v1/archives/{id}", s.routed(s.handleArchiveInfo))
+	s.mux.HandleFunc("DELETE /v1/archives/{id}", s.routed(s.handleArchiveDelete))
+	s.mux.HandleFunc("GET /v1/archives/{id}/box", s.routed(s.handleArchiveBox))
+	s.mux.HandleFunc("POST /v1/archives/{id}/roi", s.routed(s.handleArchiveROI))
+	// Method-mismatch fallbacks: the method-qualified patterns above win
+	// for their verb, so these catch every other verb with a 405 that
+	// carries both the Allow header and the JSON error envelope (the bare
+	// ServeMux 405 is plain text).
+	for path, allow := range map[string]string{
+		"/healthz":              "GET",
+		"/v1/codecs":            "GET",
+		"/v1/stats":             "GET",
+		"/v1/compress":          "POST",
+		"/v1/decompress":        "POST",
+		"/v1/archives":          "GET",
+		"/v1/archives/{id}":     "GET, PUT, DELETE",
+		"/v1/archives/{id}/box": "GET",
+		"/v1/archives/{id}/roi": "POST",
+	} {
+		s.mux.HandleFunc(path, methodNotAllowed(allow))
+	}
 	if o.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -115,14 +180,27 @@ func New(o Options) *Server {
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// acquire claims a job slot, waiting up to AdmissionWait.
+// acquire claims a job slot, waiting up to AdmissionWait — clamped to
+// the request's own context deadline, so a forwarding peer (or any
+// client with a deadline) gets the pool_saturated envelope back while
+// its deadline still has room to act on the Retry-After, instead of the
+// connection being held until the wait expires.
 func (s *Server) acquire(r *http.Request) bool {
 	select {
 	case s.sem <- struct{}{}:
 		return true
 	default:
 	}
-	t := time.NewTimer(s.opts.AdmissionWait)
+	wait := s.opts.AdmissionWait
+	if dl, ok := r.Context().Deadline(); ok {
+		if until := time.Until(dl); until < wait {
+			wait = until
+		}
+	}
+	if wait <= 0 {
+		return false
+	}
+	t := time.NewTimer(wait)
 	defer t.Stop()
 	select {
 	case s.sem <- struct{}{}:
@@ -136,15 +214,20 @@ func (s *Server) acquire(r *http.Request) bool {
 
 func (s *Server) release() { <-s.sem }
 
-// httpError writes a JSON error payload.
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+// methodNotAllowed answers a path hit with an unsupported verb: 405 with
+// the Allow header and the standard error envelope.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		httpError(w, http.StatusMethodNotAllowed, CodeBadRequest,
+			"method %s not allowed here (allow: %s)", r.Method, allow)
+	}
 }
 
-// param reads a request parameter from the query string, falling back to
-// the X-Stz-* header of the same meaning.
+// param reads a request parameter. The precedence rule — the only one,
+// applied to every parameter on every endpoint — is: the query-string
+// parameter wins; the X-Stz-* header of the same meaning is consulted
+// only when the query parameter is absent or empty.
 func param(r *http.Request, name, header string) string {
 	if v := r.URL.Query().Get(name); v != "" {
 		return v
@@ -177,8 +260,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	g := scratch.GlobalStats()
 	entries, archiveBytes := s.store.snapshot()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	stats := map[string]any{
 		"inflight":      len(s.sem),
 		"max_inflight":  s.opts.MaxInflight,
 		"pool_hit_rate": g.HitRate(),
@@ -192,7 +274,31 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"hits":      s.store.hits.Load(),
 			"misses":    s.store.misses.Load(),
 		},
-	})
+	}
+	// The hot-box tier: result-cache hit/miss/evict counters plus the
+	// count of box decodes that actually ran — under single-flight, K
+	// concurrent queries of a cold box advance decodes by exactly 1.
+	box := map[string]any{"enabled": s.boxCache != nil, "decodes": s.boxDecodes.Load()}
+	if s.boxCache != nil {
+		n, bytes := s.boxCache.snapshot()
+		box["count"] = n
+		box["bytes"] = bytes
+		box["budget"] = s.boxCache.budget
+		box["hits"] = s.boxCache.hits.Load()
+		box["misses"] = s.boxCache.misses.Load()
+		box["evictions"] = s.boxCache.evictions.Load()
+	}
+	stats["box_cache"] = box
+	if s.ring != nil {
+		stats["cluster"] = map[string]any{
+			"self":      s.opts.Self,
+			"peers":     s.ring.Peers(),
+			"forwarded": s.forwarded.Load(),
+			"not_owner": s.notOwner.Load(),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(stats)
 }
 
 func (s *Server) handleCodecs(w http.ResponseWriter, _ *http.Request) {
@@ -301,15 +407,15 @@ func parseCompressParams(r *http.Request, MaxBody int64) (compressParams, error)
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	p, err := parseCompressParams(r, s.opts.MaxBody)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	if _, err := codec.Lookup(p.codecName); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	if !s.acquire(r) {
-		httpError(w, http.StatusServiceUnavailable, "compression pool saturated; retry")
+		saturated(w)
 		return
 	}
 	defer s.release()
@@ -327,7 +433,8 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 			log.Printf("compress: client write failed: %v", err)
 			return
 		}
-		httpError(w, requestErrorStatus(err), "%v", err)
+		status := requestErrorStatus(err)
+		httpError(w, status, codeForRequestError(status), "%v", err)
 	}
 }
 
@@ -443,14 +550,15 @@ func (d *deferredResponse) Write(b []byte) (int, error) {
 
 func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	if !s.acquire(r) {
-		httpError(w, http.StatusServiceUnavailable, "compression pool saturated; retry")
+		saturated(w)
 		return
 	}
 	defer s.release()
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBody)
 	st, err := codec.OpenStream(body)
 	if err != nil {
-		httpError(w, requestErrorStatus(err), "%v", err)
+		status := requestErrorStatus(err)
+		httpError(w, status, codeForRequestError(status), "%v", err)
 		return
 	}
 	hdr := st.Header()
@@ -460,7 +568,7 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	}
 	rawBytes := int64(hdr.Nz) * int64(hdr.Ny) * int64(hdr.Nx) * elem
 	if rawBytes > s.opts.MaxBody {
-		httpError(w, http.StatusRequestEntityTooLarge,
+		httpError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
 			"decompressed grid of %d bytes exceeds the per-request limit of %d", rawBytes, s.opts.MaxBody)
 		return
 	}
@@ -474,7 +582,8 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 			log.Printf("decompress: client write failed: %v", err)
 			return
 		}
-		httpError(w, requestErrorStatus(err), "%v", err)
+		status := requestErrorStatus(err)
+		httpError(w, status, codeForRequestError(status), "%v", err)
 	}
 }
 

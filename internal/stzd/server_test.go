@@ -144,25 +144,26 @@ func TestCompressRejectsBadRequests(t *testing.T) {
 		name, url string
 		body      io.Reader
 		status    int
+		code      string
 	}{
-		{"missing-codec", "/v1/compress?dims=8x8x8&eb=0.1", rawBody(g), http.StatusBadRequest},
-		{"unknown-codec", "/v1/compress?codec=lzma&dims=8x8x8&eb=0.1", rawBody(g), http.StatusBadRequest},
-		{"missing-dims", "/v1/compress?codec=sz3&eb=0.1", rawBody(g), http.StatusBadRequest},
-		{"bad-dims", "/v1/compress?codec=sz3&dims=8x8&eb=0.1", rawBody(g), http.StatusBadRequest},
-		{"zero-dim", "/v1/compress?codec=sz3&dims=0x8x8&eb=0.1", rawBody(g), http.StatusBadRequest},
-		{"missing-eb", "/v1/compress?codec=sz3&dims=8x8x8", rawBody(g), http.StatusBadRequest},
-		{"bad-eb", "/v1/compress?codec=sz3&dims=8x8x8&eb=-1", rawBody(g), http.StatusBadRequest},
-		{"bad-mode", "/v1/compress?codec=sz3&dims=8x8x8&eb=0.1&mode=pct", rawBody(g), http.StatusBadRequest},
-		{"bad-dtype", "/v1/compress?codec=sz3&dims=8x8x8&eb=0.1&dtype=f16", rawBody(g), http.StatusBadRequest},
-		{"oversized-dims", "/v1/compress?codec=sz3&dims=999x999x999&eb=0.1", rawBody(g), http.StatusBadRequest},
+		{"missing-codec", "/v1/compress?dims=8x8x8&eb=0.1", rawBody(g), http.StatusBadRequest, CodeBadRequest},
+		{"unknown-codec", "/v1/compress?codec=lzma&dims=8x8x8&eb=0.1", rawBody(g), http.StatusBadRequest, CodeBadRequest},
+		{"missing-dims", "/v1/compress?codec=sz3&eb=0.1", rawBody(g), http.StatusBadRequest, CodeBadRequest},
+		{"bad-dims", "/v1/compress?codec=sz3&dims=8x8&eb=0.1", rawBody(g), http.StatusBadRequest, CodeBadRequest},
+		{"zero-dim", "/v1/compress?codec=sz3&dims=0x8x8&eb=0.1", rawBody(g), http.StatusBadRequest, CodeBadRequest},
+		{"missing-eb", "/v1/compress?codec=sz3&dims=8x8x8", rawBody(g), http.StatusBadRequest, CodeBadRequest},
+		{"bad-eb", "/v1/compress?codec=sz3&dims=8x8x8&eb=-1", rawBody(g), http.StatusBadRequest, CodeBadRequest},
+		{"bad-mode", "/v1/compress?codec=sz3&dims=8x8x8&eb=0.1&mode=pct", rawBody(g), http.StatusBadRequest, CodeBadRequest},
+		{"bad-dtype", "/v1/compress?codec=sz3&dims=8x8x8&eb=0.1&dtype=f16", rawBody(g), http.StatusBadRequest, CodeBadRequest},
+		{"oversized-dims", "/v1/compress?codec=sz3&dims=999x999x999&eb=0.1", rawBody(g), http.StatusBadRequest, CodeBadRequest},
 		{"overflow-dims", "/v1/compress?codec=sz3&dims=4194304x2097152x2097152&eb=0.1",
-			rawBody(g), http.StatusBadRequest},
+			rawBody(g), http.StatusBadRequest, CodeBadRequest},
 		{"overflow-dims-64bit", "/v1/compress?codec=sz3&dims=4294967296x4294967296x1&eb=0.1",
-			rawBody(g), http.StatusBadRequest},
+			rawBody(g), http.StatusBadRequest, CodeBadRequest},
 		{"short-body", "/v1/compress?codec=sz3&dims=8x8x8&eb=0.1",
-			bytes.NewReader(rawBody(g).Bytes()[:100]), http.StatusBadRequest},
+			bytes.NewReader(rawBody(g).Bytes()[:100]), http.StatusBadRequest, CodeBadRequest},
 		{"long-body", "/v1/compress?codec=sz3&dims=8x8x8&eb=0.1",
-			bytes.NewReader(append(rawBody(g).Bytes(), 0, 0, 0, 0)), http.StatusBadRequest},
+			bytes.NewReader(append(rawBody(g).Bytes(), 0, 0, 0, 0)), http.StatusBadRequest, CodeBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -170,10 +171,68 @@ func TestCompressRejectsBadRequests(t *testing.T) {
 			if resp.StatusCode != tc.status {
 				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, tc.status, body)
 			}
-			var msg map[string]string
-			if err := json.Unmarshal(body, &msg); err != nil || msg["error"] == "" {
-				t.Fatalf("error payload %q not JSON", body)
+			assertEnvelope(t, body, tc.code)
+		})
+	}
+}
+
+// assertEnvelope checks that body is a structured error envelope carrying
+// the expected machine code, a human message, and the retryability the
+// code implies.
+func assertEnvelope(t *testing.T, body []byte, code string) {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			Retryable bool   `json:"retryable"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error payload %q not a JSON envelope: %v", body, err)
+	}
+	if env.Error.Code != code {
+		t.Fatalf("error code %q, want %q (%s)", env.Error.Code, code, body)
+	}
+	if env.Error.Message == "" {
+		t.Fatalf("error envelope has no message: %s", body)
+	}
+	if want := retryableCode(code); env.Error.Retryable != want {
+		t.Fatalf("retryable=%v for code %q, want %v", env.Error.Retryable, code, want)
+	}
+}
+
+// TestMethodNotAllowed walks every /v1 route with an unsupported verb:
+// each must answer 405 with an Allow header listing the supported verbs
+// and the standard JSON envelope (never the mux's plain-text default).
+func TestMethodNotAllowed(t *testing.T) {
+	ts := testServer(t, Options{})
+	cases := []struct {
+		method, path, allow string
+	}{
+		{"POST", "/healthz", "GET"},
+		{"DELETE", "/v1/codecs", "GET"},
+		{"POST", "/v1/stats", "GET"},
+		{"GET", "/v1/compress", "POST"},
+		{"PUT", "/v1/compress", "POST"},
+		{"GET", "/v1/decompress", "POST"},
+		{"DELETE", "/v1/archives", "GET"},
+		{"POST", "/v1/archives/x", "GET, PUT, DELETE"},
+		{"POST", "/v1/archives/x/box", "GET"},
+		{"PUT", "/v1/archives/x/box", "GET"},
+		{"GET", "/v1/archives/x/roi", "POST"},
+		{"DELETE", "/v1/archives/x/roi", "POST"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.method+"_"+tc.path, func(t *testing.T) {
+			resp, body := do(t, tc.method, ts.URL+tc.path, nil)
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Fatalf("status %d, want 405 (%s)", resp.StatusCode, body)
 			}
+			if got := resp.Header.Get("Allow"); got != tc.allow {
+				t.Fatalf("Allow = %q, want %q", got, tc.allow)
+			}
+			assertEnvelope(t, body, CodeBadRequest)
 		})
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"stz/internal/grid"
 	"stz/internal/rawio"
 	"stz/internal/roi"
+	"stz/internal/singleflight"
 )
 
 // errStoreBudget marks an archive whose budget charge alone exceeds a
@@ -27,12 +28,17 @@ var errStoreBudget = errors.New("archive exceeds store budget")
 // approximate global bound for uncontended locking under concurrent
 // queries.
 type archiveStore struct {
-	shards    []*storeShard
-	perShard  int64
-	workers   int // decode parallelism handed to each resident reader
-	evictions atomic.Int64
-	hits      atomic.Int64
-	misses    atomic.Int64
+	shards   []*storeShard
+	perShard int64
+	workers  int // decode parallelism handed to each resident reader
+	// slabFlights is shared by every resident reader: slab decodes are
+	// single-flighted across readers keyed archive-generation+chunk, the
+	// layer under each reader's own sync.Once slab cache.
+	slabFlights *singleflight.Group[string, any]
+	gen         atomic.Int64 // generation source for entries
+	evictions   atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
 }
 
 // storeShard is one LRU partition. lru front = most recently used.
@@ -50,6 +56,7 @@ type storeShard struct {
 // slab cache.
 type archiveEntry struct {
 	id   string
+	gen  int64 // unique per put; keys caches so replaced ids never serve stale data
 	size int64 // raw archive bytes
 	cost int64 // bytes charged against the shard budget
 	q    querier
@@ -67,7 +74,10 @@ func newArchiveStore(budget int64, nShards, workers int) *archiveStore {
 	if per < 1 {
 		per = 1
 	}
-	s := &archiveStore{shards: make([]*storeShard, nShards), perShard: per, workers: workers}
+	s := &archiveStore{
+		shards: make([]*storeShard, nShards), perShard: per, workers: workers,
+		slabFlights: &singleflight.Group[string, any]{},
+	}
 	for i := range s.shards {
 		s.shards[i] = &storeShard{byID: map[string]*list.Element{}, lru: list.New()}
 	}
@@ -88,11 +98,12 @@ func (s *archiveStore) put(id string, data []byte) (*archiveEntry, bool, error) 
 	if err != nil {
 		return nil, false, err
 	}
-	q, err := newQuerier(hdr, data, s.workers)
+	gen := s.gen.Add(1)
+	q, err := newQuerier(hdr, data, s.workers, s.slabFlights, fmt.Sprintf("%s#%d", id, gen))
 	if err != nil {
 		return nil, false, err
 	}
-	e := &archiveEntry{id: id, size: int64(len(data)), cost: q.cost(), q: q}
+	e := &archiveEntry{id: id, gen: gen, size: int64(len(data)), cost: q.cost(), q: q}
 	if e.cost > s.perShard {
 		return nil, false, fmt.Errorf("%w: needs %d budget bytes, shard budget is %d",
 			errStoreBudget, e.cost, s.perShard)
@@ -207,13 +218,19 @@ type typedQuerier[T grid.Float] struct {
 	size int64
 }
 
-func newQuerier(hdr codec.Header, data []byte, workers int) (querier, error) {
+// newQuerier wraps a resident archive in a random-access reader. flight
+// and flightKey single-flight the reader's slab decodes across readers
+// (the key carries the entry generation, so only identical content ever
+// shares a decode).
+func newQuerier(hdr codec.Header, data []byte, workers int,
+	flight *singleflight.Group[string, any], flightKey string) (querier, error) {
 	if hdr.DType == 4 {
 		ra, err := codec.OpenReaderAt[float32](data)
 		if err != nil {
 			return nil, err
 		}
 		ra.Workers = workers
+		ra.Flight, ra.FlightKey = flight, flightKey
 		return &typedQuerier[float32]{ra: ra, size: int64(len(data))}, nil
 	}
 	ra, err := codec.OpenReaderAt[float64](data)
@@ -221,6 +238,7 @@ func newQuerier(hdr codec.Header, data []byte, workers int) (querier, error) {
 		return nil, err
 	}
 	ra.Workers = workers
+	ra.Flight, ra.FlightKey = flight, flightKey
 	return &typedQuerier[float64]{ra: ra, size: int64(len(data))}, nil
 }
 
