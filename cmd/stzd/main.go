@@ -44,7 +44,19 @@
 // Cluster mode: -peers host:port,... plus -self places archive ids on a
 // consistent-hash ring over the peer set; requests for ids owned by
 // another node are forwarded transparently (X-Stz-Served-By names the
-// node that did the work). See docs/API.md for the full semantics.
+// node that did the work, X-Stz-Replica its position in the replica
+// set). With -replicas R > 1 each archive is stored on the first R
+// owners walking the ring: PUT and DELETE fan out to all R (a PUT
+// succeeds once a majority quorum acks and reports every replica's
+// outcome in the response), and reads walk the replica set in owner
+// order with jittered-backoff failover, so single-node faults stay
+// invisible to clients. A per-peer circuit breaker (consecutive
+// failures open it; a half-open probe closes it again) steers reads
+// away from unhealthy peers and is surfaced via /healthz (degraded)
+// and /v1/stats (cluster.peer_health). Only when every replica is
+// unreachable does the client see an error: a retryable 503
+// peer_unreachable envelope with Retry-After. See docs/API.md for the
+// full semantics.
 //
 // -pprof (off by default) additionally mounts net/http/pprof under
 // /debug/pprof/ for live profiling of a loaded instance.
@@ -91,6 +103,10 @@ func main() {
 	peers := flag.String("peers", "",
 		"comma-separated host:port peer list enabling cluster mode; "+
 			"archive requests route to the consistent-hash owner of the id")
+	replicas := flag.Int("replicas", 1,
+		"replication factor in cluster mode: each archive is stored on the "+
+			"first N ring owners, writes need a majority quorum, reads fail "+
+			"over across the set")
 	flag.Parse()
 
 	h := stzd.New(stzd.Options{
@@ -104,6 +120,7 @@ func main() {
 		BoxCacheBudget: *boxCacheBudget,
 		Self:           *self,
 		Peers:          stzd.SplitPeers(*peers),
+		Replicas:       *replicas,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

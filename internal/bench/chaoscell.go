@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"stz/internal/codec"
+	"stz/internal/faultinject"
+	"stz/internal/grid"
+	"stz/internal/rawio"
+	"stz/internal/retry"
+	"stz/internal/stzd"
+)
+
+// Chaos workload shape: the cluster workload's zipfian box-query mix,
+// but against a 3-node cluster with replication factor 2 where the
+// network path to one node is at a 50% fault rate (connect errors, 5xx,
+// truncated bodies). Every archive is placed with the faulty node as
+// its primary replica, so reads constantly exercise failover; the cell
+// reports how completely the replica router masks the faults.
+const (
+	chaosNodes    = 3
+	chaosReplicas = 2
+	chaosFaulty   = 0   // index of the node whose inbound peer path is faulted
+	chaosArchives = 6   // archives, every one primary on the faulty node
+	chaosWindows  = 32  // distinct query windows per archive
+	chaosQueries  = 600 // queries per timed run
+	chaosClients  = 8   // concurrent client goroutines
+	chaosZipfS    = 1.4 // zipf exponent over the (archive, window) pairs
+)
+
+// chaosFault is the injected fault mix toward the faulty peer: half of
+// all proxied requests to it fail, split across the three failure kinds
+// the failover path must recover from.
+var chaosFault = faultinject.Fault{ConnectErr: 0.25, ServerErr: 0.15, Truncate: 0.1}
+
+// runChaosCell measures the failure-masking of the replicated archive
+// tier. Metrics, all min-folded to the most conservative run:
+//
+//	ok-%       client-visible success rate — the headline; 100 means the
+//	           fault injection stayed entirely invisible to clients
+//	failover-% reads served by a non-primary replica (stable whether the
+//	           failover came from a failed attempt or an open breaker)
+//	p99/p50    tail inflation the retries and fan-outs cost
+//	qps        aggregate throughput under chaos
+func runChaosCell[T grid.Float](c Cell, g *grid.Grid[T], runs int, agg *cellAgg) error {
+	mn, mx := g.Range()
+	ebAbs := c.EB * (float64(mx) - float64(mn))
+	if !(ebAbs > 0) {
+		ebAbs = c.EB
+	}
+	enc, err := codec.Encode(c.Codec, g, codec.Config{EB: ebAbs, Workers: c.Workers, Chunks: c.Chunks})
+	if err != nil {
+		return err
+	}
+	fis := make([]*faultinject.Transport, chaosNodes)
+	cl := stzd.StartTestClusterOpts(chaosNodes, stzd.Options{
+		Workers: c.Workers, MaxInflight: chaosClients,
+		Replicas:         chaosReplicas,
+		BreakerThreshold: 4, BreakerCooldown: 250 * time.Millisecond,
+		PeerRetry: retry.Policy{
+			MaxAttempts: 4, BaseDelay: 2 * time.Millisecond,
+			MaxDelay: 20 * time.Millisecond, Budget: 2 * time.Second,
+		},
+	}, func(i int, addrs []string, no *stzd.Options) {
+		no.WrapTransport = func(rt http.RoundTripper) http.RoundTripper {
+			fis[i] = faultinject.New(rt, int64(4000+i))
+			return fis[i]
+		}
+	})
+	defer cl.Close()
+
+	// Every archive primary on the faulty node: reads that are not local
+	// to a replica start their failover walk at the faulty peer.
+	ids := make([]string, 0, chaosArchives)
+	for i := 0; len(ids) < chaosArchives; i++ {
+		if i >= 10000 {
+			return fmt.Errorf("no %d ids of 10000 primary on node %d", chaosArchives, chaosFaulty)
+		}
+		id := fmt.Sprintf("%s-chaos%d", c.Dataset, i)
+		if cl.Owner(id) == chaosFaulty {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		req, err := http.NewRequest(http.MethodPut, cl.URL(chaosFaulty)+"/v1/archives/"+id, bytes.NewReader(enc))
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("PUT %s: status %d: %s", id, resp.StatusCode, bytes.TrimSpace(body))
+		}
+	}
+
+	// Replicas seeded; now break the path to the faulty node from every
+	// other node's peer transport.
+	for i, ft := range fis {
+		if i == chaosFaulty {
+			continue
+		}
+		ft.Set(cl.Addrs[chaosFaulty], chaosFault)
+	}
+
+	h := fnv.New32a()
+	io.WriteString(h, c.Name)
+	rng := rand.New(rand.NewSource(int64(h.Sum32())))
+	elem := int64(rawio.ElemSize[T]())
+	type target struct {
+		path  string
+		bytes int64
+	}
+	var pop []target
+	for _, id := range ids {
+		for w := 0; w < chaosWindows; w++ {
+			b := randomBox(rng, g, c.Box)
+			pop = append(pop, target{
+				path: fmt.Sprintf("/v1/archives/%s/box?box=%d:%d,%d:%d,%d:%d",
+					id, b.Z0, b.Z1, b.Y0, b.Y1, b.X0, b.X1),
+				bytes: int64(b.Volume()) * elem,
+			})
+		}
+	}
+	rng.Shuffle(len(pop), func(i, j int) { pop[i], pop[j] = pop[j], pop[i] })
+	zipf := rand.NewZipf(rng, chaosZipfS, 1, uint64(len(pop)-1))
+
+	base, err := scrapeChaos(cl)
+	if err != nil {
+		return err
+	}
+	for run := 0; run < runs; run++ {
+		type query struct {
+			node int
+			t    target
+		}
+		queries := make([]query, chaosQueries)
+		for i := range queries {
+			queries[i] = query{node: rng.Intn(chaosNodes), t: pop[zipf.Uint64()]}
+		}
+
+		var (
+			wg        sync.WaitGroup
+			mu        sync.Mutex
+			ok        int
+			latencies []time.Duration
+		)
+		work := make(chan query)
+		t0 := time.Now()
+		for w := 0; w < chaosClients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for q := range work {
+					q0 := time.Now()
+					err := fetchBox(cl.URL(q.node)+q.t.path, q.t.bytes)
+					d := time.Since(q0)
+					mu.Lock()
+					latencies = append(latencies, d)
+					if err == nil {
+						ok++
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for _, q := range queries {
+			work <- q
+		}
+		close(work)
+		wg.Wait()
+		elapsed := time.Since(t0)
+
+		cur, err := scrapeChaos(cl)
+		if err != nil {
+			return err
+		}
+		failovers := cur - base
+		base = cur
+
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		p50 := latencies[len(latencies)/2]
+		p99 := latencies[len(latencies)*99/100]
+		agg.observeNs(elapsed / chaosQueries)
+		agg.observe("qps", chaosQueries/elapsed.Seconds())
+		agg.observe("ok-%", 100*float64(ok)/chaosQueries)
+		agg.observe("failover-%", 100*failovers/chaosQueries)
+		if p50 > 0 {
+			agg.observe("p99/p50", float64(p99)/float64(p50))
+		}
+	}
+	return nil
+}
+
+// scrapeChaos sums the failover counter across every node's /v1/stats.
+func scrapeChaos(cl *stzd.TestCluster) (float64, error) {
+	var out float64
+	for i := range cl.Servers {
+		resp, err := http.Get(cl.URL(i) + "/v1/stats")
+		if err != nil {
+			return 0, err
+		}
+		var doc struct {
+			Cluster struct {
+				Failovers float64 `json:"failovers"`
+			} `json:"cluster"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			return 0, fmt.Errorf("node %d stats: %w", i, err)
+		}
+		out += doc.Cluster.Failovers
+	}
+	return out, nil
+}

@@ -23,9 +23,10 @@ const (
 	WorkloadBox        = "box"
 	WorkloadHTTP       = "http"
 	WorkloadCluster    = "cluster"
+	WorkloadChaos      = "chaos"
 )
 
-var knownWorkloads = []string{WorkloadCompress, WorkloadDecompress, WorkloadBox, WorkloadHTTP, WorkloadCluster}
+var knownWorkloads = []string{WorkloadCompress, WorkloadDecompress, WorkloadBox, WorkloadHTTP, WorkloadCluster, WorkloadChaos}
 
 // SuiteSpec is a declarative benchmark suite: a name, a run count, and one
 // or more cell matrices whose cross products define the cells.
@@ -281,7 +282,7 @@ func (m *Matrix) validate() error {
 			// http and cluster workloads go through the registry container /
 			// stzd, which serve registry codecs only.
 			for _, w := range m.Workloads {
-				if w == WorkloadBox || w == WorkloadHTTP || w == WorkloadCluster {
+				if w == WorkloadBox || w == WorkloadHTTP || w == WorkloadCluster || w == WorkloadChaos {
 					return fmt.Errorf("codec \"stz\" supports only the compress and decompress workloads, not %q", w)
 				}
 			}

@@ -154,6 +154,8 @@ func runCellT[T grid.Float](c Cell, g *grid.Grid[T], runs int) (CellResult, erro
 		err = runHTTPCell(c, g, runs, agg)
 	case WorkloadCluster:
 		err = runClusterCell(c, g, runs, agg)
+	case WorkloadChaos:
+		err = runChaosCell(c, g, runs, agg)
 	default:
 		err = fmt.Errorf("unknown workload %q", c.Workload)
 	}

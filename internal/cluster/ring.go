@@ -108,6 +108,33 @@ func (r *Ring) Owner(key string) string {
 	return r.peers[r.owner[i]]
 }
 
+// Owners returns the first n distinct peers walking the ring clockwise
+// from key's position — the id's replica set, in preference order:
+// Owners(key, 1)[0] is always Owner(key). When n meets or exceeds the
+// peer count, every peer is returned (still in ring-walk order). n < 1
+// or an empty ring yields nil. Every node derives the identical list
+// from the same peer set, so replica placement needs no coordination.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.hashes) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	h := hash(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	owners := make([]string, 0, n)
+	seen := make([]bool, len(r.peers))
+	for i := 0; i < len(r.hashes) && len(owners) < n; i++ {
+		p := r.owner[(start+i)%len(r.hashes)]
+		if !seen[p] {
+			seen[p] = true
+			owners = append(owners, r.peers[p])
+		}
+	}
+	return owners
+}
+
 // hash is FNV-1a with a splitmix64 finalizer: raw FNV of short, similar
 // strings ("host:port#3") clusters on the ring badly enough to starve
 // peers, and the avalanche pass restores a uniform spread.

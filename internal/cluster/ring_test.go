@@ -67,6 +67,86 @@ func TestOwnerStabilityUnderMembershipChange(t *testing.T) {
 	}
 }
 
+// TestOwnersDistinctAndPrefixStable: the replica set of every key is n
+// distinct peers, its head is Owner(key), and Owners(key, n) is a prefix
+// of Owners(key, n+1) — growing the replication factor must never
+// reshuffle existing replicas, only append.
+func TestOwnersDistinctAndPrefixStable(t *testing.T) {
+	r := New([]string{"h1:1", "h2:2", "h3:3", "h4:4", "h5:5"})
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("archive-%d", i)
+		prev := []string{}
+		for n := 1; n <= 5; n++ {
+			owners := r.Owners(key, n)
+			if len(owners) != n {
+				t.Fatalf("key %q: Owners(%d) returned %d peers", key, n, len(owners))
+			}
+			if owners[0] != r.Owner(key) {
+				t.Fatalf("key %q: Owners(%d)[0] = %q, want Owner %q", key, n, owners[0], r.Owner(key))
+			}
+			seen := map[string]bool{}
+			for j, p := range owners {
+				if seen[p] {
+					t.Fatalf("key %q: Owners(%d) repeats peer %q", key, n, p)
+				}
+				seen[p] = true
+				if j < len(prev) && prev[j] != p {
+					t.Fatalf("key %q: Owners grew from %v to %v (prefix changed)", key, prev, owners)
+				}
+			}
+			prev = owners
+		}
+	}
+}
+
+// TestOwnersClampAndDegenerate: n beyond the peer count returns every
+// peer; n < 1 and empty rings return nothing.
+func TestOwnersClampAndDegenerate(t *testing.T) {
+	r := New([]string{"h1:1", "h2:2", "h3:3"})
+	if got := r.Owners("k", 99); len(got) != 3 {
+		t.Fatalf("Owners(99) = %v, want all 3 peers", got)
+	}
+	if got := r.Owners("k", 0); got != nil {
+		t.Fatalf("Owners(0) = %v, want nil", got)
+	}
+	if got := New(nil).Owners("k", 2); got != nil {
+		t.Fatalf("empty-ring Owners = %v, want nil", got)
+	}
+}
+
+// TestOwnersDeterministicAcrossOrderings: replica sets, like single
+// owners, must be identical on every node regardless of peer-list order.
+func TestOwnersDeterministicAcrossOrderings(t *testing.T) {
+	a := New([]string{"h1:1", "h2:2", "h3:3", "h4:4"})
+	b := New([]string{"h4:4", "h2:2", "h1:1", "h3:3"})
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("archive-%d", i)
+		ao, bo := a.Owners(key, 2), b.Owners(key, 2)
+		if len(ao) != 2 || len(bo) != 2 || ao[0] != bo[0] || ao[1] != bo[1] {
+			t.Fatalf("key %q: replica sets differ (%v vs %v)", key, ao, bo)
+		}
+	}
+}
+
+// TestOwnersSecondaryDistribution: secondary replicas spread across the
+// remaining peers rather than piling onto one neighbor.
+func TestOwnersSecondaryDistribution(t *testing.T) {
+	peers := []string{"h1:1", "h2:2", "h3:3", "h4:4"}
+	r := New(peers)
+	counts := map[string]int{}
+	const N = 10000
+	for i := 0; i < N; i++ {
+		counts[r.Owners(fmt.Sprintf("archive-%d", i), 2)[1]]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / N
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("peer %s holds %.1f%% of secondary replicas, want a balanced share (counts %v)",
+				p, 100*share, counts)
+		}
+	}
+}
+
 // TestEmptyAndSingle covers the degenerate topologies stzd actually runs
 // in: no peers (single-node mode) and a one-peer ring.
 func TestEmptyAndSingle(t *testing.T) {

@@ -1,0 +1,229 @@
+// Package faultinject wraps an http.RoundTripper with seeded,
+// deterministic fault injection for the stzd cluster tier's peer
+// client: per-peer rules add latency and turn a configurable fraction
+// of requests into connect errors, synthesized 5xx responses, or
+// truncated response bodies. All randomness flows from one seeded
+// source behind a mutex, so a given seed produces the same fault
+// sequence — the multi-node failover tests and the chaos benchmark
+// workload rely on that to reproduce partial outages in CI.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is one peer's injection rule. Probabilities are evaluated in
+// order — connect error, then server error, then truncation — with one
+// uniform draw each, so the expected fault rate is at most the sum of
+// the three (each bounded to [0, 1]).
+type Fault struct {
+	// Latency is added to every request toward the peer, faulted or not.
+	Latency time.Duration
+	// ConnectErr is the probability the request fails before reaching
+	// the peer, as a dial failure would.
+	ConnectErr float64
+	// ServerErr is the probability the peer's response is replaced with
+	// a synthesized 500.
+	ServerErr float64
+	// Truncate is the probability the real response body is cut short
+	// mid-stream.
+	Truncate float64
+}
+
+// Counters reports how many requests the transport has passed through
+// or faulted, by kind.
+type Counters struct {
+	Passed, ConnectErrs, ServerErrs, Truncations int64
+}
+
+// Transport is the injecting RoundTripper. Configure per-peer rules
+// with Set; requests toward hosts without a rule pass straight through.
+// Safe for concurrent use.
+type Transport struct {
+	inner http.RoundTripper
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults map[string]Fault // keyed by host:port (request URL host)
+
+	passed, connectErrs, serverErrs, truncations atomic.Int64
+}
+
+// New wraps inner (nil uses http.DefaultTransport) with a fault
+// injector drawing from the given seed.
+func New(inner http.RoundTripper, seed int64) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{
+		inner:  inner,
+		rng:    rand.New(rand.NewSource(seed)),
+		faults: map[string]Fault{},
+	}
+}
+
+// Set installs (or replaces) the fault rule for host ("host:port", as
+// it appears in request URLs). A zero Fault clears injection for the
+// host while keeping it listed.
+func (t *Transport) Set(host string, f Fault) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.faults[host] = f
+}
+
+// Clear removes the fault rule for host.
+func (t *Transport) Clear(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.faults, host)
+}
+
+// Counters snapshots the injection counters.
+func (t *Transport) Counters() Counters {
+	return Counters{
+		Passed:      t.passed.Load(),
+		ConnectErrs: t.connectErrs.Load(),
+		ServerErrs:  t.serverErrs.Load(),
+		Truncations: t.truncations.Load(),
+	}
+}
+
+// faultKind is one draw's outcome.
+type faultKind int
+
+const (
+	pass faultKind = iota
+	connectErr
+	serverErr
+	truncate
+)
+
+// draw resolves the fault decision for one request under the mutex, so
+// the seeded sequence is consumed in a serialized (and thus, for a
+// fixed set of callers, reproducible) order.
+func (t *Transport) draw(host string) (faultKind, time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.faults[host]
+	if !ok {
+		return pass, 0
+	}
+	switch {
+	case f.ConnectErr > 0 && t.rng.Float64() < f.ConnectErr:
+		return connectErr, f.Latency
+	case f.ServerErr > 0 && t.rng.Float64() < f.ServerErr:
+		return serverErr, f.Latency
+	case f.Truncate > 0 && t.rng.Float64() < f.Truncate:
+		return truncate, f.Latency
+	}
+	return pass, f.Latency
+}
+
+// RoundTrip applies the host's fault rule, then delegates to the inner
+// transport for requests that survive.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	kind, latency := t.draw(req.URL.Host)
+	if latency > 0 {
+		select {
+		case <-time.After(latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	switch kind {
+	case connectErr:
+		t.connectErrs.Add(1)
+		// Drain and close the body like a real failed dial would.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("faultinject: connect to %s: connection refused", req.URL.Host)
+	case serverErr:
+		t.serverErrs.Add(1)
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		body := "faultinject: injected server error\n"
+		return &http.Response{
+			Status:        "500 Internal Server Error",
+			StatusCode:    http.StatusInternalServerError,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if kind == truncate {
+		t.truncations.Add(1)
+		resp.Body = &truncatedBody{inner: resp.Body, remaining: truncateAt(resp.ContentLength)}
+		return resp, nil
+	}
+	t.passed.Add(1)
+	return resp, nil
+}
+
+// truncateAt picks how many body bytes to deliver before the cut:
+// half of a known Content-Length, or a small fixed prefix otherwise.
+func truncateAt(contentLength int64) int64 {
+	if contentLength > 1 {
+		return contentLength / 2
+	}
+	return 64
+}
+
+// truncatedBody delivers a prefix of the real body, then fails the
+// stream the way a dropped connection would.
+type truncatedBody struct {
+	inner     io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF && b.remaining > 0 {
+		// The real body ended before the cut; deliver its EOF untouched.
+		return n, err
+	}
+	if b.remaining <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error {
+	// Discarding the rest would defeat the point; just close.
+	return b.inner.Close()
+}
+
+// WriteTruncated is a test/server helper: serve only the first half of
+// body with a full-length Content-Length, simulating a response cut off
+// mid-stream from the server side.
+func WriteTruncated(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.Write(body[:len(body)/2])
+}
+
+var _ io.ReadCloser = (*truncatedBody)(nil)

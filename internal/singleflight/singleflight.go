@@ -11,7 +11,22 @@
 // Layer an LRU above the group when results should stay hot.
 package singleflight
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
+
+// panicError carries a leader's panic value to its followers as an
+// error, with the original value preserved for the leader's re-panic.
+type panicError struct{ value any }
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("singleflight: leader panicked: %v", p.value)
+}
+
+// errGoexit is surfaced to followers when the leader's function exited
+// via runtime.Goexit (e.g. t.Fatal in a test) and so produced no result.
+var errGoexit = fmt.Errorf("singleflight: leader exited without a result")
 
 // call is one in-flight computation.
 type call[V any] struct {
@@ -33,6 +48,11 @@ type Group[K comparable, V any] struct {
 // this caller joined an in-flight computation instead of running fn
 // itself. When V carries a pointer, all callers receive the same value
 // and must treat it as immutable.
+//
+// A panic in fn never strands followers: the key is released and every
+// waiter receives the panic wrapped as an error, then the panic resumes
+// in the leader. If fn exits via runtime.Goexit the leader's goroutine
+// still unwinds, and followers get an error instead of hanging.
 func (g *Group[K, V]) Do(key K, fn func() (V, error)) (val V, shared bool, err error) {
 	g.mu.Lock()
 	if g.m == nil {
@@ -41,6 +61,11 @@ func (g *Group[K, V]) Do(key K, fn func() (V, error)) (val V, shared bool, err e
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
 		c.wg.Wait()
+		if pe, ok := c.err.(*panicError); ok {
+			// Followers see the panic as an error; only the leader
+			// re-panics, so the crash is attributed where it happened.
+			return c.val, true, pe
+		}
 		return c.val, true, c.err
 	}
 	c := &call[V]{}
@@ -48,12 +73,29 @@ func (g *Group[K, V]) Do(key K, fn func() (V, error)) (val V, shared bool, err e
 	g.m[key] = c
 	g.mu.Unlock()
 
+	normal := false
+	defer func() {
+		if !normal {
+			if r := recover(); r != nil {
+				c.err = &panicError{value: r}
+			} else {
+				// No recovered value and no normal return: fn called
+				// runtime.Goexit. The deferred chain still runs, so
+				// release the key and fail the followers, then let the
+				// Goexit continue unwinding this goroutine.
+				c.err = errGoexit
+			}
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		c.wg.Done()
+		if pe, ok := c.err.(*panicError); ok && !normal {
+			panic(pe.value)
+		}
+	}()
 	c.val, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	c.wg.Done()
+	normal = true
 	return c.val, false, c.err
 }
 

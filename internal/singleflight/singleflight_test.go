@@ -98,6 +98,73 @@ func TestSingleFlightDoDistinctKeysRunIndependently(t *testing.T) {
 	}
 }
 
+// TestSingleFlightPanicSafe: a panicking leader must not strand its
+// followers. The panic surfaces as an error to every follower, the key
+// is released for reuse, and the panic itself resumes in the leader's
+// goroutine so the crash is attributed where it happened.
+func TestSingleFlightPanicSafe(t *testing.T) {
+	var g Group[string, int]
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderPanicked := make(chan any, 1)
+	go func() {
+		defer func() { leaderPanicked <- recover() }()
+		g.Do("k", func() (int, error) {
+			close(inFlight)
+			<-release
+			panic("decoder blew up")
+		})
+	}()
+	<-inFlight
+
+	// Followers join while the leader is provably inside fn. Before the
+	// fix they would block on wg.Wait forever; now they must all return
+	// with the panic wrapped as an error.
+	const K = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, shared, err := g.Do("k", func() (int, error) { return -1, nil })
+			if !shared {
+				t.Error("follower did not share the flight")
+			}
+			errs <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	if r := <-leaderPanicked; r == nil || r != "decoder blew up" {
+		t.Fatalf("leader recover() = %v, want the original panic value", r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("followers hung after leader panic")
+	}
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Fatal("follower got nil error from a panicked flight")
+		}
+	}
+
+	// The panicked flight must not poison the key.
+	v, _, err := g.Do("k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("retry after panic: v=%d err=%v", v, err)
+	}
+	if g.Inflight() != 0 {
+		t.Fatalf("inflight = %d after panic, want 0", g.Inflight())
+	}
+}
+
 // TestSingleFlightDoErrorsPropagate: followers receive the leader's error, and the
 // key is retried (not cached) after the flight completes.
 func TestSingleFlightDoErrorsPropagate(t *testing.T) {

@@ -1,25 +1,46 @@
 package stzd
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
+
+	"stz/internal/health"
+	"stz/internal/retry"
 )
 
 // Cluster mode: archives are placed on a static peer topology by
-// consistent-hashing their id (internal/cluster), and any node answers
-// any request — a request for an archive owned elsewhere is forwarded
-// transparently to the owner, one hop at most. The client talks to one
-// address and sees one namespace; X-Stz-Served-By names the node that
-// actually did the work.
+// consistent-hashing their id (internal/cluster). With -replicas R each
+// id lives on the first R distinct ring owners, and any node answers
+// any request:
 //
-// Forwarding is verbatim in both directions: the owner's response —
-// status, headers (including error envelopes, Retry-After, accounting
-// headers), body — streams back unmodified. The X-Stz-Forwarded header
-// is the hop guard: a forwarded request that lands on a non-owner is
-// answered with 421/not_owner instead of being forwarded again, so
-// disagreeing topologies fail loudly rather than looping.
+//   - Writes (PUT/DELETE) are coordinated by the node the client hit:
+//     the body fans out to every owner (one hop each, the coordinator
+//     applying its own copy locally when it is an owner), and the write
+//     succeeds when a majority quorum of replicas accepted it. The
+//     response carries per-replica results.
+//   - Reads (info/box/roi) walk the replica list in owner order —
+//     reordered away from peers whose circuit breakers are open — and
+//     fail over to the next replica on connect errors, timeouts, 5xx
+//     responses, and truncated bodies, with jittered exponential
+//     backoff between attempts (internal/retry). Responses small enough
+//     to buffer are verified against their Content-Length before a byte
+//     reaches the client, so even a mid-body failure is recoverable.
+//   - When every replica is down the client gets a retryable 503
+//     peer_unreachable envelope with a Retry-After hint, and the
+//     breakers behind it surface in /healthz and /v1/stats.
+//
+// The X-Stz-Forwarded header is the hop guard: a forwarded request that
+// lands on a node outside the id's owner set is answered with
+// 421/not_owner instead of being forwarded again, so disagreeing
+// topologies fail loudly rather than looping. X-Stz-Served-By names the
+// node whose store did the work; X-Stz-Replica is that node's index in
+// the id's owner list.
 
 // ForwardedHeader marks a request as already forwarded once; its value
 // is the address of the forwarding node.
@@ -27,6 +48,15 @@ const ForwardedHeader = "X-Stz-Forwarded"
 
 // ServedByHeader names the node whose store served the request.
 const ServedByHeader = "X-Stz-Served-By"
+
+// ReplicaHeader is the serving node's zero-based index in the archive's
+// owner list (0 = primary).
+const ReplicaHeader = "X-Stz-Replica"
+
+// maxBufferedProxy is the largest proxied read response the router
+// buffers before committing to the client. Buffered responses can be
+// length-verified and retried on another replica; larger ones stream.
+const maxBufferedProxy = 4 << 20
 
 // normalizeAddr canonicalizes a peer address to bare host:port.
 func normalizeAddr(s string) string {
@@ -48,11 +78,21 @@ func SplitPeers(s string) []string {
 	return out
 }
 
-// routed wraps an archive handler with ownership routing. Single-node
-// deployments (no ring) serve everything locally; in cluster mode the
-// request is served locally when this node owns the id, forwarded to the
-// owner otherwise, and rejected with not_owner when it arrives already
-// forwarded yet still lands on a non-owner.
+func indexOf(list []string, v string) int {
+	for i, x := range list {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// routed wraps an archive handler with replica routing. Single-node
+// deployments (no ring) serve everything locally. In cluster mode a
+// request that already carries the forwarded marker is a replica apply:
+// it must land on an owner (else 421) and is served from the local
+// store. A fresh request makes this node the coordinator: writes fan
+// out to all owners, reads walk them with failover.
 func (s *Server) routed(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.ring == nil {
@@ -60,55 +100,378 @@ func (s *Server) routed(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		id := r.PathValue("id")
-		owner := s.ring.Owner(id)
-		if owner == s.opts.Self {
+		owners := s.ring.Owners(id, s.opts.Replicas)
+		selfIdx := indexOf(owners, s.opts.Self)
+		if from := r.Header.Get(ForwardedHeader); from != "" {
+			if selfIdx < 0 {
+				s.notOwner.Add(1)
+				httpError(w, http.StatusMisdirectedRequest, CodeNotOwner,
+					"archive %q is owned by %v, not %s (request forwarded by %s; peer topologies disagree)",
+					id, owners, s.opts.Self, from)
+				return
+			}
 			w.Header().Set(ServedByHeader, s.opts.Self)
+			w.Header().Set(ReplicaHeader, strconv.Itoa(selfIdx))
 			h(w, r)
 			return
 		}
-		if from := r.Header.Get(ForwardedHeader); from != "" {
-			s.notOwner.Add(1)
-			httpError(w, http.StatusMisdirectedRequest, CodeNotOwner,
-				"archive %q is owned by %s, not %s (request forwarded by %s; peer topologies disagree)",
-				id, owner, s.opts.Self, from)
-			return
+		switch r.Method {
+		case http.MethodPut:
+			s.fanoutWrite(w, r, id, owners, h, false)
+		case http.MethodDelete:
+			s.fanoutWrite(w, r, id, owners, h, true)
+		default:
+			s.readFailover(w, r, id, owners, h)
 		}
-		s.forward(w, r, owner)
 	}
 }
 
-// forward proxies the request to the owning peer and streams the
-// response back verbatim. The client's context travels with the proxied
-// request, so client deadlines and disconnects propagate to the peer.
-func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner string) {
-	s.forwarded.Add(1)
-	req, err := http.NewRequestWithContext(r.Context(), r.Method,
-		"http://"+owner+r.URL.RequestURI(), r.Body)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, CodeBadRequest, "forwarding to %s: %v", owner, err)
+// replicaResult is one replica's answer to a fanned-out write.
+type replicaResult struct {
+	Peer   string `json:"peer"`
+	Status int    `json:"status"`
+	OK     bool   `json:"ok"`
+	Err    string `json:"error,omitempty"`
+	header http.Header
+	body   []byte
+}
+
+// quorum is the majority write threshold for n replicas.
+func quorum(n int) int { return n/2 + 1 }
+
+// fanoutWrite coordinates a PUT or DELETE across all owners: the body
+// is applied on every replica (locally when this node is one), and the
+// operation succeeds when a majority accepted it. The response is the
+// primary successful replica's, with per-replica results attached to
+// JSON bodies.
+func (s *Server) fanoutWrite(w http.ResponseWriter, r *http.Request, id string, owners []string, h http.HandlerFunc, isDelete bool) {
+	var body []byte
+	if !isDelete {
+		var err error
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
+		if err != nil {
+			status := requestErrorStatus(err)
+			httpError(w, status, codeForRequestError(status), "reading archive: %v", err)
+			return
+		}
+	}
+	results := make([]replicaResult, len(owners))
+	done := make(chan int, len(owners))
+	for i, peer := range owners {
+		go func(i int, peer string) {
+			if peer == s.opts.Self {
+				results[i] = s.applyLocal(r, owners, i, body, h)
+			} else {
+				results[i] = s.applyRemote(r, peer, body)
+			}
+			done <- i
+		}(i, peer)
+	}
+	for range owners {
+		<-done
+	}
+
+	acks := 0
+	winner := -1
+	clientErr := -1
+	for i, res := range results {
+		if res.OK {
+			acks++
+			if winner < 0 {
+				winner = i
+			}
+		} else if res.Status >= 400 && res.Status < 500 && clientErr < 0 {
+			clientErr = i
+		}
+	}
+	if acks < quorum(len(owners)) {
+		// A definitive client error (bad id, undecodable archive, unknown
+		// id on delete) is the same on every replica — relay it verbatim
+		// rather than blaming the peers.
+		if clientErr >= 0 {
+			replay(w, results[clientErr].header, results[clientErr].Status, results[clientErr].body)
+			return
+		}
+		s.quorumFails.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, CodePeerUnreachable,
+			"write quorum failed for archive %q: %d/%d replicas acked (need %d)",
+			id, acks, len(owners), quorum(len(owners)))
 		return
+	}
+	win := results[winner]
+	if isDelete || len(win.body) == 0 {
+		replay(w, win.header, win.Status, win.body)
+		return
+	}
+	// Attach the per-replica outcomes to the entry JSON the winning
+	// replica produced; an unparseable body just replays untouched.
+	var doc map[string]any
+	if err := json.Unmarshal(win.body, &doc); err != nil {
+		replay(w, win.header, win.Status, win.body)
+		return
+	}
+	doc["replicas"] = results
+	out, err := json.Marshal(doc)
+	if err != nil {
+		replay(w, win.header, win.Status, win.body)
+		return
+	}
+	hdr := win.header.Clone()
+	hdr.Del("Content-Length")
+	replay(w, hdr, win.Status, out)
+}
+
+// replay writes a recorded replica response to the client verbatim.
+func replay(w http.ResponseWriter, hdr http.Header, status int, body []byte) {
+	dst := w.Header()
+	for k, vs := range hdr {
+		if k == "Content-Length" {
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+	if len(body) > 0 {
+		dst.Set("Content-Length", strconv.Itoa(len(body)))
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// applyLocal runs the handler against this node's own store, recording
+// the response it would have sent.
+func (s *Server) applyLocal(r *http.Request, owners []string, idx int, body []byte, h http.HandlerFunc) replicaResult {
+	rec := newRecorder()
+	rec.Header().Set(ServedByHeader, s.opts.Self)
+	rec.Header().Set(ReplicaHeader, strconv.Itoa(idx))
+	req := r.Clone(r.Context())
+	if body != nil {
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		req.ContentLength = int64(len(body))
+	}
+	h(rec, req)
+	res := replicaResult{
+		Peer: s.opts.Self, Status: rec.status,
+		OK:     rec.status < 300,
+		header: rec.Header(), body: rec.buf.Bytes(),
+	}
+	if !res.OK {
+		res.Err = http.StatusText(rec.status)
+	}
+	return res
+}
+
+// applyRemote sends the write to one peer replica, marked forwarded so
+// the peer applies it locally (one hop), and records the outcome in the
+// peer's circuit breaker.
+func (s *Server) applyRemote(r *http.Request, peer string, body []byte) replicaResult {
+	s.forwarded.Add(1)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		"http://"+peer+r.URL.RequestURI(), rd)
+	if err != nil {
+		return replicaResult{Peer: peer, OK: false, Err: err.Error()}
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(ForwardedHeader, s.opts.Self)
-	if r.ContentLength >= 0 {
-		req.ContentLength = r.ContentLength
+	if body != nil {
+		req.ContentLength = int64(len(body))
 	}
-	resp, err := s.forwardClient.Do(req)
+	br := s.health.Breaker(peer)
+	resp, err := s.peerClient.Do(req)
 	if err != nil {
-		httpError(w, http.StatusBadGateway, CodePeerUnreachable,
-			"archive owner %s unreachable: %v", owner, err)
-		return
+		br.Failure()
+		return replicaResult{Peer: peer, OK: false, Err: err.Error()}
 	}
 	defer resp.Body.Close()
-	h := w.Header()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		br.Failure()
+		return replicaResult{Peer: peer, Status: resp.StatusCode, OK: false, Err: err.Error()}
+	}
+	if resp.StatusCode >= 500 {
+		br.Failure()
+	} else {
+		br.Success()
+	}
+	res := replicaResult{
+		Peer: peer, Status: resp.StatusCode,
+		OK:     resp.StatusCode < 300,
+		header: resp.Header, body: data,
+	}
+	if !res.OK {
+		res.Err = http.StatusText(resp.StatusCode)
+	}
+	return res
+}
+
+// readFailover serves a read by walking the archive's owner list —
+// health-reordered so open-circuit peers go last — and failing over on
+// transport errors, 5xx responses, and truncated bodies. Any response
+// below 500 is definitive (a 404 means the archive does not exist; no
+// other replica would disagree) and commits to the client.
+func (s *Server) readFailover(w http.ResponseWriter, r *http.Request, id string, owners []string, h http.HandlerFunc) {
+	// Buffer a possible request body (POST /roi) once so every attempt
+	// can resend it; the roi handler bounds it to 1 MiB itself, this is
+	// just the outer cap.
+	var body []byte
+	if r.Body != nil && r.Method != http.MethodGet {
+		var err error
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
+		if err != nil {
+			status := requestErrorStatus(err)
+			httpError(w, status, codeForRequestError(status), "reading request body: %v", err)
+			return
+		}
+	}
+	ordered := s.health.Reorder(owners)
+	waiter := retry.NewWaiter(s.opts.PeerRetry, nil)
+	var (
+		floor    time.Duration
+		lastErr  string
+		attempts int
+	)
+	for _, peer := range ordered {
+		idx := indexOf(owners, peer)
+		if peer == s.opts.Self {
+			// Our own store is a replica: serve it directly. Local reads
+			// have no transport to fail, so this always commits.
+			w.Header().Set(ServedByHeader, s.opts.Self)
+			w.Header().Set(ReplicaHeader, strconv.Itoa(idx))
+			if body != nil {
+				req := r.Clone(r.Context())
+				req.Body = io.NopCloser(bytes.NewReader(body))
+				req.ContentLength = int64(len(body))
+				r = req
+			}
+			h(w, r)
+			s.replicaHits.Add(1)
+			if idx > 0 {
+				s.failovers.Add(1)
+			}
+			return
+		}
+		br := s.health.Breaker(peer)
+		if br.State() == health.Open {
+			// Open circuit, cooldown not elapsed: skip without burning a
+			// retry attempt; the peer is already last in the ordering.
+			lastErr = "circuit open to " + peer
+			continue
+		}
+		if !waiter.Next() {
+			break
+		}
+		if attempts > 0 {
+			if err := waiter.Wait(r.Context(), floor); err != nil {
+				break
+			}
+		}
+		if !br.Allow() {
+			// Another request holds this peer's half-open probe; let it
+			// decide the peer's fate and move on.
+			lastErr = "circuit probing " + peer
+			continue
+		}
+		attempts++
+		committed, hint, errMsg := s.proxyRead(w, r, peer, body)
+		if committed {
+			br.Success()
+			s.replicaHits.Add(1)
+			if idx > 0 {
+				s.failovers.Add(1)
+			}
+			return
+		}
+		br.Failure()
+		floor, lastErr = hint, errMsg
+	}
+	s.allDown.Add(1)
+	w.Header().Set("Retry-After", "1")
+	if lastErr == "" {
+		lastErr = "no replica reachable"
+	}
+	httpError(w, http.StatusServiceUnavailable, CodePeerUnreachable,
+		"all %d replicas of archive %q unavailable: %s", len(owners), id, lastErr)
+}
+
+// proxyRead attempts one replica. It reports committed=true once any
+// response bytes (or a definitive status) reached the client; a false
+// return means nothing was written and the caller may fail over, with
+// the peer's Retry-After hint as the next backoff floor.
+func (s *Server) proxyRead(w http.ResponseWriter, r *http.Request, peer string, body []byte) (committed bool, floor time.Duration, errMsg string) {
+	s.forwarded.Add(1)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		"http://"+peer+r.URL.RequestURI(), rd)
+	if err != nil {
+		return false, 0, err.Error()
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(ForwardedHeader, s.opts.Self)
+	if body != nil {
+		req.ContentLength = int64(len(body))
+	}
+	resp, err := s.peerClient.Do(req)
+	if err != nil {
+		return false, 0, err.Error()
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		// The replica is up but failing; drain so the connection can be
+		// reused, take its Retry-After as the backoff floor, move on.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxBufferedProxy))
+		return false, retry.RetryAfter(resp), peer + " answered " + resp.Status
+	}
+	if resp.ContentLength >= 0 && resp.ContentLength <= maxBufferedProxy {
+		// Small enough to verify before committing: a short or failed
+		// body (a truncating peer, a dropped connection) stays invisible
+		// to the client and the next replica gets its chance.
+		data, err := io.ReadAll(resp.Body)
+		if err != nil || int64(len(data)) != resp.ContentLength {
+			if err == nil {
+				err = io.ErrUnexpectedEOF
+			}
+			return false, 0, "reading " + peer + " response: " + err.Error()
+		}
+		replay(w, resp.Header, resp.StatusCode, data)
+		return true, 0, ""
+	}
+	// Too large (or unknown length) to buffer: stream. Past this point a
+	// body failure can only truncate the client's stream.
+	dst := w.Header()
 	for k, vs := range resp.Header {
 		for _, v := range vs {
-			h.Add(k, v)
+			dst.Add(k, v)
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
 	if _, err := io.Copy(w, resp.Body); err != nil {
-		// The status line is already out; the stream just truncates.
-		log.Printf("stzd: forward to %s: response copy: %v", owner, err)
+		log.Printf("stzd: proxy read from %s: response copy: %v", peer, err)
 	}
+	return true, 0, ""
 }
+
+// recorder captures a locally applied handler response so the write
+// coordinator can fold it into the fan-out result (httptest stays out
+// of production code).
+type recorder struct {
+	hdr    http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func newRecorder() *recorder { return &recorder{hdr: http.Header{}, status: http.StatusOK} }
+
+func (rec *recorder) Header() http.Header { return rec.hdr }
+
+func (rec *recorder) WriteHeader(status int) { rec.status = status }
+
+func (rec *recorder) Write(p []byte) (int, error) { return rec.buf.Write(p) }

@@ -34,8 +34,9 @@ const (
 	// own the archive — the hop guard against forwarding loops when peer
 	// topologies disagree (421).
 	CodeNotOwner = "not_owner"
-	// CodePeerUnreachable: the owning peer could not be reached while
-	// forwarding (502, retryable).
+	// CodePeerUnreachable: no replica of the archive could be reached —
+	// every owner failed a read, or a write missed its majority quorum
+	// (503 with Retry-After, retryable).
 	CodePeerUnreachable = "peer_unreachable"
 )
 

@@ -31,6 +31,16 @@ type TestCluster struct {
 // for Self/Peers, which are derived from the freshly bound listeners.
 // The caller owns the cluster and must Close it.
 func StartTestCluster(n int, o Options) *TestCluster {
+	return StartTestClusterOpts(n, o, nil)
+}
+
+// StartTestClusterOpts starts an n-node cluster like StartTestCluster,
+// additionally calling tweak (when non-nil) on each node's options
+// after Self/Peers are filled in but before the node is built. The
+// bound peer addresses are passed along so per-node behavior — most
+// prominently a fault-injecting WrapTransport targeting a specific peer
+// — can be configured against real listener addresses.
+func StartTestClusterOpts(n int, o Options, tweak func(i int, addrs []string, node *Options)) *TestCluster {
 	c := &TestCluster{}
 	// Bind all listeners first: every node needs the full address list
 	// before its handler is constructed.
@@ -43,6 +53,9 @@ func StartTestCluster(n int, o Options) *TestCluster {
 		no := o
 		no.Self = c.Addrs[i]
 		no.Peers = append([]string(nil), c.Addrs...)
+		if tweak != nil {
+			tweak(i, c.Addrs, &no)
+		}
 		node := New(no)
 		c.Nodes = append(c.Nodes, node)
 		ts.Config.Handler = node

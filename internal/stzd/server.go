@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -22,7 +23,9 @@ import (
 	"stz/internal/cluster"
 	"stz/internal/codec"
 	"stz/internal/grid"
+	"stz/internal/health"
 	"stz/internal/rawio"
+	"stz/internal/retry"
 	"stz/internal/scratch"
 	"stz/internal/singleflight"
 )
@@ -62,6 +65,29 @@ type Options struct {
 	// Peers is the full static peer topology (host:port each, including
 	// Self). Empty means single-node mode: no ring, no forwarding.
 	Peers []string
+	// Replicas is the replication factor: each archive id is placed on
+	// the first Replicas distinct ring owners. Writes fan out to all of
+	// them (success = majority quorum), reads fail over along the list.
+	// Default 1 (no replication); clamped to the peer count by the ring.
+	Replicas int
+	// PeerDialTimeout bounds connection establishment to a peer. Default 2s.
+	PeerDialTimeout time.Duration
+	// PeerHeaderTimeout bounds the wait for a peer's response headers.
+	// Default 10s.
+	PeerHeaderTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's circuit breaker; 0 uses the health package default (5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds load before a
+	// half-open probe; 0 uses the health package default (5s).
+	BreakerCooldown time.Duration
+	// PeerRetry is the backoff policy for read failover across replicas.
+	// The zero value uses the retry package defaults.
+	PeerRetry retry.Policy
+	// WrapTransport, when set, wraps the tuned peer transport — the hook
+	// the fault-injection tests and the chaos workload use to interpose
+	// on peer traffic without touching the serving stack.
+	WrapTransport func(http.RoundTripper) http.RoundTripper
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +116,15 @@ func (o Options) withDefaults() Options {
 	for i, p := range o.Peers {
 		o.Peers[i] = normalizeAddr(p)
 	}
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
+	if o.PeerDialTimeout <= 0 {
+		o.PeerDialTimeout = 2 * time.Second
+	}
+	if o.PeerHeaderTimeout <= 0 {
+		o.PeerHeaderTimeout = 10 * time.Second
+	}
 	return o
 }
 
@@ -103,11 +138,17 @@ type Server struct {
 	store *archiveStore
 	mux   *http.ServeMux
 
-	// Cluster placement and forwarding. ring is nil in single-node mode.
-	ring          *cluster.Ring
-	forwardClient *http.Client
-	forwarded     atomic.Int64 // requests proxied to a peer
-	notOwner      atomic.Int64 // hop-guard rejections (421)
+	// Cluster placement, replication, and peer health. ring is nil in
+	// single-node mode.
+	ring        *cluster.Ring
+	peerClient  *http.Client    // shared tuned transport to peers
+	health      *health.Tracker // per-peer circuit breakers
+	forwarded   atomic.Int64    // requests proxied to a peer (per attempt)
+	notOwner    atomic.Int64    // hop-guard rejections (421)
+	replicaHits atomic.Int64    // reads served by some replica
+	failovers   atomic.Int64    // reads served by a non-primary replica
+	quorumFails atomic.Int64    // write fan-outs that missed quorum
+	allDown     atomic.Int64    // reads with every replica unreachable
 
 	// Hot-box tier: single-flight decode dedup plus the result LRU.
 	// boxFlights collapses concurrent decodes of the same archive+box to
@@ -137,7 +178,23 @@ func New(o Options) *Server {
 			peers = append(append([]string(nil), peers...), o.Self)
 		}
 		s.ring = cluster.New(peers)
-		s.forwardClient = &http.Client{}
+		s.health = health.NewTracker(health.Options{
+			Threshold: o.BreakerThreshold, Cooldown: o.BreakerCooldown,
+		})
+		// One tuned transport for all peer traffic: bounded dial and
+		// response-header waits so a dead peer fails fast enough to fail
+		// over, and warm per-peer connection pools for the fan-out paths.
+		var rt http.RoundTripper = &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: o.PeerDialTimeout}).DialContext,
+			ResponseHeaderTimeout: o.PeerHeaderTimeout,
+			MaxIdleConns:          128,
+			MaxIdleConnsPerHost:   32,
+			IdleConnTimeout:       90 * time.Second,
+		}
+		if o.WrapTransport != nil {
+			rt = o.WrapTransport(rt)
+		}
+		s.peerClient = &http.Client{Transport: rt}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -235,9 +292,20 @@ func param(r *http.Request, name, header string) string {
 	return r.Header.Get(header)
 }
 
+// handleHealth is the liveness probe. In cluster mode it also reports
+// degradation: peers whose circuit breakers are currently open. The
+// node itself still serves (status stays 200), but "degraded" plus the
+// open-circuit list tells operators part of the replica set is down.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	doc := map[string]any{"status": "ok", "inflight": len(s.sem)}
+	if s.health != nil {
+		if open := s.health.Open(); len(open) > 0 {
+			doc["status"] = "degraded"
+			doc["open_circuits"] = open
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{"status": "ok", "inflight": len(s.sem)})
+	json.NewEncoder(w).Encode(doc)
 }
 
 // handleStats reports the scratch-arena counters (the memory-reuse health
@@ -291,10 +359,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	stats["box_cache"] = box
 	if s.ring != nil {
 		stats["cluster"] = map[string]any{
-			"self":      s.opts.Self,
-			"peers":     s.ring.Peers(),
-			"forwarded": s.forwarded.Load(),
-			"not_owner": s.notOwner.Load(),
+			"self":         s.opts.Self,
+			"peers":        s.ring.Peers(),
+			"replicas":     s.opts.Replicas,
+			"forwarded":    s.forwarded.Load(),
+			"not_owner":    s.notOwner.Load(),
+			"replica_hits": s.replicaHits.Load(),
+			"failovers":    s.failovers.Load(),
+			"quorum_fails": s.quorumFails.Load(),
+			"all_down":     s.allDown.Load(),
+			"peer_health":  s.health.Snapshot(),
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
