@@ -23,6 +23,9 @@
 //	       body: {"mode":"max|range","block":16,"threshold":T,"top":P}
 //	       response: selected regions, each addressable via /box
 //	GET  /v1/codecs      registry capability matrix as JSON
+//	GET  /v1/manifest    replication digest of the resident store: per-id
+//	     write time, length and checksum, plus DELETE tombstones (what
+//	     anti-entropy sweeps diff between replicas)
 //	GET  /v1/stats       scratch-pool hit rates, archive store and
 //	     in-flight job count
 //	GET  /healthz        liveness probe
@@ -57,6 +60,16 @@
 // unreachable does the client see an error: a retryable 503
 // peer_unreachable envelope with Retry-After. See docs/API.md for the
 // full semantics.
+//
+// The replica set self-heals. Writes that miss a down replica are
+// queued as hints (bounded by -hint-budget) and replayed the moment the
+// peer's breaker closes again; a read served by a fallback replica
+// re-pushes the archive to the owners that missed it (read repair); and
+// a background sweep (every -anti-entropy) diffs this node's
+// /v1/manifest against each co-owner's and re-replicates missing or
+// stale entries, propagating DELETE tombstones so a removed archive
+// never resurrects. Hint backlog is surfaced in /healthz and all repair
+// counters under /v1/stats (repair.*).
 //
 // -pprof (off by default) additionally mounts net/http/pprof under
 // /debug/pprof/ for live profiling of a loaded instance.
@@ -107,20 +120,30 @@ func main() {
 		"replication factor in cluster mode: each archive is stored on the "+
 			"first N ring owners, writes need a majority quorum, reads fail "+
 			"over across the set")
+	hintBudget := flag.Int64("hint-budget", 0,
+		"byte budget of the hinted-handoff queue for writes that missed a "+
+			"down replica (0 = default 64 MiB, negative disables hints; "+
+			"oldest hints drop first beyond the budget)")
+	antiEntropy := flag.Duration("anti-entropy", 0,
+		"interval between anti-entropy sweeps that diff replica manifests "+
+			"and re-replicate missing or stale archives (0 = default 30s, "+
+			"negative disables)")
 	flag.Parse()
 
 	h := stzd.New(stzd.Options{
-		MaxBody:        *maxBody,
-		MaxInflight:    *maxInflight,
-		Workers:        *workers,
-		Window:         *window,
-		EnablePprof:    *pprofOn,
-		ArchiveBudget:  *archiveBudget,
-		ArchiveShards:  *archiveShards,
-		BoxCacheBudget: *boxCacheBudget,
-		Self:           *self,
-		Peers:          stzd.SplitPeers(*peers),
-		Replicas:       *replicas,
+		MaxBody:             *maxBody,
+		MaxInflight:         *maxInflight,
+		Workers:             *workers,
+		Window:              *window,
+		EnablePprof:         *pprofOn,
+		ArchiveBudget:       *archiveBudget,
+		ArchiveShards:       *archiveShards,
+		BoxCacheBudget:      *boxCacheBudget,
+		Self:                *self,
+		Peers:               stzd.SplitPeers(*peers),
+		Replicas:            *replicas,
+		HintBudget:          *hintBudget,
+		AntiEntropyInterval: *antiEntropy,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -150,4 +173,7 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("stzd: shutdown: %v", err)
 	}
+	// Stop the self-healing loop (hint replay, anti-entropy) after the
+	// listener drains so no background push races the shutdown.
+	h.Close()
 }

@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"stz/internal/codec"
+	"stz/internal/grid"
+	"stz/internal/rawio"
+	"stz/internal/retry"
+	"stz/internal/stzd"
+)
+
+// Recovery workload shape: the self-healing tier under a full node
+// outage and revival. A 3-node cluster with replication factor 3 is
+// seeded, one node is killed; the run then measures (a) whether the
+// surviving replicas keep serving reads at full success rate, (b) that
+// writes coordinated during the outage still commit on the surviving
+// quorum (queueing hints for the dead node), and (c) how quickly the
+// revived node — restarted with a wiped store, the worst case — is
+// re-converged by hint replay plus anti-entropy sweeps.
+const (
+	recNodes    = 3
+	recReplicas = 3 // every node owns every archive; quorum 2 tolerates the outage
+	recVictim   = 2 // index of the node killed and revived each run
+	recArchives = 4 // archives seeded while the cluster is whole
+	recPuts     = 2 // new archives written per run during the outage (hinted)
+	recWindows  = 16
+	recQueries  = 240
+	recClients  = 6
+	recZipfS    = 1.4
+	// recConvTimeout bounds the convergence poll; a node that has not
+	// re-replicated by then is scored by converged-% instead of hanging
+	// the suite.
+	recConvTimeout = 30 * time.Second
+	recConvPoll    = 25 * time.Millisecond
+)
+
+// runRecoveryCell measures time-to-convergence after a node outage.
+// Metrics, all min-folded to the most conservative run:
+//
+//	ok-%        client-visible read success rate while the node is down —
+//	            100 means the outage stayed invisible behind failover
+//	conv-s      seconds from revival until the node's manifest again
+//	            lists every archive it owns (hints + anti-entropy)
+//	converged-% archives re-replicated within the timeout, out of all the
+//	            revived node owes; 100 means zero residual
+//	            under-replication
+//	qps         aggregate read throughput during the outage window
+func runRecoveryCell[T grid.Float](c Cell, g *grid.Grid[T], runs int, agg *cellAgg) error {
+	mn, mx := g.Range()
+	ebAbs := c.EB * (float64(mx) - float64(mn))
+	if !(ebAbs > 0) {
+		ebAbs = c.EB
+	}
+	enc, err := codec.Encode(c.Codec, g, codec.Config{EB: ebAbs, Workers: c.Workers, Chunks: c.Chunks})
+	if err != nil {
+		return err
+	}
+	cl := stzd.StartTestCluster(recNodes, stzd.Options{
+		Workers: c.Workers, MaxInflight: recClients,
+		Replicas:         recReplicas,
+		BreakerThreshold: 2, BreakerCooldown: 150 * time.Millisecond,
+		PeerRetry: retry.Policy{
+			MaxAttempts: 4, BaseDelay: 2 * time.Millisecond,
+			MaxDelay: 20 * time.Millisecond, Budget: 2 * time.Second,
+		},
+		HintRetryInterval:   50 * time.Millisecond,
+		AntiEntropyInterval: 200 * time.Millisecond,
+	})
+	defer cl.Close()
+
+	// Seed the whole cluster: with R = N every node holds every archive.
+	expected := make(map[string]bool, recArchives+recPuts*runs)
+	put := func(node int, id string) error {
+		req, err := http.NewRequest(http.MethodPut, cl.URL(node)+"/v1/archives/"+id, bytes.NewReader(enc))
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("PUT %s: status %d: %s", id, resp.StatusCode, bytes.TrimSpace(body))
+		}
+		expected[id] = true
+		return nil
+	}
+	ids := make([]string, 0, recArchives)
+	for i := 0; i < recArchives; i++ {
+		id := fmt.Sprintf("%s-rec%d", c.Dataset, i)
+		if err := put(0, id); err != nil {
+			return err
+		}
+		ids = append(ids, id)
+	}
+
+	h := fnv.New32a()
+	io.WriteString(h, c.Name)
+	rng := rand.New(rand.NewSource(int64(h.Sum32())))
+	elem := int64(rawio.ElemSize[T]())
+	type target struct {
+		path  string
+		bytes int64
+	}
+	var pop []target
+	for _, id := range ids {
+		for w := 0; w < recWindows; w++ {
+			b := randomBox(rng, g, c.Box)
+			pop = append(pop, target{
+				path: fmt.Sprintf("/v1/archives/%s/box?box=%d:%d,%d:%d,%d:%d",
+					id, b.Z0, b.Z1, b.Y0, b.Y1, b.X0, b.X1),
+				bytes: int64(b.Volume()) * elem,
+			})
+		}
+	}
+	rng.Shuffle(len(pop), func(i, j int) { pop[i], pop[j] = pop[j], pop[i] })
+	zipf := rand.NewZipf(rng, recZipfS, 1, uint64(len(pop)-1))
+	// The live nodes clients keep using while the victim is down.
+	live := make([]int, 0, recNodes-1)
+	for i := 0; i < recNodes; i++ {
+		if i != recVictim {
+			live = append(live, i)
+		}
+	}
+
+	for run := 0; run < runs; run++ {
+		cl.Stop(recVictim)
+
+		// Writes during the outage: quorum on the survivors, hint queued
+		// for the victim on whichever node coordinated the PUT.
+		for i := 0; i < recPuts; i++ {
+			if err := put(live[i%len(live)], fmt.Sprintf("%s-rec-out%d-%d", c.Dataset, run, i)); err != nil {
+				return err
+			}
+		}
+
+		// Timed read load against the survivors: the outage must stay
+		// invisible — with R = N both survivors hold every archive, so
+		// reads keep succeeding without ever needing the dead peer.
+		type query struct {
+			node int
+			t    target
+		}
+		queries := make([]query, recQueries)
+		for i := range queries {
+			queries[i] = query{node: live[rng.Intn(len(live))], t: pop[zipf.Uint64()]}
+		}
+		var (
+			wg sync.WaitGroup
+			mu sync.Mutex
+			ok int
+		)
+		work := make(chan query)
+		t0 := time.Now()
+		for w := 0; w < recClients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for q := range work {
+					if fetchBox(cl.URL(q.node)+q.t.path, q.t.bytes) == nil {
+						mu.Lock()
+						ok++
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		for _, q := range queries {
+			work <- q
+		}
+		close(work)
+		wg.Wait()
+		elapsed := time.Since(t0)
+
+		// Revival: the node comes back on its address with an empty store
+		// and owes every archive. Hints replay this run's outage writes;
+		// anti-entropy sweeps from the survivors refill the rest.
+		if err := cl.Restart(recVictim); err != nil {
+			return err
+		}
+		t1 := time.Now()
+		deadline := t1.Add(recConvTimeout)
+		present := 0
+		for {
+			if present, err = manifestCount(cl.URL(recVictim), expected); err != nil {
+				return err
+			}
+			if present == len(expected) || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(recConvPoll)
+		}
+		conv := time.Since(t1)
+
+		agg.observeNs(elapsed / recQueries)
+		agg.observe("qps", recQueries/elapsed.Seconds())
+		agg.observe("ok-%", 100*float64(ok)/recQueries)
+		agg.observe("conv-s", conv.Seconds())
+		agg.observe("converged-%", 100*float64(present)/float64(len(expected)))
+	}
+	return nil
+}
+
+// manifestCount reports how many of the expected archive ids a node's
+// replication manifest currently lists.
+func manifestCount(base string, expected map[string]bool) (int, error) {
+	resp, err := http.Get(base + "/v1/manifest")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("manifest: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Archives map[string]json.RawMessage `json:"archives"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0, err
+	}
+	n := 0
+	for id := range expected {
+		if _, ok := doc.Archives[id]; ok {
+			n++
+		}
+	}
+	return n, nil
+}

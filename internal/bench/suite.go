@@ -24,9 +24,10 @@ const (
 	WorkloadHTTP       = "http"
 	WorkloadCluster    = "cluster"
 	WorkloadChaos      = "chaos"
+	WorkloadRecovery   = "recovery"
 )
 
-var knownWorkloads = []string{WorkloadCompress, WorkloadDecompress, WorkloadBox, WorkloadHTTP, WorkloadCluster, WorkloadChaos}
+var knownWorkloads = []string{WorkloadCompress, WorkloadDecompress, WorkloadBox, WorkloadHTTP, WorkloadCluster, WorkloadChaos, WorkloadRecovery}
 
 // SuiteSpec is a declarative benchmark suite: a name, a run count, and one
 // or more cell matrices whose cross products define the cells.
@@ -282,7 +283,7 @@ func (m *Matrix) validate() error {
 			// http and cluster workloads go through the registry container /
 			// stzd, which serve registry codecs only.
 			for _, w := range m.Workloads {
-				if w == WorkloadBox || w == WorkloadHTTP || w == WorkloadCluster || w == WorkloadChaos {
+				if w == WorkloadBox || w == WorkloadHTTP || w == WorkloadCluster || w == WorkloadChaos || w == WorkloadRecovery {
 					return fmt.Errorf("codec \"stz\" supports only the compress and decompress workloads, not %q", w)
 				}
 			}

@@ -156,6 +156,8 @@ func runCellT[T grid.Float](c Cell, g *grid.Grid[T], runs int) (CellResult, erro
 		err = runClusterCell(c, g, runs, agg)
 	case WorkloadChaos:
 		err = runChaosCell(c, g, runs, agg)
+	case WorkloadRecovery:
+		err = runRecoveryCell(c, g, runs, agg)
 	default:
 		err = fmt.Errorf("unknown workload %q", c.Workload)
 	}

@@ -50,6 +50,12 @@ type Options struct {
 	Cooldown time.Duration
 	// Now overrides the clock for tests.
 	Now func() time.Time
+	// OnStateChange, when set, is called synchronously (outside the
+	// breaker's lock) after every state transition. For a Tracker-owned
+	// breaker peer is the peer address; for a bare NewBreaker it is "".
+	// The hinted-handoff replayer subscribes here to flush a peer's hint
+	// backlog the moment its breaker closes again.
+	OnStateChange func(peer string, from, to State)
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +78,7 @@ func (o Options) withDefaults() Options {
 type Breaker struct {
 	mu       sync.Mutex
 	opts     Options
+	peer     string // reported to OnStateChange; "" for bare breakers
 	state    State
 	fails    int       // consecutive failures while closed
 	openedAt time.Time // when the breaker last opened
@@ -84,28 +91,43 @@ func NewBreaker(o Options) *Breaker {
 	return &Breaker{opts: o.withDefaults()}
 }
 
+// notify fires the OnStateChange hook for a completed transition. It
+// must be called after b.mu is released: subscribers commonly re-enter
+// the breaker (checking State, issuing the next probe) from the
+// callback.
+func (b *Breaker) notify(from, to State) {
+	if from != to && b.opts.OnStateChange != nil {
+		b.opts.OnStateChange(b.peer, from, to)
+	}
+}
+
 // Allow reports whether a request may be issued to the peer now. An
 // open breaker whose cooldown has elapsed transitions to half-open and
 // grants this caller the probe; while a probe is in flight every other
 // caller is refused.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case Closed:
+		b.mu.Unlock()
 		return true
 	case Open:
 		if b.opts.Now().Sub(b.openedAt) < b.opts.Cooldown {
+			b.mu.Unlock()
 			return false
 		}
 		b.state = HalfOpen
 		b.probing = true
+		b.mu.Unlock()
+		b.notify(Open, HalfOpen)
 		return true
 	default: // HalfOpen
 		if b.probing {
+			b.mu.Unlock()
 			return false
 		}
 		b.probing = true
+		b.mu.Unlock()
 		return true
 	}
 }
@@ -114,10 +136,12 @@ func (b *Breaker) Allow() bool {
 // failure streak resets.
 func (b *Breaker) Success() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.state = Closed
 	b.fails = 0
 	b.probing = false
+	b.mu.Unlock()
+	b.notify(from, Closed)
 }
 
 // Failure records a failed request: a half-open probe reopens the
@@ -125,7 +149,7 @@ func (b *Breaker) Success() {
 // streak reaches the threshold.
 func (b *Breaker) Failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.fails++
 	switch b.state {
 	case HalfOpen:
@@ -138,6 +162,9 @@ func (b *Breaker) Failure() {
 		// A straggling failure from a request issued before the trip;
 		// the streak above is all that needs recording.
 	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
 }
 
 // open transitions to Open; the caller holds b.mu.
@@ -199,6 +226,7 @@ func (t *Tracker) Breaker(peer string) *Breaker {
 	b, ok := t.peers[peer]
 	if !ok {
 		b = NewBreaker(t.opts)
+		b.peer = peer
 		t.peers[peer] = b
 	}
 	return b

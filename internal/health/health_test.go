@@ -128,3 +128,70 @@ func TestTrackerOpenAndSnapshot(t *testing.T) {
 		t.Fatalf("Open after cooldown = %v, want empty", got)
 	}
 }
+
+// TestBreakerOnStateChange: every real transition fires the hook (with
+// the tracker-registered peer name) exactly once, outside the lock —
+// re-entering the breaker from the callback must not deadlock — and
+// no-op outcomes (a success on an already-closed breaker) stay silent.
+func TestBreakerOnStateChange(t *testing.T) {
+	c := newClock()
+	type change struct {
+		peer     string
+		from, to State
+	}
+	var seen []change
+	o := opts(2, time.Second, c)
+	o.OnStateChange = func(peer string, from, to State) {
+		seen = append(seen, change{peer, from, to})
+	}
+	tr := NewTracker(o)
+	b := tr.Breaker("p:1")
+
+	b.Success() // closed -> closed: silent
+	if len(seen) != 0 {
+		t.Fatalf("no-op success fired %v", seen)
+	}
+	b.Failure() // 1/2: still closed, silent
+	b.Failure() // trips: closed -> open
+	c.advance(time.Second)
+	if !b.Allow() { // cooldown elapsed: open -> half-open, probe claimed
+		t.Fatal("probe refused after cooldown")
+	}
+	b.Failure() // probe failed: half-open -> open
+	c.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Success() // probe succeeded: half-open -> closed
+
+	want := []change{
+		{"p:1", Closed, Open},
+		{"p:1", Open, HalfOpen},
+		{"p:1", HalfOpen, Open},
+		{"p:1", Open, HalfOpen},
+		{"p:1", HalfOpen, Closed},
+	}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+
+	// Re-entrant callback on a bare breaker: reading state from inside
+	// the hook must not deadlock, and peer reports as "".
+	reentered := false
+	var bare *Breaker
+	o3 := opts(1, time.Second, c)
+	o3.OnStateChange = func(peer string, from, to State) {
+		reentered = true
+		if peer != "" {
+			t.Errorf("bare breaker peer = %q, want empty", peer)
+		}
+		if bare.State() != to {
+			t.Errorf("re-entrant State() = %v, want %v", bare.State(), to)
+		}
+	}
+	bare = NewBreaker(o3)
+	bare.Failure()
+	if !reentered {
+		t.Fatal("bare breaker transition did not fire the hook")
+	}
+}

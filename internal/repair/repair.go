@@ -1,0 +1,235 @@
+// Package repair implements the hinted-handoff half of the stzd cluster
+// tier's self-healing machinery: a per-peer, bytes-budgeted queue of
+// writes that missed a replica. When a fan-out write reaches quorum but
+// one replica fails, the coordinator enqueues a Hint — the full PUT body
+// or the DELETE tombstone, stamped with the write's LWW timestamp — and
+// replays it once the peer is reachable again (the replica router's
+// circuit breaker closing, or the periodic retry tick, triggers the
+// flush). Hints are strictly per-destination: a hint for peer P is only
+// ever replayed against P, so replay cannot re-route a write.
+//
+// The queue holds the newest state per (peer, id): enqueueing a hint
+// supersedes any earlier hint for the same archive on the same peer —
+// a PUT…PUT keeps only the last body, a PUT…DELETE keeps only the
+// tombstone — which both bounds the backlog and makes replay order
+// irrelevant within one id. Across ids, hints replay oldest-first.
+// When the byte budget overflows, the globally oldest hints are dropped
+// (and counted): the anti-entropy sweep is the backstop that eventually
+// re-replicates anything the queue had to let go.
+package repair
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Hint is one missed replica write: everything needed to replay the
+// original PUT or DELETE against the peer that missed it.
+type Hint struct {
+	// Method is the original verb: http.MethodPut or http.MethodDelete.
+	Method string
+	// ID is the archive id, the dedup key within a peer's queue.
+	ID string
+	// Path is the request URI to replay against the peer.
+	Path string
+	// Body is the archive payload for a PUT; nil for a DELETE tombstone.
+	Body []byte
+	// WriteTime is the coordinator's LWW timestamp of the original write
+	// (unix nanoseconds); replay carries it so a replayed hint can never
+	// overwrite a newer write on the recovered peer.
+	WriteTime int64
+}
+
+// hintOverhead approximates the bookkeeping bytes charged per hint on
+// top of its body, so DELETE tombstones still have nonzero cost.
+const hintOverhead = 256
+
+func (h Hint) cost() int64 { return int64(len(h.Body)) + hintOverhead }
+
+// Stats is the queue's cumulative counter snapshot.
+type Stats struct {
+	// Queued counts hints accepted by Enqueue (supersessions included).
+	Queued int64 `json:"queued"`
+	// Replayed counts hints resolved by Ack — successfully replayed, or
+	// deterministically superseded on the peer.
+	Replayed int64 `json:"replayed"`
+	// Dropped counts hints evicted to fit the byte budget, plus hints
+	// whose body alone exceeds it.
+	Dropped int64 `json:"dropped"`
+	// Failed counts replay attempts reported via Fail (the hint stays
+	// queued for the next flush).
+	Failed int64 `json:"failed"`
+	// BacklogCount and BacklogBytes are the current queue occupancy.
+	BacklogCount int64 `json:"backlog_count"`
+	BacklogBytes int64 `json:"backlog_bytes"`
+}
+
+// queued is one resident hint with its global age rank.
+type queued struct {
+	hint Hint
+	peer string
+	seq  int64
+}
+
+// Queue is the hinted-handoff store: one FIFO per peer under a shared
+// byte budget. Safe for concurrent use.
+type Queue struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	seq     int64
+	perPeer map[string]*list.List    // of *queued, front = oldest
+	byKey   map[string]*list.Element // peer\x00id -> element, for supersession
+
+	queued, replayed, dropped, failed int64
+}
+
+// NewQueue builds a queue holding at most budget bytes of hints
+// (bodies plus a small per-hint overhead). budget <= 0 disables the
+// queue: Enqueue drops everything.
+func NewQueue(budget int64) *Queue {
+	return &Queue{
+		budget:  budget,
+		perPeer: map[string]*list.List{},
+		byKey:   map[string]*list.Element{},
+	}
+}
+
+func key(peer, id string) string { return peer + "\x00" + id }
+
+// Enqueue records a missed write for peer, superseding any earlier hint
+// for the same archive on that peer and evicting the globally oldest
+// hints if the budget overflows. It reports whether the hint was kept.
+func (q *Queue) Enqueue(peer string, h Hint) bool {
+	c := h.cost()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if c > q.budget {
+		q.dropped++
+		return false
+	}
+	if el, ok := q.byKey[key(peer, h.ID)]; ok {
+		// Newest state wins: the superseded hint's replay would be
+		// rejected by the peer's LWW check anyway.
+		old := el.Value.(*queued)
+		q.bytes -= old.hint.cost()
+		q.remove(el, old)
+	}
+	q.seq++
+	l, ok := q.perPeer[peer]
+	if !ok {
+		l = list.New()
+		q.perPeer[peer] = l
+	}
+	q.byKey[key(peer, h.ID)] = l.PushBack(&queued{hint: h, peer: peer, seq: q.seq})
+	q.bytes += c
+	q.queued++
+	// Over budget: evict globally oldest first. The fresh hint sits at
+	// the back of its peer's FIFO, so it is only ever evicted once it is
+	// the last hint standing — and a lone hint always fits (cost <=
+	// budget was checked above), so in practice it survives.
+	for q.bytes > q.budget {
+		if !q.dropOldestLocked() {
+			break
+		}
+	}
+	return q.byKey[key(peer, h.ID)] != nil
+}
+
+// dropOldestLocked evicts the globally oldest hint, reporting whether
+// anything was dropped.
+func (q *Queue) dropOldestLocked() bool {
+	var victim *list.Element
+	var oldest *queued
+	for _, l := range q.perPeer {
+		front := l.Front()
+		if front == nil {
+			continue
+		}
+		it := front.Value.(*queued)
+		if oldest == nil || it.seq < oldest.seq {
+			victim, oldest = front, it
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	q.bytes -= oldest.hint.cost()
+	q.remove(victim, oldest)
+	q.dropped++
+	return true
+}
+
+// remove unlinks el from its peer list and the key index; the caller
+// holds q.mu and has already adjusted q.bytes.
+func (q *Queue) remove(el *list.Element, it *queued) {
+	q.perPeer[it.peer].Remove(el)
+	if q.perPeer[it.peer].Len() == 0 {
+		delete(q.perPeer, it.peer)
+	}
+	delete(q.byKey, key(it.peer, it.hint.ID))
+}
+
+// Peek returns peer's oldest pending hint without removing it.
+func (q *Queue) Peek(peer string) (Hint, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l, ok := q.perPeer[peer]
+	if !ok || l.Len() == 0 {
+		return Hint{}, false
+	}
+	return l.Front().Value.(*queued).hint, true
+}
+
+// Ack resolves peer's oldest hint after a successful (or
+// deterministically superseded) replay.
+func (q *Queue) Ack(peer string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l, ok := q.perPeer[peer]
+	if !ok || l.Len() == 0 {
+		return
+	}
+	front := l.Front()
+	it := front.Value.(*queued)
+	q.bytes -= it.hint.cost()
+	q.remove(front, it)
+	q.replayed++
+}
+
+// Fail records a failed replay attempt; the hint stays queued for the
+// next flush.
+func (q *Queue) Fail(peer string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.failed++
+}
+
+// Peers lists the peers with a non-empty backlog.
+func (q *Queue) Peers() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]string, 0, len(q.perPeer))
+	for p := range q.perPeer {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Backlog reports the current queue occupancy across all peers.
+func (q *Queue) Backlog() (count int64, bytes int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return int64(len(q.byKey)), q.bytes
+}
+
+// Stats snapshots the cumulative counters plus the live backlog.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{
+		Queued: q.queued, Replayed: q.replayed,
+		Dropped: q.dropped, Failed: q.failed,
+		BacklogCount: int64(len(q.byKey)), BacklogBytes: q.bytes,
+	}
+}

@@ -1,0 +1,143 @@
+package repair
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func put(id string, body int) Hint {
+	return Hint{Method: http.MethodPut, ID: id, Path: "/v1/archives/" + id,
+		Body: make([]byte, body), WriteTime: 1}
+}
+
+func del(id string) Hint {
+	return Hint{Method: http.MethodDelete, ID: id, Path: "/v1/archives/" + id, WriteTime: 2}
+}
+
+func TestHintQueueFIFOPerPeer(t *testing.T) {
+	q := NewQueue(1 << 20)
+	if !q.Enqueue("a:1", put("x", 10)) || !q.Enqueue("a:1", put("y", 10)) || !q.Enqueue("b:1", put("z", 10)) {
+		t.Fatal("enqueue under budget must succeed")
+	}
+	if h, ok := q.Peek("a:1"); !ok || h.ID != "x" {
+		t.Fatalf("peek a:1 = %+v %v, want oldest hint x", h, ok)
+	}
+	if h, ok := q.Peek("b:1"); !ok || h.ID != "z" {
+		t.Fatalf("peek b:1 = %+v %v, want z", h, ok)
+	}
+	q.Ack("a:1")
+	if h, ok := q.Peek("a:1"); !ok || h.ID != "y" {
+		t.Fatalf("peek a:1 after ack = %+v %v, want y", h, ok)
+	}
+	q.Ack("a:1")
+	if _, ok := q.Peek("a:1"); ok {
+		t.Fatal("a:1 should be drained")
+	}
+	if peers := q.Peers(); len(peers) != 1 || peers[0] != "b:1" {
+		t.Fatalf("peers = %v, want [b:1]", peers)
+	}
+	st := q.Stats()
+	if st.Queued != 3 || st.Replayed != 2 || st.BacklogCount != 1 {
+		t.Fatalf("stats = %+v, want queued 3, replayed 2, backlog 1", st)
+	}
+}
+
+func TestHintQueueSupersedesSameID(t *testing.T) {
+	q := NewQueue(1 << 20)
+	q.Enqueue("a:1", put("x", 100))
+	q.Enqueue("a:1", put("other", 10))
+	// A newer write to the same id replaces the pending hint — here a
+	// delete tombstone superseding the stale PUT body.
+	q.Enqueue("a:1", del("x"))
+	n, _ := q.Backlog()
+	if n != 2 {
+		t.Fatalf("backlog = %d after supersession, want 2", n)
+	}
+	// FIFO order: "other" (older surviving hint) first, then the tombstone.
+	if h, _ := q.Peek("a:1"); h.ID != "other" {
+		t.Fatalf("peek = %q, want other", h.ID)
+	}
+	q.Ack("a:1")
+	if h, _ := q.Peek("a:1"); h.ID != "x" || h.Method != http.MethodDelete {
+		t.Fatalf("peek = %+v, want the x tombstone", h)
+	}
+}
+
+func TestHintQueueBudgetDropsOldest(t *testing.T) {
+	// Room for ~3 body-1000 hints (cost = body + overhead).
+	q := NewQueue(3 * (1000 + hintOverhead))
+	for i := 0; i < 5; i++ {
+		q.Enqueue(fmt.Sprintf("p%d:1", i), put(fmt.Sprintf("id%d", i), 1000))
+	}
+	st := q.Stats()
+	if st.Dropped != 2 || st.BacklogCount != 3 {
+		t.Fatalf("stats = %+v, want 2 dropped, 3 resident", st)
+	}
+	// The oldest two went; the newest three remain.
+	for i := 0; i < 2; i++ {
+		if _, ok := q.Peek(fmt.Sprintf("p%d:1", i)); ok {
+			t.Fatalf("hint %d should have been dropped", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := q.Peek(fmt.Sprintf("p%d:1", i)); !ok {
+			t.Fatalf("hint %d should be resident", i)
+		}
+	}
+}
+
+func TestHintQueueOversizedAndDisabled(t *testing.T) {
+	q := NewQueue(100)
+	if q.Enqueue("a:1", put("big", 200)) {
+		t.Fatal("a hint bigger than the whole budget must be dropped")
+	}
+	if st := q.Stats(); st.Dropped != 1 || st.BacklogCount != 0 {
+		t.Fatalf("stats = %+v, want 1 dropped", st)
+	}
+	off := NewQueue(0)
+	if off.Enqueue("a:1", del("x")) {
+		t.Fatal("budget 0 disables the queue")
+	}
+}
+
+func TestHintQueueFailKeepsHint(t *testing.T) {
+	q := NewQueue(1 << 20)
+	q.Enqueue("a:1", put("x", 10))
+	q.Fail("a:1")
+	if h, ok := q.Peek("a:1"); !ok || h.ID != "x" {
+		t.Fatalf("peek after fail = %+v %v, want x still queued", h, ok)
+	}
+	if st := q.Stats(); st.Failed != 1 || st.BacklogCount != 1 {
+		t.Fatalf("stats = %+v, want failed 1 and hint retained", st)
+	}
+}
+
+func TestHintQueueConcurrent(t *testing.T) {
+	q := NewQueue(1 << 20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			peer := fmt.Sprintf("p%d:1", w%2)
+			for i := 0; i < 200; i++ {
+				q.Enqueue(peer, put(fmt.Sprintf("w%d-i%d", w, i), 8))
+				if i%3 == 0 {
+					q.Ack(peer)
+				}
+				q.Peek(peer)
+				q.Backlog()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := q.Stats()
+	if st.Queued != 8*200 {
+		t.Fatalf("queued = %d, want %d", st.Queued, 8*200)
+	}
+	if st.BacklogCount != st.Queued-st.Replayed-st.Dropped {
+		t.Fatalf("backlog accounting inconsistent: %+v", st)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -157,13 +158,15 @@ func (w *Waiter) Wait(ctx context.Context, floor time.Duration) error {
 }
 
 // RetryAfter parses a response's Retry-After header — delay-seconds or
-// an HTTP-date — into a wait floor. It returns 0 when the header is
-// absent or unparseable, and never a negative duration.
+// an HTTP-date — into a wait floor. A malformed, negative, or past
+// value is treated exactly like an absent header: zero floor, so the
+// caller's own backoff schedule applies unmodified. Whitespace padding
+// around an otherwise valid value is tolerated. Never negative.
 func RetryAfter(resp *http.Response) time.Duration {
 	if resp == nil {
 		return 0
 	}
-	v := resp.Header.Get("Retry-After")
+	v := strings.TrimSpace(resp.Header.Get("Retry-After"))
 	if v == "" {
 		return 0
 	}

@@ -106,8 +106,9 @@ func TestWaiterRetryAfterFloor(t *testing.T) {
 	}
 }
 
-// TestRetryAfter covers the header forms: delay-seconds, HTTP-date,
-// and the absent/garbage/negative cases that must all yield zero.
+// TestRetryAfter is the header-form table: delay-seconds (padded or
+// not), HTTP-date (future, past), and every malformed/negative/absent
+// shape — all of which must behave exactly like no header at all.
 func TestRetryAfter(t *testing.T) {
 	mk := func(v string) *http.Response {
 		h := http.Header{}
@@ -116,21 +117,34 @@ func TestRetryAfter(t *testing.T) {
 		}
 		return &http.Response{Header: h}
 	}
-	if got := RetryAfter(mk("2")); got != 2*time.Second {
-		t.Fatalf("seconds form = %v, want 2s", got)
-	}
 	future := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
-	if got := RetryAfter(mk(future)); got <= 3*time.Second || got > 5*time.Second {
-		t.Fatalf("date form = %v, want ~5s", got)
-	}
-	for _, v := range []string{"", "soon", "-3"} {
-		if got := RetryAfter(mk(v)); got != 0 {
-			t.Fatalf("RetryAfter(%q) = %v, want 0", v, got)
-		}
-	}
 	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
-	if got := RetryAfter(mk(past)); got != 0 {
-		t.Fatalf("past date = %v, want 0", got)
+	cases := []struct {
+		name     string
+		value    string
+		min, max time.Duration
+	}{
+		{"seconds", "2", 2 * time.Second, 2 * time.Second},
+		{"seconds-zero", "0", 0, 0},
+		{"seconds-padded", "  3  ", 3 * time.Second, 3 * time.Second},
+		{"seconds-plus-sign", "+2", 2 * time.Second, 2 * time.Second},
+		{"http-date-future", future, 3 * time.Second, 5 * time.Second},
+		{"http-date-past", past, 0, 0},
+		{"absent", "", 0, 0},
+		{"garbage-word", "soon", 0, 0},
+		{"garbage-float", "1.5", 0, 0},
+		{"garbage-units", "5s", 0, 0},
+		{"negative", "-3", 0, 0},
+		{"overflow", "99999999999999999999999", 0, 0},
+		{"whitespace-only", "   ", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := RetryAfter(mk(tc.value))
+			if got < tc.min || got > tc.max {
+				t.Fatalf("RetryAfter(%q) = %v, want in [%v, %v]", tc.value, got, tc.min, tc.max)
+			}
+		})
 	}
 	if got := RetryAfter(nil); got != 0 {
 		t.Fatalf("nil response = %v, want 0", got)

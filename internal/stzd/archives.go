@@ -9,11 +9,25 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"time"
 
 	"stz/internal/codec"
 	"stz/internal/grid"
 	"stz/internal/roi"
 )
+
+// writeTime resolves a write's LWW timestamp: the coordinator-stamped
+// X-Stz-Write-Time header when present (a fanned-out replica apply, a
+// hint replay, or a repair push), else the local clock — so direct
+// writes and single-node mode version themselves.
+func writeTime(r *http.Request) int64 {
+	if v := r.Header.Get(WriteTimeHeader); v != "" {
+		if t, err := strconv.ParseInt(v, 10, 64); err == nil && t > 0 {
+			return t
+		}
+	}
+	return time.Now().UnixNano()
+}
 
 // The archive query API: clients PUT a compressed archive once, then issue
 // ROI-driven random-access queries against the resident copy — the
@@ -82,12 +96,17 @@ func (s *Server) handleArchivePut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, codeForRequestError(status), "reading archive: %v", err)
 		return
 	}
-	e, replaced, err := s.store.put(id, data)
+	e, replaced, err := s.store.put(id, data, writeTime(r))
 	if err != nil {
 		// A body that cannot fit the store is 413; one that is not a
-		// decodable SZXC archive is 422 (well-formed HTTP, bad entity).
+		// decodable SZXC archive is 422 (well-formed HTTP, bad entity); one
+		// that lost last-writer-wins is 409 (terminal for repair pushers).
 		if errors.Is(err, errStoreBudget) {
 			httpError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "%v", err)
+			return
+		}
+		if errors.Is(err, errStaleWrite) {
+			httpError(w, http.StatusConflict, CodeStaleWrite, "%v", err)
 			return
 		}
 		httpError(w, http.StatusUnprocessableEntity, CodeBadArchive, "%v", err)
@@ -128,11 +147,53 @@ func (s *Server) handleArchiveInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleArchiveDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.store.delete(r.PathValue("id")) {
+	existed, stale := s.store.delete(r.PathValue("id"), writeTime(r))
+	if stale {
+		httpError(w, http.StatusConflict, CodeStaleWrite,
+			"a newer version of archive %q is resident; delete not applied", r.PathValue("id"))
+		return
+	}
+	if !existed {
+		// The tombstone is recorded regardless, so even a delete of an id
+		// this replica never saw still blocks later resurrection.
 		httpError(w, http.StatusNotFound, CodeUnknownArchive, "unknown archive %q", r.PathValue("id"))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleArchiveRaw serves the stored archive bytes verbatim with the
+// entry's LWW write-time — the repair paths' fetch endpoint (read
+// repair and anti-entropy pull a replica's copy through it to re-push
+// elsewhere). It reads through getRaw, so repair traffic perturbs
+// neither the LRU order nor the hit/miss counters.
+func (s *Server) handleArchiveRaw(w http.ResponseWriter, r *http.Request) {
+	raw, mtime, ok := s.store.getRaw(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, CodeUnknownArchive, "unknown archive %q", r.PathValue("id"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(WriteTimeHeader, strconv.FormatInt(mtime, 10))
+	h.Set("Content-Length", strconv.Itoa(len(raw)))
+	w.Write(raw)
+}
+
+// handleManifest serves the node's replication digest: id → (write-time,
+// length, checksum) for every resident archive, plus the live delete
+// tombstones. Peers' anti-entropy sweeps diff this against their own
+// manifest to find missing and divergent entries.
+func (s *Server) handleManifest(w http.ResponseWriter, _ *http.Request) {
+	archives, tombs := s.store.manifest()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(manifestJSON{Archives: archives, Tombstones: tombs})
+}
+
+// manifestJSON is the /v1/manifest document.
+type manifestJSON struct {
+	Archives   map[string]manifestEntry `json:"archives"`
+	Tombstones map[string]int64         `json:"tombstones"`
 }
 
 // handleArchiveBox serves GET /v1/archives/{id}/box?box=z0:z1,y0:y1,x0:x1 —

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"stz/internal/health"
+	"stz/internal/repair"
 	"stz/internal/retry"
 )
 
@@ -52,6 +53,12 @@ const ServedByHeader = "X-Stz-Served-By"
 // ReplicaHeader is the serving node's zero-based index in the archive's
 // owner list (0 = primary).
 const ReplicaHeader = "X-Stz-Replica"
+
+// WriteTimeHeader carries a write's last-writer-wins timestamp (unix
+// nanoseconds). The fan-out coordinator stamps it once per write so all
+// replicas store the same version; hint replay and repair pushes carry
+// the original stamp so a healed write can never shadow a newer one.
+const WriteTimeHeader = "X-Stz-Write-Time"
 
 // maxBufferedProxy is the largest proxied read response the router
 // buffers before committing to the client. Buffered responses can be
@@ -155,6 +162,11 @@ func (s *Server) fanoutWrite(w http.ResponseWriter, r *http.Request, id string, 
 			return
 		}
 	}
+	// The coordinator stamps the write's LWW timestamp once, so every
+	// replica — including a hinted replay long after the fact — stores
+	// the same version.
+	wt := time.Now().UnixNano()
+	r.Header.Set(WriteTimeHeader, strconv.FormatInt(wt, 10))
 	results := make([]replicaResult, len(owners))
 	done := make(chan int, len(owners))
 	for i, peer := range owners {
@@ -171,17 +183,39 @@ func (s *Server) fanoutWrite(w http.ResponseWriter, r *http.Request, id string, 
 		<-done
 	}
 
+	// A replica 404ing a fanned-out DELETE is an ack, not a failure: the
+	// archive is already gone there, which is the state the delete wants.
+	acked := func(res replicaResult) bool {
+		return res.OK || (isDelete && res.Status == http.StatusNotFound)
+	}
 	acks := 0
 	winner := -1
 	clientErr := -1
 	for i, res := range results {
-		if res.OK {
+		if acked(res) {
 			acks++
-			if winner < 0 {
+			// Prefer a 2xx winner over a 404-ack so a mixed DELETE outcome
+			// still answers 204.
+			if winner < 0 || (!results[winner].OK && res.OK) {
 				winner = i
 			}
 		} else if res.Status >= 400 && res.Status < 500 && clientErr < 0 {
 			clientErr = i
+		}
+	}
+	if acks >= quorum(len(owners)) {
+		// The write succeeded with replicas missed: queue a hint per
+		// failed replica (down or 5xx — a definitive 4xx rejection would
+		// just repeat) so the write heals when the peer returns.
+		for i, res := range results {
+			if acked(res) || owners[i] == s.opts.Self ||
+				(res.Status >= 400 && res.Status < 500) {
+				continue
+			}
+			s.hints.Enqueue(owners[i], repair.Hint{
+				Method: r.Method, ID: id, Path: r.URL.RequestURI(),
+				Body: body, WriteTime: wt,
+			})
 		}
 	}
 	if acks < quorum(len(owners)) {
@@ -312,9 +346,13 @@ func (s *Server) applyRemote(r *http.Request, peer string, body []byte) replicaR
 
 // readFailover serves a read by walking the archive's owner list —
 // health-reordered so open-circuit peers go last — and failing over on
-// transport errors, 5xx responses, and truncated bodies. Any response
-// below 500 is definitive (a 404 means the archive does not exist; no
-// other replica would disagree) and commits to the client.
+// transport errors, 5xx responses, and truncated bodies. A replica
+// answering 404 is up but may be lagging (it missed the write), so the
+// walk continues to the next replica; only when every reachable replica
+// agrees the archive is gone does the 404 commit. A read served after
+// one or more replicas 404'd triggers an asynchronous read repair: the
+// archive is re-pushed from the replica that served it to the lagging
+// owners (selfheal.go).
 func (s *Server) readFailover(w http.ResponseWriter, r *http.Request, id string, owners []string, h http.HandlerFunc) {
 	// Buffer a possible request body (POST /roi) once so every attempt
 	// can resend it; the roi handler bounds it to 1 MiB itself, this is
@@ -335,10 +373,18 @@ func (s *Server) readFailover(w http.ResponseWriter, r *http.Request, id string,
 		floor    time.Duration
 		lastErr  string
 		attempts int
+		lagging  []string       // replicas that 404'd: up, but missing the archive
+		notFound *replicaResult // the first definitive 404, replayed if no replica has it
 	)
 	for _, peer := range ordered {
 		idx := indexOf(owners, peer)
 		if peer == s.opts.Self {
+			if _, _, ok := s.store.getRaw(id); !ok && len(owners) > 1 {
+				// Our own store is missing the archive: we are the lagging
+				// replica. Try the others before concluding it is gone.
+				lagging = append(lagging, peer)
+				continue
+			}
 			// Our own store is a replica: serve it directly. Local reads
 			// have no transport to fail, so this always commits.
 			w.Header().Set(ServedByHeader, s.opts.Self)
@@ -354,6 +400,7 @@ func (s *Server) readFailover(w http.ResponseWriter, r *http.Request, id string,
 			if idx > 0 {
 				s.failovers.Add(1)
 			}
+			s.spawnReadRepair(id, s.opts.Self, lagging)
 			return
 		}
 		br := s.health.Breaker(peer)
@@ -378,17 +425,48 @@ func (s *Server) readFailover(w http.ResponseWriter, r *http.Request, id string,
 			continue
 		}
 		attempts++
-		committed, hint, errMsg := s.proxyRead(w, r, peer, body)
+		committed, nf, hint, errMsg := s.proxyRead(w, r, peer, body)
 		if committed {
 			br.Success()
 			s.replicaHits.Add(1)
 			if idx > 0 {
 				s.failovers.Add(1)
 			}
+			s.spawnReadRepair(id, peer, lagging)
 			return
+		}
+		if nf != nil {
+			// The peer answered: it is healthy, just missing the archive.
+			br.Success()
+			lagging = append(lagging, peer)
+			if notFound == nil {
+				notFound = nf
+			}
+			continue
 		}
 		br.Failure()
 		floor, lastErr = hint, errMsg
+	}
+	if notFound != nil {
+		// Every replica that answered is missing the archive; relay the
+		// first 404 envelope verbatim, exactly as a single owner would.
+		s.replicaHits.Add(1)
+		replay(w, notFound.header, notFound.Status, notFound.body)
+		return
+	}
+	if indexOf(lagging, s.opts.Self) >= 0 {
+		// Only our own (empty) replica answered: serve the local 404.
+		w.Header().Set(ServedByHeader, s.opts.Self)
+		w.Header().Set(ReplicaHeader, strconv.Itoa(indexOf(owners, s.opts.Self)))
+		if body != nil {
+			req := r.Clone(r.Context())
+			req.Body = io.NopCloser(bytes.NewReader(body))
+			req.ContentLength = int64(len(body))
+			r = req
+		}
+		h(w, r)
+		s.replicaHits.Add(1)
+		return
 	}
 	s.allDown.Add(1)
 	w.Header().Set("Retry-After", "1")
@@ -400,10 +478,12 @@ func (s *Server) readFailover(w http.ResponseWriter, r *http.Request, id string,
 }
 
 // proxyRead attempts one replica. It reports committed=true once any
-// response bytes (or a definitive status) reached the client; a false
-// return means nothing was written and the caller may fail over, with
-// the peer's Retry-After hint as the next backoff floor.
-func (s *Server) proxyRead(w http.ResponseWriter, r *http.Request, peer string, body []byte) (committed bool, floor time.Duration, errMsg string) {
+// response bytes (or a definitive status) reached the client; a 404 is
+// returned buffered (not committed) so the caller can keep walking
+// replicas that may still hold the archive; any other false return
+// means nothing was written and the caller may fail over, with the
+// peer's Retry-After hint as the next backoff floor.
+func (s *Server) proxyRead(w http.ResponseWriter, r *http.Request, peer string, body []byte) (committed bool, notFound *replicaResult, floor time.Duration, errMsg string) {
 	s.forwarded.Add(1)
 	var rd io.Reader
 	if body != nil {
@@ -412,7 +492,7 @@ func (s *Server) proxyRead(w http.ResponseWriter, r *http.Request, peer string, 
 	req, err := http.NewRequestWithContext(r.Context(), r.Method,
 		"http://"+peer+r.URL.RequestURI(), rd)
 	if err != nil {
-		return false, 0, err.Error()
+		return false, nil, 0, err.Error()
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(ForwardedHeader, s.opts.Self)
@@ -421,14 +501,26 @@ func (s *Server) proxyRead(w http.ResponseWriter, r *http.Request, peer string, 
 	}
 	resp, err := s.peerClient.Do(req)
 	if err != nil {
-		return false, 0, err.Error()
+		return false, nil, 0, err.Error()
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 500 {
 		// The replica is up but failing; drain so the connection can be
 		// reused, take its Retry-After as the backoff floor, move on.
 		io.Copy(io.Discard, io.LimitReader(resp.Body, maxBufferedProxy))
-		return false, retry.RetryAfter(resp), peer + " answered " + resp.Status
+		return false, nil, retry.RetryAfter(resp), peer + " answered " + resp.Status
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		// This replica is missing the archive — possibly lagging. Buffer
+		// the envelope for the caller; another replica may still have it.
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxBufferedProxy))
+		if err != nil {
+			return false, nil, 0, "reading " + peer + " response: " + err.Error()
+		}
+		return false, &replicaResult{
+			Peer: peer, Status: resp.StatusCode,
+			header: resp.Header.Clone(), body: data,
+		}, 0, ""
 	}
 	if resp.ContentLength >= 0 && resp.ContentLength <= maxBufferedProxy {
 		// Small enough to verify before committing: a short or failed
@@ -439,10 +531,10 @@ func (s *Server) proxyRead(w http.ResponseWriter, r *http.Request, peer string, 
 			if err == nil {
 				err = io.ErrUnexpectedEOF
 			}
-			return false, 0, "reading " + peer + " response: " + err.Error()
+			return false, nil, 0, "reading " + peer + " response: " + err.Error()
 		}
 		replay(w, resp.Header, resp.StatusCode, data)
-		return true, 0, ""
+		return true, nil, 0, ""
 	}
 	// Too large (or unknown length) to buffer: stream. Past this point a
 	// body failure can only truncate the client's stream.
@@ -456,7 +548,7 @@ func (s *Server) proxyRead(w http.ResponseWriter, r *http.Request, peer string, 
 	if _, err := io.Copy(w, resp.Body); err != nil {
 		log.Printf("stzd: proxy read from %s: response copy: %v", peer, err)
 	}
-	return true, 0, ""
+	return true, nil, 0, ""
 }
 
 // recorder captures a locally applied handler response so the write

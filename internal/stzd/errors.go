@@ -38,6 +38,11 @@ const (
 	// every owner failed a read, or a write missed its majority quorum
 	// (503 with Retry-After, retryable).
 	CodePeerUnreachable = "peer_unreachable"
+	// CodeStaleWrite: the write lost last-writer-wins — the store already
+	// holds a strictly newer version or tombstone of the archive (409).
+	// Replayed hints and anti-entropy pushes treat this as terminal
+	// success: the newer state is the one that should survive.
+	CodeStaleWrite = "stale_write"
 )
 
 // apiError is the machine-readable half of an error response.

@@ -1,6 +1,12 @@
 package stzd
 
-import "net/http/httptest"
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"time"
+)
 
 // StartTest starts an in-process stzd instance over httptest and returns
 // the running server. It is the one construction path shared by the stzd
@@ -25,6 +31,9 @@ type TestCluster struct {
 	Addrs []string
 	// Nodes are the handlers behind Servers, for direct state inspection.
 	Nodes []*Server
+
+	// opts remembers each node's final options so Restart can rebuild it.
+	opts []Options
 }
 
 // StartTestCluster starts an n-node cluster. Every node shares o except
@@ -58,10 +67,48 @@ func StartTestClusterOpts(n int, o Options, tweak func(i int, addrs []string, no
 		}
 		node := New(no)
 		c.Nodes = append(c.Nodes, node)
+		c.opts = append(c.opts, no)
 		ts.Config.Handler = node
 		ts.Start()
 	}
 	return c
+}
+
+// Stop shuts node i down — listener closed, background healing stopped
+// — while the rest of the cluster keeps running against its (now dead)
+// address. The node's slot in the topology is preserved so Restart can
+// bring it back.
+func (c *TestCluster) Stop(i int) {
+	c.Nodes[i].Close()
+	c.Servers[i].Close()
+}
+
+// Restart brings a stopped node back on its original address with a
+// fresh server built from its original options. The store starts empty
+// — exactly a process restart of a node with an in-memory store, the
+// state the self-healing tier (hint replay, read repair, anti-entropy)
+// must re-converge.
+func (c *TestCluster) Restart(i int) error {
+	var l net.Listener
+	var err error
+	// The old listener's port can linger briefly after Close; retry the
+	// bind rather than racing it.
+	for attempt := 0; attempt < 100; attempt++ {
+		l, err = net.Listen("tcp", c.Addrs[i])
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("rebinding %s: %w", c.Addrs[i], err)
+	}
+	node := New(c.opts[i])
+	ts := &httptest.Server{Listener: l, Config: &http.Server{Handler: node}}
+	ts.Start()
+	c.Nodes[i] = node
+	c.Servers[i] = ts
+	return nil
 }
 
 // URL returns node i's base URL.
@@ -78,9 +125,11 @@ func (c *TestCluster) Owner(id string) int {
 	return -1
 }
 
-// Close shuts every node down.
+// Close shuts every node down, background healing included. Safe after
+// Stop: both layers tolerate a second Close.
 func (c *TestCluster) Close() {
-	for _, ts := range c.Servers {
+	for i, ts := range c.Servers {
+		c.Nodes[i].Close()
 		ts.Close()
 	}
 }

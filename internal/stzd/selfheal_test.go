@@ -1,0 +1,426 @@
+package stzd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"stz/internal/retry"
+)
+
+// The self-healing acceptance tests: hinted handoff replays a write
+// that missed a down replica, read repair refills a lagging replica
+// that 404s a failover read, anti-entropy re-converges a wiped node,
+// and DELETE tombstones stop any of those paths from resurrecting a
+// deleted archive. All run real multi-node clusters over localhost
+// HTTP; names carry Hint/Repair/AntiEntropy/Manifest so the CI race leg
+// (-run 'Repair|Hint|AntiEntropy|Manifest') picks them up.
+
+// selfhealOpts is the shared cluster tuning: hair-trigger breakers with
+// short cooldowns, fast hint retries, and retry backoff measured in
+// milliseconds so recovery converges within test timeouts.
+func selfhealOpts() Options {
+	return Options{
+		Workers:          1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  100 * time.Millisecond,
+		PeerRetry: retry.Policy{
+			BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond,
+			MaxAttempts: 4, Budget: time.Second,
+		},
+		HintRetryInterval:   50 * time.Millisecond,
+		AntiEntropyInterval: -1, // each test opts in explicitly
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+// idPrimaryOn finds an id whose R-replica owner list starts with node
+// primary (every node is an owner when r equals the cluster size).
+func idPrimaryOn(t *testing.T, c *TestCluster, r, primary int) string {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		id := fmt.Sprintf("healed-%d", i)
+		if c.Nodes[0].ring.Owners(id, r)[0] == c.Addrs[primary] {
+			return id
+		}
+	}
+	t.Fatalf("no id of 2000 with primary %d", primary)
+	return ""
+}
+
+// forwardedWrite applies a PUT or DELETE directly to one node's store
+// (bypassing fan-out) with an explicit LWW timestamp — how tests build
+// divergent replicas on demand.
+func forwardedWrite(t *testing.T, base, method, id string, body []byte, wt int64) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, base+"/v1/archives/"+id, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(ForwardedHeader, "test-harness:0")
+	req.Header.Set(WriteTimeHeader, strconv.FormatInt(wt, 10))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestHintedHandoffReplaysOnRecovery is the headline scenario: a PUT
+// coordinated while one owner is down succeeds on the surviving quorum
+// and queues a hint; when the owner comes back the hint replays, and
+// the revived node serves the archive from its own store.
+func TestHintedHandoffReplaysOnRecovery(t *testing.T) {
+	o := selfhealOpts()
+	o.Replicas = 3
+	c := testCluster(t, 3, o)
+	const victim = 1
+	coord := 0
+	id := idPrimaryOn(t, c, 3, victim)
+	enc, _ := encodeGrid(t, 21)
+
+	c.Stop(victim)
+	putArchive(t, c.URL(coord), id, enc) // 2/3 acks: quorum, one miss
+
+	st := statsOf(t, c.URL(coord))
+	rep, ok := st["repair"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats has no repair section: %v", st)
+	}
+	hints, ok := rep["hints"].(map[string]any)
+	if !ok || hints["queued"].(float64) != 1 || hints["backlog_count"].(float64) != 1 {
+		t.Fatalf("hints = %v, want queued 1 backlog 1", rep["hints"])
+	}
+	// The backlog also surfaces in the coordinator's health probe.
+	resp, body := do(t, http.MethodGet, c.URL(coord)+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"hint_backlog":1`)) {
+		t.Fatalf("healthz = %d %s, want hint_backlog 1", resp.StatusCode, body)
+	}
+
+	if err := c.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "hint replay to the revived owner", func() bool {
+		_, _, ok := c.Nodes[victim].store.getRaw(id)
+		return ok
+	})
+
+	// The revived node answers for its own store — no forwarding.
+	resp, _ = do(t, http.MethodGet, c.URL(victim)+"/v1/archives/"+id, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("info from revived owner: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ServedByHeader); got != c.Addrs[victim] {
+		t.Fatalf("X-Stz-Served-By = %q, want the revived node %q", got, c.Addrs[victim])
+	}
+	st = statsOf(t, c.URL(coord))
+	hints = st["repair"].(map[string]any)["hints"].(map[string]any)
+	if hints["replayed"].(float64) != 1 || hints["backlog_count"].(float64) != 0 {
+		t.Fatalf("hints after replay = %v, want replayed 1 backlog 0", hints)
+	}
+}
+
+// TestReadRepairFillsLaggingReplica: a primary that missed a write
+// answers 404 to a failover read; the read is served by the replica
+// that has the archive, and the lagging primary is asynchronously
+// refilled so the next read lands on it directly.
+func TestReadRepairFillsLaggingReplica(t *testing.T) {
+	o := selfhealOpts()
+	o.Replicas = 2
+	c := testCluster(t, 3, o)
+	// Owners [primary, secondary]; the coordinator is neither.
+	const primary = 0
+	id := idPrimaryOn(t, c, 2, primary)
+	owners := c.Nodes[0].ring.Owners(id, 2)
+	secondary := indexOf(c.Addrs, owners[1])
+	coord := 3 - primary - secondary
+	enc, _ := encodeGrid(t, 22)
+
+	// Seed only the secondary: the primary is now a lagging replica.
+	wt := time.Now().UnixNano()
+	if resp := forwardedWrite(t, c.URL(secondary), http.MethodPut, id, enc, wt); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("seeding secondary: status %d", resp.StatusCode)
+	}
+
+	// A read through the coordinator fails over past the primary's 404
+	// and serves from the secondary.
+	resp, _ := do(t, http.MethodGet, c.URL(coord)+"/v1/archives/"+id, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover read: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ServedByHeader); got != c.Addrs[secondary] {
+		t.Fatalf("X-Stz-Served-By = %q, want secondary %q", got, c.Addrs[secondary])
+	}
+
+	// Read repair refills the primary in the background.
+	waitFor(t, 5*time.Second, "read repair to refill the primary", func() bool {
+		_, _, ok := c.Nodes[primary].store.getRaw(id)
+		return ok
+	})
+	if n := statNum(t, statsOf(t, c.URL(coord)), "repair", "read_repairs"); n != 1 {
+		t.Fatalf("read_repairs = %v, want 1", n)
+	}
+	// The healed primary now serves reads itself.
+	resp, _ = do(t, http.MethodGet, c.URL(coord)+"/v1/archives/"+id, nil)
+	if got := resp.Header.Get(ServedByHeader); got != c.Addrs[primary] {
+		t.Fatalf("post-repair X-Stz-Served-By = %q, want primary %q", got, c.Addrs[primary])
+	}
+}
+
+// TestReadRepairAll404 is the no-resurrection guard on the read path:
+// when every replica is missing the archive the read commits the 404
+// envelope verbatim and repairs nothing.
+func TestReadRepairAll404(t *testing.T) {
+	o := selfhealOpts()
+	o.Replicas = 2
+	c := testCluster(t, 3, o)
+	resp, body := do(t, http.MethodGet, c.URL(0)+"/v1/archives/never-stored", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d (%s), want 404", resp.StatusCode, body)
+	}
+	assertEnvelope(t, body, CodeUnknownArchive)
+}
+
+// TestAntiEntropyConvergesWipedNode: a replica that restarts with an
+// empty store (no hint ever queued — the write never failed) is
+// refilled by its peers' manifest-diff sweeps.
+func TestAntiEntropyConvergesWipedNode(t *testing.T) {
+	o := selfhealOpts()
+	o.Replicas = 3
+	o.BreakerThreshold = 2
+	o.AntiEntropyInterval = 100 * time.Millisecond
+	c := testCluster(t, 3, o)
+	const victim = 2
+	id := idPrimaryOn(t, c, 3, victim)
+	enc, _ := encodeGrid(t, 23)
+	putArchive(t, c.URL(0), id, enc) // all three replicas ack
+
+	c.Stop(victim)
+	if err := c.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Nodes[victim].store.getRaw(id); ok {
+		t.Fatal("restarted node should come back empty")
+	}
+	waitFor(t, 10*time.Second, "anti-entropy to refill the wiped node", func() bool {
+		_, _, ok := c.Nodes[victim].store.getRaw(id)
+		return ok
+	})
+
+	// The sweeps that ran surface in stats on the pushing side.
+	healed := false
+	for i := 0; i < 3; i++ {
+		if i == victim {
+			continue
+		}
+		st := statsOf(t, c.URL(i))
+		ae, ok := st["repair"].(map[string]any)["anti_entropy"].(map[string]any)
+		if !ok {
+			t.Fatalf("node %d stats missing anti_entropy: %v", i, st["repair"])
+		}
+		if ae["rounds"].(float64) < 1 {
+			t.Fatalf("node %d anti-entropy rounds = %v, want >= 1", i, ae["rounds"])
+		}
+		if ae["repaired"].(float64) >= 1 && ae["divergences"].(float64) >= 1 {
+			healed = true
+		}
+	}
+	if !healed {
+		t.Fatal("no peer reports an anti-entropy repair")
+	}
+}
+
+// TestAntiEntropyTombstoneNoResurrect: one replica holds the archive,
+// the other holds a newer tombstone. The sweep must converge both sides
+// to "deleted" — the tombstone propagates; the stale copy must never
+// flow back.
+func TestAntiEntropyTombstoneNoResurrect(t *testing.T) {
+	o := selfhealOpts()
+	o.Replicas = 2
+	o.AntiEntropyInterval = 100 * time.Millisecond
+	c := testCluster(t, 2, o)
+	id := idPrimaryOn(t, c, 2, 0)
+	enc, _ := encodeGrid(t, 24)
+
+	t1 := time.Now().UnixNano()
+	t2 := t1 + 1
+	// Both replicas store version t1; only node 0 sees the delete at t2.
+	for i := 0; i < 2; i++ {
+		if resp := forwardedWrite(t, c.URL(i), http.MethodPut, id, enc, t1); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("seeding node %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if resp := forwardedWrite(t, c.URL(0), http.MethodDelete, id, nil, t2); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("tombstoning node 0: status %d", resp.StatusCode)
+	}
+
+	waitFor(t, 10*time.Second, "the tombstone to reach the other replica", func() bool {
+		_, _, ok := c.Nodes[1].store.getRaw(id)
+		return !ok
+	})
+	// Let more sweep rounds run in both directions: the archive must not
+	// reappear on either side.
+	time.Sleep(400 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if _, _, ok := c.Nodes[i].store.getRaw(id); ok {
+			t.Fatalf("archive resurrected on node %d", i)
+		}
+	}
+	resp, body := do(t, http.MethodGet, c.URL(0)+"/v1/archives/"+id, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("read after tombstone convergence: status %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestHintReplayRespectsNewerWrite: a hint whose archive was rewritten
+// (newer version) before the peer recovered must not clobber the newer
+// state — the replay gets 409 stale_write and the hint resolves.
+func TestHintReplayRespectsNewerWrite(t *testing.T) {
+	o := selfhealOpts()
+	o.Replicas = 2
+	c := testCluster(t, 2, o)
+	id := idPrimaryOn(t, c, 2, 0)
+	encOld, _ := encodeGrid(t, 25)
+	encNew, _ := encodeGrid(t, 26)
+
+	// Node 1 already holds a version from the future; a stale hint replay
+	// against it must be rejected, not applied.
+	wt := time.Now().UnixNano()
+	if resp := forwardedWrite(t, c.URL(1), http.MethodPut, id, encNew, wt+int64(time.Hour)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("seeding future version: status %d", resp.StatusCode)
+	}
+	if resp := forwardedWrite(t, c.URL(1), http.MethodPut, id, encOld, wt); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale direct write: status %d, want 409", resp.StatusCode)
+	}
+	raw, mtime, ok := c.Nodes[1].store.getRaw(id)
+	if !ok || mtime != wt+int64(time.Hour) || !bytes.Equal(raw, encNew) {
+		t.Fatal("stale write clobbered the newer version")
+	}
+}
+
+// TestManifestEndpoint: the node digest lists resident archives with
+// write-time, length, and checksum, and deleted ids as tombstones.
+func TestManifestEndpoint(t *testing.T) {
+	ts := testServer(t, Options{Workers: 1})
+	enc, _ := encodeGrid(t, 27)
+	putArchive(t, ts.URL, "kept", enc)
+	putArchive(t, ts.URL, "gone", enc)
+	if resp, _ := do(t, http.MethodDelete, ts.URL+"/v1/archives/gone", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+
+	resp, body := do(t, http.MethodGet, ts.URL+"/v1/manifest", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("manifest: status %d (%s)", resp.StatusCode, body)
+	}
+	var m manifestJSON
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("manifest not JSON: %v (%s)", err, body)
+	}
+	e, ok := m.Archives["kept"]
+	if !ok {
+		t.Fatalf("manifest missing kept archive: %+v", m)
+	}
+	if e.Bytes != int64(len(enc)) || e.MTime <= 0 || len(e.Sum) != 16 {
+		t.Fatalf("manifest entry = %+v, want %d bytes, positive mtime, 16-hex sum", e, len(enc))
+	}
+	if _, ok := m.Archives["gone"]; ok {
+		t.Fatal("deleted archive still listed in manifest")
+	}
+	if _, ok := m.Tombstones["gone"]; !ok {
+		t.Fatalf("manifest missing tombstone for deleted id: %+v", m.Tombstones)
+	}
+}
+
+// TestRepairFanoutDelete404Ack is the idempotent-DELETE bugfix: a
+// replica that already lost the archive answers 404 to the fanned-out
+// DELETE, which must count toward the quorum (the archive being gone is
+// the goal state), not produce a spurious 503.
+func TestRepairFanoutDelete404Ack(t *testing.T) {
+	o := selfhealOpts()
+	o.Replicas = 2
+	c := testCluster(t, 3, o)
+	id := idPrimaryOn(t, c, 2, 0)
+	owners := c.Nodes[0].ring.Owners(id, 2)
+	secondary := indexOf(c.Addrs, owners[1])
+	enc, _ := encodeGrid(t, 28)
+	putArchive(t, c.URL(0), id, enc)
+
+	// The secondary loses its copy out-of-band.
+	if resp := forwardedWrite(t, c.URL(secondary), http.MethodDelete, id, nil, time.Now().UnixNano()); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("out-of-band delete: status %d", resp.StatusCode)
+	}
+
+	// The cluster-wide DELETE sees one 204 and one 404 — two acks, 204.
+	resp, body := do(t, http.MethodDelete, c.URL(0)+"/v1/archives/"+id, nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("fanout delete with one lagging replica: status %d (%s), want 204", resp.StatusCode, body)
+	}
+	// A delete of an id that never existed is a clean 404, not a 503.
+	resp, body = do(t, http.MethodDelete, c.URL(0)+"/v1/archives/never-there", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("fanout delete of absent id: status %d (%s), want 404", resp.StatusCode, body)
+	}
+	assertEnvelope(t, body, CodeUnknownArchive)
+}
+
+// TestRepairHarnessStopRestart pins the harness contract the recovery
+// suite leans on: Stop kills a node's listener, Restart revives it on
+// the SAME address with a fresh store, and the rest of the cluster is
+// untouched throughout.
+func TestRepairHarnessStopRestart(t *testing.T) {
+	o := selfhealOpts()
+	o.Replicas = 2
+	c := testCluster(t, 2, o)
+	urlBefore := c.URL(1)
+	id := idPrimaryOn(t, c, 2, 1)
+	enc, _ := encodeGrid(t, 29)
+	if resp := forwardedWrite(t, c.URL(1), http.MethodPut, id, enc, time.Now().UnixNano()); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("seed: status %d", resp.StatusCode)
+	}
+
+	c.Stop(1)
+	if _, err := http.Get(urlBefore + "/healthz"); err == nil {
+		t.Fatal("stopped node still answering")
+	}
+	// The surviving node is unaffected.
+	if resp, _ := do(t, http.MethodGet, c.URL(0)+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("surviving node health: status %d", resp.StatusCode)
+	}
+
+	if err := c.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.URL(1) != urlBefore {
+		t.Fatalf("restarted on %q, want original address %q", c.URL(1), urlBefore)
+	}
+	resp, _ := do(t, http.MethodGet, c.URL(1)+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted node health: status %d", resp.StatusCode)
+	}
+	if _, _, ok := c.Nodes[1].store.getRaw(id); ok {
+		t.Fatal("restart kept the old store; want a wiped node")
+	}
+}

@@ -7,6 +7,7 @@
 package stzd
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -25,6 +27,7 @@ import (
 	"stz/internal/grid"
 	"stz/internal/health"
 	"stz/internal/rawio"
+	"stz/internal/repair"
 	"stz/internal/retry"
 	"stz/internal/scratch"
 	"stz/internal/singleflight"
@@ -84,6 +87,18 @@ type Options struct {
 	// PeerRetry is the backoff policy for read failover across replicas.
 	// The zero value uses the retry package defaults.
 	PeerRetry retry.Policy
+	// HintBudget caps the hinted-handoff queue: the bytes of missed
+	// writes (bodies plus per-hint overhead) the coordinator holds for
+	// down replicas. Default 64 MiB; negative disables hinted handoff.
+	HintBudget int64
+	// HintRetryInterval is the period of the background hint-replay tick
+	// (hints also flush immediately when a peer's breaker closes).
+	// Default 1s.
+	HintRetryInterval time.Duration
+	// AntiEntropyInterval is the period of the background manifest-diff
+	// sweep that re-replicates missing or divergent archives. Default
+	// 30s; negative disables anti-entropy.
+	AntiEntropyInterval time.Duration
 	// WrapTransport, when set, wraps the tuned peer transport — the hook
 	// the fault-injection tests and the chaos workload use to interpose
 	// on peer traffic without touching the serving stack.
@@ -125,6 +140,15 @@ func (o Options) withDefaults() Options {
 	if o.PeerHeaderTimeout <= 0 {
 		o.PeerHeaderTimeout = 10 * time.Second
 	}
+	if o.HintBudget == 0 {
+		o.HintBudget = 64 << 20
+	}
+	if o.HintRetryInterval <= 0 {
+		o.HintRetryInterval = time.Second
+	}
+	if o.AntiEntropyInterval == 0 {
+		o.AntiEntropyInterval = 30 * time.Second
+	}
 	return o
 }
 
@@ -150,6 +174,21 @@ type Server struct {
 	quorumFails atomic.Int64    // write fan-outs that missed quorum
 	allDown     atomic.Int64    // reads with every replica unreachable
 
+	// Self-healing: the hinted-handoff queue, the read-repair dedup, and
+	// the anti-entropy sweep (selfheal.go). hints is nil in single-node
+	// mode; baseCtx cancels the healing goroutines on Close.
+	hints         *repair.Queue
+	repairFlights *singleflight.Group[string, bool] // one in-flight repair per id+peer
+	readRepairs   atomic.Int64                      // successful read-repair pushes
+	aeRounds      atomic.Int64                      // completed anti-entropy sweeps
+	aeDivergences atomic.Int64                      // missing/divergent entries found
+	aeRepaired    atomic.Int64                      // successful anti-entropy pushes
+	baseCtx       context.Context
+	cancel        context.CancelFunc
+	kick          chan struct{} // nudges the selfheal loop to flush hints now
+	closeOnce     sync.Once
+	done          chan struct{} // closed when the selfheal loop exits
+
 	// Hot-box tier: single-flight decode dedup plus the result LRU.
 	// boxFlights collapses concurrent decodes of the same archive+box to
 	// one; boxDecodes counts the decodes that actually ran (the counter
@@ -172,14 +211,29 @@ func New(o Options) *Server {
 		boxCache:   newBoxCache(o.BoxCacheBudget),
 	}
 	s.store = newArchiveStore(o.ArchiveBudget, o.ArchiveShards, o.Workers)
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.done = make(chan struct{})
 	if len(o.Peers) > 0 {
 		peers := o.Peers
 		if o.Self != "" {
 			peers = append(append([]string(nil), peers...), o.Self)
 		}
 		s.ring = cluster.New(peers)
+		s.hints = repair.NewQueue(o.HintBudget)
+		s.repairFlights = &singleflight.Group[string, bool]{}
+		s.kick = make(chan struct{}, 1)
 		s.health = health.NewTracker(health.Options{
 			Threshold: o.BreakerThreshold, Cooldown: o.BreakerCooldown,
+			// A breaker closing means the peer is back: flush its hints
+			// right away instead of waiting for the retry tick.
+			OnStateChange: func(_ string, _, to health.State) {
+				if to == health.Closed {
+					select {
+					case s.kick <- struct{}{}:
+					default:
+					}
+				}
+			},
 		})
 		// One tuned transport for all peer traffic: bounded dial and
 		// response-header waits so a dead peer fails fast enough to fail
@@ -203,6 +257,11 @@ func New(o Options) *Server {
 	s.mux.HandleFunc("POST /v1/compress", s.handleCompress)
 	s.mux.HandleFunc("POST /v1/decompress", s.handleDecompress)
 	s.mux.HandleFunc("GET /v1/archives", s.handleArchiveList)
+	// Manifest and raw are deliberately unrouted: they describe and serve
+	// THIS node's store (the repair paths fetch a specific replica's
+	// copy), so forwarding them would defeat their purpose.
+	s.mux.HandleFunc("GET /v1/manifest", s.handleManifest)
+	s.mux.HandleFunc("GET /v1/archives/{id}/raw", s.handleArchiveRaw)
 	s.mux.HandleFunc("PUT /v1/archives/{id}", s.routed(s.handleArchivePut))
 	s.mux.HandleFunc("GET /v1/archives/{id}", s.routed(s.handleArchiveInfo))
 	s.mux.HandleFunc("DELETE /v1/archives/{id}", s.routed(s.handleArchiveDelete))
@@ -219,8 +278,10 @@ func New(o Options) *Server {
 		"/v1/compress":          "POST",
 		"/v1/decompress":        "POST",
 		"/v1/archives":          "GET",
+		"/v1/manifest":          "GET",
 		"/v1/archives/{id}":     "GET, PUT, DELETE",
 		"/v1/archives/{id}/box": "GET",
+		"/v1/archives/{id}/raw": "GET",
 		"/v1/archives/{id}/roi": "POST",
 	} {
 		s.mux.HandleFunc(path, methodNotAllowed(allow))
@@ -232,10 +293,26 @@ func New(o Options) *Server {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	if s.ring != nil {
+		go s.selfhealLoop()
+	} else {
+		close(s.done)
+	}
 	return s
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the self-healing background work (hint replay, anti-
+// entropy) and cancels any in-flight repair pushes. The HTTP handler
+// itself stays functional — Close concerns only the goroutines the
+// server owns, so callers shut down the listener separately.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.cancel()
+		<-s.done
+	})
+}
 
 // acquire claims a job slot, waiting up to AdmissionWait — clamped to
 // the request's own context deadline, so a forwarding peer (or any
@@ -304,6 +381,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			doc["open_circuits"] = open
 		}
 	}
+	if s.hints != nil {
+		count, bytes := s.hints.Backlog()
+		doc["hint_backlog"] = count
+		doc["hint_backlog_bytes"] = bytes
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(doc)
 }
@@ -369,6 +451,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"quorum_fails": s.quorumFails.Load(),
 			"all_down":     s.allDown.Load(),
 			"peer_health":  s.health.Snapshot(),
+		}
+		// The self-healing tier: hinted-handoff queue counters, read
+		// repairs pushed, and the anti-entropy sweep's round/divergence
+		// tallies — the convergence health of the replica set.
+		stats["repair"] = map[string]any{
+			"hints":        s.hints.Stats(),
+			"read_repairs": s.readRepairs.Load(),
+			"anti_entropy": map[string]any{
+				"rounds":      s.aeRounds.Load(),
+				"divergences": s.aeDivergences.Load(),
+				"repaired":    s.aeRepaired.Load(),
+			},
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

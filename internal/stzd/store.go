@@ -20,6 +20,19 @@ import (
 // shard's share — no amount of eviction can make it fit.
 var errStoreBudget = errors.New("archive exceeds store budget")
 
+// errStaleWrite marks a put or delete that lost last-writer-wins: the
+// store already holds a strictly newer version of the id (or a newer
+// tombstone). Replayed hints and anti-entropy pushes hit this when the
+// archive moved on while the write was queued; it is a terminal outcome
+// for the writer, not a retryable failure.
+var errStaleWrite = errors.New("stale write: a newer version of the archive exists")
+
+// maxTombstones caps each shard's tombstone map; beyond it the oldest
+// tombstones are forgotten. A forgotten tombstone only matters if a
+// replica still holds a version older than it — the anti-entropy sweep
+// closes that gap long before thousands of deletes age out.
+const maxTombstones = 4096
+
 // archiveStore is the server-side home of resident archives: a sharded,
 // byte-budgeted LRU of parsed SZXC archives, each wrapped in a
 // random-access reader so sub-box queries touch only the slabs they need.
@@ -47,6 +60,10 @@ type storeShard struct {
 	byID  map[string]*list.Element // values are *archiveEntry
 	lru   *list.List
 	bytes int64
+	// tombs remembers deleted ids and their delete write-time so a
+	// replayed hint or an anti-entropy push carrying an older version
+	// cannot resurrect an archive the cluster has deleted.
+	tombs map[string]int64
 }
 
 // archiveEntry is one resident archive. The querier keeps the raw bytes
@@ -55,11 +72,14 @@ type storeShard struct {
 // sub-box decoding — the decoded grid size, the ceiling of the reader's
 // slab cache.
 type archiveEntry struct {
-	id   string
-	gen  int64 // unique per put; keys caches so replaced ids never serve stale data
-	size int64 // raw archive bytes
-	cost int64 // bytes charged against the shard budget
-	q    querier
+	id      string
+	gen     int64  // unique per put; keys caches so replaced ids never serve stale data
+	size    int64  // raw archive bytes
+	cost    int64  // bytes charged against the shard budget
+	modTime int64  // LWW write-time (unix nanos) stamped by the write coordinator
+	sum     uint64 // FNV-64a of the raw bytes, for manifest diffs
+	raw     []byte // the stored archive bytes (the querier holds views into them)
+	q       querier
 }
 
 // hdr is the entry's stream metadata (held by the querier's reader; not
@@ -79,7 +99,8 @@ func newArchiveStore(budget int64, nShards, workers int) *archiveStore {
 		slabFlights: &singleflight.Group[string, any]{},
 	}
 	for i := range s.shards {
-		s.shards[i] = &storeShard{byID: map[string]*list.Element{}, lru: list.New()}
+		s.shards[i] = &storeShard{byID: map[string]*list.Element{}, lru: list.New(),
+			tombs: map[string]int64{}}
 	}
 	return s
 }
@@ -90,10 +111,14 @@ func (s *archiveStore) shard(id string) *storeShard {
 	return s.shards[int(h.Sum32())%len(s.shards)]
 }
 
-// put parses and stores an archive under id, replacing any previous entry
-// and evicting least-recently-used archives until the shard fits its
-// budget share. It fails when the entry alone exceeds that share.
-func (s *archiveStore) put(id string, data []byte) (*archiveEntry, bool, error) {
+// put parses and stores an archive under id with write-time at (unix
+// nanos), replacing any previous entry and evicting least-recently-used
+// archives until the shard fits its budget share. It fails when the
+// entry alone exceeds that share, and with errStaleWrite when the store
+// already holds a strictly newer version or tombstone of the id — the
+// last-writer-wins rule that makes hint replay and anti-entropy pushes
+// safe to apply in any order.
+func (s *archiveStore) put(id string, data []byte, at int64) (*archiveEntry, bool, error) {
 	hdr, err := codec.ParseHeader(data)
 	if err != nil {
 		return nil, false, err
@@ -103,7 +128,10 @@ func (s *archiveStore) put(id string, data []byte) (*archiveEntry, bool, error) 
 	if err != nil {
 		return nil, false, err
 	}
-	e := &archiveEntry{id: id, gen: gen, size: int64(len(data)), cost: q.cost(), q: q}
+	h := fnv.New64a()
+	h.Write(data)
+	e := &archiveEntry{id: id, gen: gen, size: int64(len(data)), cost: q.cost(),
+		modTime: at, sum: h.Sum64(), raw: data, q: q}
 	if e.cost > s.perShard {
 		return nil, false, fmt.Errorf("%w: needs %d budget bytes, shard budget is %d",
 			errStoreBudget, e.cost, s.perShard)
@@ -111,13 +139,22 @@ func (s *archiveStore) put(id string, data []byte) (*archiveEntry, bool, error) 
 	sh := s.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if t, ok := sh.tombs[id]; ok && t >= at {
+		return nil, false, fmt.Errorf("%w: %q deleted at %d, write stamped %d", errStaleWrite, id, t, at)
+	}
 	replaced := false
 	if el, ok := sh.byID[id]; ok {
-		sh.bytes -= el.Value.(*archiveEntry).cost
+		old := el.Value.(*archiveEntry)
+		if old.modTime > at {
+			return nil, false, fmt.Errorf("%w: %q has version %d, write stamped %d",
+				errStaleWrite, id, old.modTime, at)
+		}
+		sh.bytes -= old.cost
 		sh.lru.Remove(el)
 		delete(sh.byID, id)
 		replaced = true
 	}
+	delete(sh.tombs, id) // the write outranks any older tombstone
 	for sh.bytes+e.cost > s.perShard {
 		back := sh.lru.Back()
 		if back == nil {
@@ -149,19 +186,89 @@ func (s *archiveStore) get(id string) (*archiveEntry, bool) {
 	return el.Value.(*archiveEntry), true
 }
 
-// delete removes id; it reports whether an entry existed.
-func (s *archiveStore) delete(id string) bool {
+// delete removes id with delete write-time at (unix nanos). It reports
+// whether an entry existed and whether the delete was stale (a strictly
+// newer version is resident — the delete lost LWW and changed nothing).
+// A winning delete always records a tombstone, even when no entry was
+// resident, so a later replay of the write it raced cannot resurrect
+// the archive.
+func (s *archiveStore) delete(id string, at int64) (existed, stale bool) {
 	sh := s.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	el, ok := sh.byID[id]
-	if !ok {
-		return false
+	if el, ok := sh.byID[id]; ok {
+		e := el.Value.(*archiveEntry)
+		if e.modTime > at {
+			return false, true
+		}
+		sh.bytes -= e.cost
+		sh.lru.Remove(el)
+		delete(sh.byID, id)
+		existed = true
 	}
-	sh.bytes -= el.Value.(*archiveEntry).cost
-	sh.lru.Remove(el)
-	delete(sh.byID, id)
-	return true
+	if cur, ok := sh.tombs[id]; !ok || at > cur {
+		sh.tombs[id] = at
+	}
+	for len(sh.tombs) > maxTombstones {
+		oldID, oldAt := "", int64(0)
+		for tid, t := range sh.tombs {
+			if oldID == "" || t < oldAt {
+				oldID, oldAt = tid, t
+			}
+		}
+		delete(sh.tombs, oldID)
+	}
+	return existed, false
+}
+
+// getRaw returns id's stored bytes and write-time without touching the
+// LRU order or the hit/miss counters — the accessor the repair paths
+// (read repair, hint replay, anti-entropy pushes) use, so healing
+// traffic never skews demand accounting.
+func (s *archiveStore) getRaw(id string) (raw []byte, modTime int64, ok bool) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, found := sh.byID[id]
+	if !found {
+		return nil, 0, false
+	}
+	e := el.Value.(*archiveEntry)
+	return e.raw, e.modTime, true
+}
+
+// manifestEntry is one archive's digest in the node manifest: enough
+// for a peer to decide "missing here", "divergent", or "mine is newer"
+// without moving any archive bytes.
+type manifestEntry struct {
+	// MTime is the entry's LWW write-time (unix nanos).
+	MTime int64 `json:"mtime"`
+	// Bytes is the raw archive length.
+	Bytes int64 `json:"bytes"`
+	// Sum is the FNV-64a of the raw bytes, hex-encoded.
+	Sum string `json:"sum"`
+}
+
+// manifest snapshots the node's digest: every resident archive's
+// (write-time, length, checksum) plus the live tombstones — the
+// anti-entropy sweep's unit of comparison.
+func (s *archiveStore) manifest() (map[string]manifestEntry, map[string]int64) {
+	archives := map[string]manifestEntry{}
+	tombs := map[string]int64{}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*archiveEntry)
+			archives[e.id] = manifestEntry{
+				MTime: e.modTime, Bytes: e.size, Sum: fmt.Sprintf("%016x", e.sum),
+			}
+		}
+		for id, t := range sh.tombs {
+			tombs[id] = t
+		}
+		sh.mu.Unlock()
+	}
+	return archives, tombs
 }
 
 // snapshot lists the resident entries (MRU first within each shard) and
