@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"stz/internal/hdr"
+)
+
+// Open-loop load generation: the request schedule is fixed up front
+// (request i starts at t0 + i/rate) and latency is charged from that
+// intended start, not from when a worker actually got around to sending.
+// A closed-loop driver that issues the next request only after the last
+// one returns silently stretches its schedule whenever the server
+// stalls, so a 500ms pause shows up in one sample instead of the
+// hundreds that would have been delayed — the coordinated-omission trap.
+// Recording both clocks (open-loop and per-call service time) lets the
+// harness prove the difference; the reported quantiles use the open-loop
+// histogram.
+
+// LoadOp is one weighted operation in a mixed workload.
+type LoadOp struct {
+	// Name labels the op in per-endpoint results ("box", "compress", ...).
+	Name string
+	// Weight is the op's relative share of the request stream.
+	Weight int
+	// Do issues one request and reports whether it succeeded.
+	Do func() error
+}
+
+// LoadSpec configures one open-loop run.
+type LoadSpec struct {
+	// Rate is the offered load in requests per second.
+	Rate float64
+	// Duration is how long the schedule runs; Rate*Duration requests are
+	// issued in total regardless of how slowly the server absorbs them.
+	Duration time.Duration
+	// Clients is the worker-pool size: the maximum number of requests in
+	// flight. If the pool is exhausted when a request comes due, the
+	// request waits — and that wait is charged to its open-loop latency.
+	Clients int
+	// Seed fixes the op-mix shuffle for reproducible runs.
+	Seed int64
+	// Ops is the weighted operation mix.
+	Ops []LoadOp
+}
+
+// OpResult aggregates one operation's (or the whole run's) outcome.
+type OpResult struct {
+	Name   string
+	Count  int64
+	Errors int64
+	// Latency is the open-loop histogram: completion minus intended
+	// start, in nanoseconds. This is the one to report.
+	Latency *hdr.Histogram
+	// Service is the naive closed-loop histogram: completion minus
+	// actual send. It hides queueing delay and exists so tests (and
+	// skeptical readers) can measure the coordinated-omission gap.
+	Service *hdr.Histogram
+}
+
+// LoadResult is one finished open-loop run.
+type LoadResult struct {
+	// Ops holds per-operation results in first-appearance order.
+	Ops []OpResult
+	// Total folds every operation together.
+	Total OpResult
+	// Elapsed is the wall-clock span from the first intended start to the
+	// last completion.
+	Elapsed time.Duration
+}
+
+// loadJob is one scheduled request: its intended start and its op.
+type loadJob struct {
+	at time.Time
+	op int
+}
+
+// RunLoad executes the spec and merges the per-worker histograms. The
+// entire schedule is materialized before the clock starts, so generation
+// cost never perturbs the intended timeline.
+func RunLoad(spec LoadSpec) LoadResult {
+	n := int(spec.Rate * spec.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	if spec.Clients < 1 {
+		spec.Clients = 1
+	}
+	interval := time.Duration(float64(time.Second) / spec.Rate)
+
+	// Weighted op sequence, shuffled deterministically so every op's
+	// samples spread across the whole run instead of clustering.
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var weights int
+	for _, op := range spec.Ops {
+		weights += op.Weight
+	}
+	kinds := make([]int, n)
+	for i := range kinds {
+		w := rng.Intn(weights)
+		for k, op := range spec.Ops {
+			if w -= op.Weight; w < 0 {
+				kinds[i] = k
+				break
+			}
+		}
+	}
+
+	// The full schedule goes into the channel before any worker starts:
+	// the channel is the queue, the workers are the open-loop pool.
+	jobs := make(chan loadJob, n)
+	start := time.Now().Add(10 * time.Millisecond) // headroom to park the workers
+	for i := 0; i < n; i++ {
+		jobs <- loadJob{at: start.Add(time.Duration(i) * interval), op: kinds[i]}
+	}
+	close(jobs)
+
+	// Per-worker-per-op accumulators: single-writer, so recording is
+	// lock-free; merged after the pool drains.
+	type workerAcc struct {
+		count, errs []int64
+		lat, svc    []*hdr.Histogram
+	}
+	accs := make([]*workerAcc, spec.Clients)
+	for w := range accs {
+		a := &workerAcc{
+			count: make([]int64, len(spec.Ops)),
+			errs:  make([]int64, len(spec.Ops)),
+			lat:   make([]*hdr.Histogram, len(spec.Ops)),
+			svc:   make([]*hdr.Histogram, len(spec.Ops)),
+		}
+		for k := range spec.Ops {
+			a.lat[k], a.svc[k] = hdr.New(), hdr.New()
+		}
+		accs[w] = a
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Clients; w++ {
+		wg.Add(1)
+		go func(a *workerAcc) {
+			defer wg.Done()
+			for j := range jobs {
+				if d := time.Until(j.at); d > 0 {
+					time.Sleep(d)
+				}
+				sent := time.Now()
+				err := spec.Ops[j.op].Do()
+				done := time.Now()
+				a.count[j.op]++
+				if err != nil {
+					a.errs[j.op]++
+				}
+				// Open-loop latency: charged from the intended start, so
+				// time spent waiting for a free worker (or for the sleep to
+				// come due behind a stall) counts.
+				a.lat[j.op].Record(int64(done.Sub(j.at)))
+				a.svc[j.op].Record(int64(done.Sub(sent)))
+			}
+		}(accs[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := LoadResult{Elapsed: elapsed}
+	res.Total = OpResult{Name: "all", Latency: hdr.New(), Service: hdr.New()}
+	for k, op := range spec.Ops {
+		r := OpResult{Name: op.Name, Latency: hdr.New(), Service: hdr.New()}
+		for _, a := range accs {
+			r.Count += a.count[k]
+			r.Errors += a.errs[k]
+			r.Latency.Merge(a.lat[k])
+			r.Service.Merge(a.svc[k])
+		}
+		res.Total.Count += r.Count
+		res.Total.Errors += r.Errors
+		res.Total.Latency.Merge(r.Latency)
+		res.Total.Service.Merge(r.Service)
+		res.Ops = append(res.Ops, r)
+	}
+	return res
+}

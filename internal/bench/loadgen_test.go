@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunLoadMixAndCounts checks the bookkeeping: every scheduled
+// request runs exactly once, the weighted mix lands near its weights,
+// and errors are attributed to the op that failed.
+func TestRunLoadMixAndCounts(t *testing.T) {
+	var aCalls, bCalls atomic.Int64
+	res := RunLoad(LoadSpec{
+		Rate:     2000,
+		Duration: 500 * time.Millisecond,
+		Clients:  4,
+		Seed:     1,
+		Ops: []LoadOp{
+			{Name: "a", Weight: 3, Do: func() error { aCalls.Add(1); return nil }},
+			{Name: "b", Weight: 1, Do: func() error { bCalls.Add(1); return errBoom }},
+		},
+	})
+	if res.Total.Count != 1000 {
+		t.Fatalf("total count %d, want 1000", res.Total.Count)
+	}
+	if got := aCalls.Load() + bCalls.Load(); got != 1000 {
+		t.Fatalf("ops ran %d times, want 1000", got)
+	}
+	if res.Ops[0].Name != "a" || res.Ops[1].Name != "b" {
+		t.Fatalf("op order %v", []string{res.Ops[0].Name, res.Ops[1].Name})
+	}
+	// 3:1 mix with deterministic shuffle: b gets roughly a quarter.
+	if b := res.Ops[1].Count; b < 150 || b > 350 {
+		t.Fatalf("op b count %d, want ~250", b)
+	}
+	if res.Ops[1].Errors != res.Ops[1].Count || res.Ops[0].Errors != 0 {
+		t.Fatalf("errors misattributed: a=%d/%d b=%d/%d",
+			res.Ops[0].Errors, res.Ops[0].Count, res.Ops[1].Errors, res.Ops[1].Count)
+	}
+	if res.Total.Latency.Count() != 1000 || res.Total.Service.Count() != 1000 {
+		t.Fatalf("histogram counts %d/%d", res.Total.Latency.Count(), res.Total.Service.Count())
+	}
+}
+
+type boomErr struct{}
+
+func (boomErr) Error() string { return "boom" }
+
+var errBoom = boomErr{}
+
+// TestCoordinatedOmissionVisible is the regression the open-loop design
+// exists for: a server that stalls 500ms mid-run delays every request
+// scheduled behind the stall, and the intended-start accounting must
+// surface that in p999 — while the naive closed-loop clock (service
+// time), which restarts at the actual send, sees exactly one slow sample
+// and keeps a flat p999. If someone "simplifies" RunLoad into a
+// closed-loop driver, the open-loop histogram collapses onto the naive
+// one and this test fails.
+func TestCoordinatedOmissionVisible(t *testing.T) {
+	const (
+		rate     = 1000.0
+		duration = 2 * time.Second
+		stallAt  = 500 // request index that hits the stall
+		stall    = 500 * time.Millisecond
+	)
+	var (
+		mu   sync.Mutex // single-client serialization is explicit below
+		idx  int
+		once sync.Once
+	)
+	res := RunLoad(LoadSpec{
+		Rate:     rate,
+		Duration: duration,
+		Clients:  1, // one worker: the stall blocks the whole pipeline
+		Seed:     7,
+		Ops: []LoadOp{{Name: "op", Weight: 1, Do: func() error {
+			mu.Lock()
+			i := idx
+			idx++
+			mu.Unlock()
+			if i == stallAt {
+				once.Do(func() { time.Sleep(stall) })
+			}
+			return nil
+		}}},
+	})
+
+	openP999 := time.Duration(res.Total.Latency.Quantile(0.999))
+	naiveP999 := time.Duration(res.Total.Service.Quantile(0.999))
+	naiveMax := time.Duration(res.Total.Service.Max())
+
+	// Open-loop: ~500 requests were scheduled during the stall and each is
+	// charged its full queueing delay, so the tail is stall-sized.
+	if openP999 < 200*time.Millisecond {
+		t.Fatalf("open-loop p999 = %s — the 500ms stall is hidden (coordinated omission)", openP999)
+	}
+	// Naive closed-loop: only the one stalled call is slow; at 2000
+	// samples its p999 rank misses that single sample, so the naive tail
+	// stays flat even though the max proves the stall happened.
+	if naiveMax < 400*time.Millisecond {
+		t.Fatalf("naive max = %s — the stall did not run", naiveMax)
+	}
+	if naiveP999 > 100*time.Millisecond {
+		t.Fatalf("naive p999 = %s — expected the closed-loop clock to hide the stall", naiveP999)
+	}
+	if openP999 < 4*naiveP999 {
+		t.Fatalf("open p999 %s vs naive %s: omission gap not visible", openP999, naiveP999)
+	}
+}

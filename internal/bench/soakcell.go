@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"stz/internal/codec"
+	"stz/internal/grid"
+	"stz/internal/rawio"
+	"stz/internal/stzd"
+)
+
+// The soak workload: sustained mixed traffic against one stzd instance,
+// measured open-loop (see loadgen.go). Unlike the throughput cells, the
+// headline number is the overall p50 latency (as ns/op, so benchdiff's
+// default gate applies) and the gating metrics are the tail: p99_ns,
+// p999_ns, max_ns and the p999/p50 inflation ratio, each also emitted
+// per endpoint as <cell>/<op> sub-results.
+//
+// The mix models the service's real shape: mostly random-access box
+// reads over a large resident archive (some slab-aligned and served
+// zero-copy), a steady trickle of compress/decompress round trips on a
+// smaller grid, and occasional PUTs churning the archive store.
+
+// soakMix is the weighted op mix; weights are relative request shares.
+var soakMix = []struct {
+	name   string
+	weight int
+}{
+	{"box", 5},      // random sub-box decodes (cache + decode path)
+	{"section", 2},  // slab-aligned zero-copy section reads
+	{"decomp", 2},   // full decompress round trips
+	{"compress", 1}, // full compress round trips
+	{"put", 1},      // archive store churn
+}
+
+// runSoakCell drives one soak cell: encode the corpora, stand up (or
+// point at) the server, run the open-loop schedule runs times, and fold
+// the per-run histograms into the cell aggregate plus one sub-result per
+// endpoint. Min-of-N folding applies per metric, consistent with every
+// other workload: the least-noisy run is the gating estimate.
+func runSoakCell[T grid.Float](c Cell, g *grid.Grid[T], runs int, agg *cellAgg) ([]CellResult, error) {
+	mn, mx := g.Range()
+	ebAbs := c.EB * (float64(mx) - float64(mn))
+	if !(ebAbs > 0) {
+		ebAbs = c.EB
+	}
+	// Two archive sizes: the full corpus for queries, a centered half-size
+	// window for the compress/decompress/PUT stream — mixed sizes, so the
+	// admission pool sees both long and short jobs.
+	encBig, err := codec.Encode(c.Codec, g, codec.Config{EB: ebAbs, Workers: c.Workers, Chunks: c.Chunks})
+	if err != nil {
+		return nil, err
+	}
+	small := subGrid(g, centeredBox(g, [3]int{g.Nz/2 + 1, g.Ny/2 + 1, g.Nx/2 + 1}))
+	encSmall, err := codec.Encode(c.Codec, small, codec.Config{EB: ebAbs, Workers: c.Workers, Chunks: 2})
+	if err != nil {
+		return nil, err
+	}
+	rawSmall := make([]byte, small.Len()*rawio.ElemSize[T]())
+	rawio.PutValues(rawSmall, small.Data)
+	dtype := "f32"
+	if rawio.ElemSize[T]() == 8 {
+		dtype = "f64"
+	}
+
+	base := c.Target
+	if base == "" {
+		// In-process server: worker count from the cell, the job pool wide
+		// enough that the offered load, not admission, sets the tail.
+		ts := stzd.StartTest(stzd.Options{Workers: c.Workers, MaxInflight: c.Clients})
+		defer ts.Close()
+		base = ts.URL
+	}
+	if err := soakPut(base, "soak-big", encBig); err != nil {
+		return nil, err
+	}
+	if err := soakPut(base, "soak-small", encSmall); err != nil {
+		return nil, err
+	}
+
+	hdr, err := codec.ParseHeader(encBig)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-built request URL pools, cycled by atomic counters so the op
+	// closures stay allocation-light inside the measured window.
+	rng := rand.New(rand.NewSource(1))
+	boxURLs := make([]string, 32)
+	boxBytes := make([]int64, 32)
+	for i := range boxURLs {
+		b := randomBox(rng, g, c.Box)
+		boxURLs[i] = fmt.Sprintf("%s/v1/archives/soak-big/box?box=%d:%d,%d:%d,%d:%d",
+			base, b.Z0, b.Z1, b.Y0, b.Y1, b.X0, b.X1)
+		boxBytes[i] = int64(b.Volume()) * int64(rawio.ElemSize[T]())
+	}
+	secURLs := make([]string, hdr.Chunks())
+	for i := range secURLs {
+		secURLs[i] = fmt.Sprintf("%s/v1/archives/soak-big/box?box=%d:%d,0:%d,0:%d",
+			base, hdr.ChunkBounds[i], hdr.ChunkBounds[i+1], hdr.Ny, hdr.Nx)
+	}
+	compressURL := fmt.Sprintf("%s/v1/compress?codec=%s&dims=%dx%dx%d&dtype=%s&eb=%s&chunks=2",
+		base, c.Codec, small.Nz, small.Ny, small.Nx, dtype,
+		strconv.FormatFloat(ebAbs, 'g', -1, 64))
+
+	var boxI, secI, putI atomic.Int64
+	ops := make([]LoadOp, len(soakMix))
+	for i, m := range soakMix {
+		op := LoadOp{Name: m.name, Weight: m.weight}
+		switch m.name {
+		case "box":
+			op.Do = func() error {
+				i := boxI.Add(1) % int64(len(boxURLs))
+				return fetchBox(boxURLs[i], boxBytes[i])
+			}
+		case "section":
+			op.Do = func() error {
+				return fetchSection(secURLs[secI.Add(1)%int64(len(secURLs))])
+			}
+		case "decomp":
+			op.Do = func() error {
+				_, err := post(base+"/v1/decompress", encSmall)
+				return err
+			}
+		case "compress":
+			op.Do = func() error {
+				_, err := post(compressURL, rawSmall)
+				return err
+			}
+		case "put":
+			op.Do = func() error {
+				id := fmt.Sprintf("soak-put-%d", putI.Add(1)%4)
+				return soakPut(base, id, encSmall)
+			}
+		}
+		ops[i] = op
+	}
+
+	subs := make([]*cellAgg, len(ops))
+	for i, op := range ops {
+		subs[i] = newCellAgg(c.Name + "/" + op.Name)
+	}
+	for run := 0; run < runs; run++ {
+		res := RunLoad(LoadSpec{
+			Rate:     c.Rate,
+			Duration: time.Duration(c.Seconds) * time.Second,
+			Clients:  c.Clients,
+			Seed:     int64(run + 1),
+			Ops:      ops,
+		})
+		if res.Total.Errors == res.Total.Count {
+			return nil, fmt.Errorf("soak: every request failed (server misconfigured?)")
+		}
+		foldLatency(agg, res.Total)
+		agg.observe("qps", float64(res.Total.Count)/res.Elapsed.Seconds())
+		okPct := 100 * float64(res.Total.Count-res.Total.Errors) / float64(res.Total.Count)
+		agg.observe("ok-%", okPct)
+		for i, opRes := range res.Ops {
+			if opRes.Count == 0 {
+				continue
+			}
+			foldLatency(subs[i], opRes)
+		}
+	}
+	extra := make([]CellResult, 0, len(subs))
+	for _, s := range subs {
+		if len(s.units) > 0 {
+			extra = append(extra, s.result())
+		}
+	}
+	return extra, nil
+}
+
+// foldLatency records one run's open-loop quantiles into an aggregate:
+// p50 as the headline ns/op, the tail as secondary metrics.
+func foldLatency(a *cellAgg, r OpResult) {
+	p50 := r.Latency.Quantile(0.50)
+	a.observeNs(time.Duration(p50))
+	a.observe("p99_ns", float64(r.Latency.Quantile(0.99)))
+	a.observe("p999_ns", float64(r.Latency.Quantile(0.999)))
+	a.observe("max_ns", float64(r.Latency.Max()))
+	if p50 > 0 {
+		a.observe("p999/p50", float64(r.Latency.Quantile(0.999))/float64(p50))
+	}
+}
+
+// soakPut stores an archive under id.
+func soakPut(base, id string, archive []byte) error {
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/archives/"+id, bytes.NewReader(archive))
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("PUT %s: status %d", id, resp.StatusCode)
+	}
+	return nil
+}
+
+// fetchSection issues one slab-aligned box query with the zero-copy
+// Accept and checks the server actually served it zero-copy — the soak
+// cell is also a continuous regression probe for the negotiation.
+func fetchSection(url string) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", stzd.SectionContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("section query %s: status %d", url, resp.StatusCode)
+	}
+	if resp.Header.Get("X-Stz-Zero-Copy") != "1" {
+		return fmt.Errorf("section query %s: not served zero-copy", url)
+	}
+	return nil
+}

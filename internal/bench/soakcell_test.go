@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSoakCellEndToEnd runs a short soak cell against the in-process
+// server and checks the result shape: the cell aggregate plus one
+// sub-result per endpoint, each carrying the full quantile set, with a
+// healthy success rate.
+func TestSoakCellEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("open-loop soak needs wall-clock time")
+	}
+	c := MakeCell(Cell{
+		Dataset: "Nyx-24x18x20-s1001", Codec: "sz3", EB: 1e-3,
+		Workers: 2, Workload: WorkloadSoak, Chunks: 3, Box: [3]int{8, 8, 8},
+		Rate: 300, Seconds: 1, Clients: 4,
+	})
+	ress, err := RunCell(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ress) != 1+len(soakMix) {
+		t.Fatalf("%d results, want cell + %d endpoints", len(ress), len(soakMix))
+	}
+	if ress[0].Name != c.Name {
+		t.Fatalf("first result %q, want the cell aggregate %q", ress[0].Name, c.Name)
+	}
+	for i, r := range ress {
+		if i > 0 && !strings.HasPrefix(r.Name, c.Name+"/") {
+			t.Fatalf("sub-result %q not under the cell name", r.Name)
+		}
+		if !(r.NsPerOp > 0) {
+			t.Fatalf("%s: ns/op (p50) = %g", r.Name, r.NsPerOp)
+		}
+		u := map[string]float64{}
+		for _, m := range r.Metrics {
+			u[m.Unit] = m.Value
+		}
+		for _, unit := range []string{"p99_ns", "p999_ns", "max_ns"} {
+			if !(u[unit] > 0) {
+				t.Fatalf("%s: missing %s (metrics %+v)", r.Name, unit, r.Metrics)
+			}
+		}
+		if u["p999_ns"] < u["p99_ns"] || u["max_ns"] < u["p999_ns"] {
+			t.Fatalf("%s: quantiles not ordered: %+v", r.Name, r.Metrics)
+		}
+	}
+	u := map[string]float64{}
+	for _, m := range ress[0].Metrics {
+		u[m.Unit] = m.Value
+	}
+	if u["ok-%"] < 99 {
+		t.Fatalf("soak ok-%% = %g — mixed traffic failing against a healthy server", u["ok-%"])
+	}
+	if !(u["qps"] > 0) || !(u["p999/p50"] >= 1) {
+		t.Fatalf("aggregate metrics %+v", ress[0].Metrics)
+	}
+}

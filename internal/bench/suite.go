@@ -25,9 +25,14 @@ const (
 	WorkloadCluster    = "cluster"
 	WorkloadChaos      = "chaos"
 	WorkloadRecovery   = "recovery"
+	// WorkloadSoak drives an in-process stzd with the fixed-rate open-loop
+	// generator (mixed box/section/compress/decompress/PUT traffic) and
+	// reports latency quantiles instead of throughput: p50 as ns/op plus
+	// p99/p999/max and the p999/p50 inflation ratio per endpoint.
+	WorkloadSoak = "soak"
 )
 
-var knownWorkloads = []string{WorkloadCompress, WorkloadDecompress, WorkloadBox, WorkloadHTTP, WorkloadCluster, WorkloadChaos, WorkloadRecovery}
+var knownWorkloads = []string{WorkloadCompress, WorkloadDecompress, WorkloadBox, WorkloadHTTP, WorkloadCluster, WorkloadChaos, WorkloadRecovery, WorkloadSoak}
 
 // SuiteSpec is a declarative benchmark suite: a name, a run count, and one
 // or more cell matrices whose cross products define the cells.
@@ -49,6 +54,11 @@ type Matrix struct {
 	Workloads []string
 	Chunks    int    // encode-time z-slab count for box cells
 	Box       [3]int // query window dims (z, y, x) for box cells
+
+	// Open-loop soak parameters (soak workload only).
+	Rate    float64 // offered load in requests/s
+	Seconds int     // schedule length per run
+	Clients int     // worker-pool size (max in-flight requests)
 }
 
 // Cell is one fully resolved benchmark cell.
@@ -61,6 +71,15 @@ type Cell struct {
 	Workload string
 	Chunks   int
 	Box      [3]int
+
+	// Soak-only knobs (see Matrix).
+	Rate    float64
+	Seconds int
+	Clients int
+	// Target, when non-empty, points the soak cell at an external stzd
+	// base URL instead of an in-process instance. Not a spec key — only
+	// cmd/stzload sets it.
+	Target string
 }
 
 // ParseSuite reads a suite spec in the TOML subset, applies defaults
@@ -132,7 +151,7 @@ func mapSuiteTable(t *tomlTable, spec *SuiteSpec) error {
 }
 
 func mapMatrixTable(t *tomlTable) (Matrix, error) {
-	m := Matrix{Chunks: 4, Box: [3]int{16, 16, 16}}
+	m := Matrix{Chunks: 4, Box: [3]int{16, 16, 16}, Rate: 200, Seconds: 3, Clients: 8}
 	for _, kv := range t.keys {
 		var err error
 		switch kv.key {
@@ -148,6 +167,16 @@ func mapMatrixTable(t *tomlTable) (Matrix, error) {
 			m.Workloads, err = asStringArray(kv)
 		case "chunks":
 			m.Chunks, err = asInt(kv)
+		case "rate":
+			if kv.val.kind != tomlNumber {
+				err = fmt.Errorf("suite spec: line %d: rate must be a number", kv.line)
+			} else {
+				m.Rate = kv.val.num
+			}
+		case "seconds":
+			m.Seconds, err = asInt(kv)
+		case "clients":
+			m.Clients, err = asInt(kv)
 		case "box":
 			var dims []int
 			dims, err = asIntArray(kv)
@@ -158,7 +187,7 @@ func mapMatrixTable(t *tomlTable) (Matrix, error) {
 				copy(m.Box[:], dims)
 			}
 		default:
-			err = fmt.Errorf("suite spec: line %d: unknown key %q in [[matrix]] (known: datasets, codecs, bounds, workers, workloads, chunks, box)", kv.line, kv.key)
+			err = fmt.Errorf("suite spec: line %d: unknown key %q in [[matrix]] (known: datasets, codecs, bounds, workers, workloads, chunks, box, rate, seconds, clients)", kv.line, kv.key)
 		}
 		if err != nil {
 			return Matrix{}, err
@@ -283,7 +312,7 @@ func (m *Matrix) validate() error {
 			// http and cluster workloads go through the registry container /
 			// stzd, which serve registry codecs only.
 			for _, w := range m.Workloads {
-				if w == WorkloadBox || w == WorkloadHTTP || w == WorkloadCluster || w == WorkloadChaos || w == WorkloadRecovery {
+				if w == WorkloadBox || w == WorkloadHTTP || w == WorkloadCluster || w == WorkloadChaos || w == WorkloadRecovery || w == WorkloadSoak {
 					return fmt.Errorf("codec \"stz\" supports only the compress and decompress workloads, not %q", w)
 				}
 			}
@@ -311,6 +340,17 @@ func (m *Matrix) validate() error {
 			return fmt.Errorf("box dims must be >= 1, got %v", m.Box)
 		}
 	}
+	if contains(m.Workloads, WorkloadSoak) {
+		if !(m.Rate > 0) || math.IsInf(m.Rate, 0) {
+			return fmt.Errorf("soak rate must be finite and > 0, got %g", m.Rate)
+		}
+		if m.Seconds < 1 {
+			return fmt.Errorf("soak seconds must be >= 1, got %d", m.Seconds)
+		}
+		if m.Clients < 1 {
+			return fmt.Errorf("soak clients must be >= 1, got %d", m.Clients)
+		}
+	}
 	return nil
 }
 
@@ -330,6 +370,7 @@ func (s *SuiteSpec) Cells() ([]Cell, error) {
 								Dataset: ds, Codec: cd, EB: eb,
 								Workers: w, Workload: wl,
 								Chunks: m.Chunks, Box: m.Box,
+								Rate: m.Rate, Seconds: m.Seconds, Clients: m.Clients,
 							}
 							c.Name = c.cellName()
 							if seen[c.Name] {

@@ -253,10 +253,11 @@ func TestBoxCellFreshReaderAccounting(t *testing.T) {
 		Workers: 1, Workload: WorkloadBox, Chunks: 2, Box: [3]int{4, 4, 4},
 	}
 	c.Name = c.cellName()
-	res, err := runCell(c, 2)
+	ress, err := runCell(c, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
+	res := ress[0]
 	for _, m := range res.Metrics {
 		if m.Unit == "readB/voxel" {
 			if !(m.Value > 0) {

@@ -114,26 +114,47 @@ func RunSuite(spec *SuiteSpec, runs int, logf func(format string, args ...any)) 
 	}
 	results := make([]CellResult, 0, len(cells))
 	for i, c := range cells {
-		res, err := runCell(c, runs)
+		ress, err := runCell(c, runs)
 		if err != nil {
 			return nil, fmt.Errorf("cell %s: %w", c.Name, err)
 		}
-		logf("[%d/%d] %s: %.0f ns/op", i+1, len(cells), c.Name, res.NsPerOp)
-		results = append(results, res)
+		logf("[%d/%d] %s: %.0f ns/op", i+1, len(cells), c.Name, ress[0].NsPerOp)
+		results = append(results, ress...)
 	}
 	return results, nil
 }
 
+// MakeCell resolves a hand-built cell (as opposed to one expanded from a
+// suite spec): it stamps the deterministic cell name, so the emitted
+// entries line up with the same cell produced by a suites/*.toml run —
+// the property that lets cmd/stzload gate against a suite baseline.
+func MakeCell(c Cell) Cell {
+	c.Name = c.cellName()
+	return c
+}
+
+// RunCell executes one resolved cell runs times and returns its
+// aggregated results (the cell itself first, then any per-endpoint
+// sub-results). It is the single-cell surface cmd/stzload drives.
+func RunCell(c Cell, runs int) ([]CellResult, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	return runCell(c, runs)
+}
+
 // runCell regenerates the cell's corpus from its self-describing name and
-// dispatches on the generator's element type.
-func runCell(c Cell, runs int) (CellResult, error) {
+// dispatches on the generator's element type. The first result is the
+// cell's own aggregate; workloads with per-endpoint breakdowns (soak)
+// append one sub-result per endpoint.
+func runCell(c Cell, runs int) ([]CellResult, error) {
 	gen, dims, seed, err := datasets.ParseName(c.Dataset)
 	if err != nil {
-		return CellResult{}, err
+		return nil, err
 	}
 	spec, err := datasets.Lookup(gen)
 	if err != nil {
-		return CellResult{}, err
+		return nil, err
 	}
 	if spec.DType == "float32" {
 		return runCellT(c, spec.Generate32(dims[0], dims[1], dims[2], seed), runs)
@@ -141,9 +162,10 @@ func runCell(c Cell, runs int) (CellResult, error) {
 	return runCellT(c, spec.Generate64(dims[0], dims[1], dims[2], seed), runs)
 }
 
-func runCellT[T grid.Float](c Cell, g *grid.Grid[T], runs int) (CellResult, error) {
+func runCellT[T grid.Float](c Cell, g *grid.Grid[T], runs int) ([]CellResult, error) {
 	agg := newCellAgg(c.Name)
 	before := scratch.GlobalStats()
+	var extra []CellResult
 	var err error
 	switch c.Workload {
 	case WorkloadCompress, WorkloadDecompress:
@@ -158,11 +180,13 @@ func runCellT[T grid.Float](c Cell, g *grid.Grid[T], runs int) (CellResult, erro
 		err = runChaosCell(c, g, runs, agg)
 	case WorkloadRecovery:
 		err = runRecoveryCell(c, g, runs, agg)
+	case WorkloadSoak:
+		extra, err = runSoakCell(c, g, runs, agg)
 	default:
 		err = fmt.Errorf("unknown workload %q", c.Workload)
 	}
 	if err != nil {
-		return CellResult{}, err
+		return nil, err
 	}
 	// Arena health across the whole cell, the same metric the steady-state
 	// benchmarks report. Global counters, so concurrent suites would blur
@@ -171,7 +195,7 @@ func runCellT[T grid.Float](c Cell, g *grid.Grid[T], runs int) (CellResult, erro
 	if hits, misses := after.Hits-before.Hits, after.Misses-before.Misses; hits+misses > 0 {
 		agg.set("pool-hit-%", 100*float64(hits)/float64(hits+misses))
 	}
-	return agg.result(), nil
+	return append([]CellResult{agg.result()}, extra...), nil
 }
 
 // runCompressCell measures in-process compression or decompression through

@@ -128,6 +128,19 @@ func (r *ReaderAt[T]) ResetBytesRead() { r.arc.ResetReadBytes() }
 // PayloadBytes reports the archive's total payload size.
 func (r *ReaderAt[T]) PayloadBytes() int64 { return int64(r.arc.PayloadLen()) }
 
+// RawSection returns chunk i's still-compressed z-slab section exactly
+// as stored in the archive — a self-describing stream decodable with
+// Decompress. The returned slice aliases the archive buffer; callers
+// must not mutate it. This is the zero-copy serving path: a server can
+// ship slab-aligned box queries without decoding, charging only the
+// section read to the archive's byte accounting.
+func (r *ReaderAt[T]) RawSection(i int) ([]byte, error) {
+	if i < 0 || i >= r.hdr.Chunks() {
+		return nil, fmt.Errorf("%w: section %d of %d", ErrFormat, i, r.hdr.Chunks())
+	}
+	return r.arc.Section(i + 1)
+}
+
 // workers clamps the configured parallelism.
 func (r *ReaderAt[T]) workers() int {
 	if r.Workers < 1 {

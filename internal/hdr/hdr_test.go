@@ -1,0 +1,276 @@
+package hdr
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the reference order statistic the histogram
+// approximates: the ceil(q*n)-th smallest value (1-based), the same rank
+// rule Quantile uses.
+func exactQuantile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// absDiff avoids the int64 overflow of want+tol near MaxInt64; both
+// arguments are non-negative so the subtraction cannot wrap.
+func absDiff(a, b int64) int64 {
+	if a < b {
+		return b - a
+	}
+	return a - b
+}
+
+func TestBucketLayout(t *testing.T) {
+	// index and lowerBound must be consistent inverses across the whole
+	// range: every value lands in a bucket whose span contains it.
+	vals := []int64{0, 1, 2, subCount - 1, subCount, 2*subCount - 1, 2 * subCount,
+		12345, 1 << 20, 1<<40 + 17, math.MaxInt64}
+	for _, v := range vals {
+		i := index(v)
+		if i < 0 || i >= nBuckets {
+			t.Fatalf("index(%d) = %d out of range [0, %d)", v, i, nBuckets)
+		}
+		// v-lo < w instead of v < lo+w: the top bucket's end overflows int64.
+		lo, w := lowerBound(i), bucketWidth(i)
+		if v < lo || v-lo >= w {
+			t.Fatalf("value %d mapped to bucket %d spanning [%d, +%d)", v, i, lo, w)
+		}
+	}
+	// Buckets must tile the range with no gaps or overlaps.
+	for i := 0; i < nBuckets-1; i++ {
+		if got := lowerBound(i) + bucketWidth(i); got != lowerBound(i+1) {
+			t.Fatalf("bucket %d ends at %d, bucket %d starts at %d", i, got, i+1, lowerBound(i+1))
+		}
+	}
+	if index(-5) != 0 {
+		t.Fatalf("negative values must clamp to bucket 0, got %d", index(-5))
+	}
+}
+
+// TestQuantileWithinBucketWidth is the core accuracy property: across
+// random workloads drawn from very different shapes, every recorded
+// quantile is within one bucket width of the exact sorted-slice
+// reference.
+func TestQuantileWithinBucketWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []struct {
+		name string
+		gen  func() int64
+	}{
+		{"uniform-small", func() int64 { return rng.Int63n(1000) }},
+		{"uniform-wide", func() int64 { return rng.Int63n(1 << 40) }},
+		{"exponentialish", func() int64 { return int64(math.Exp(rng.Float64() * 30)) }},
+		{"bimodal", func() int64 {
+			if rng.Intn(100) < 99 {
+				return 1000 + rng.Int63n(100)
+			}
+			return 500_000_000 + rng.Int63n(1_000_000)
+		}},
+		{"constant", func() int64 { return 777_777 }},
+	}
+	qs := []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1}
+	for _, shape := range shapes {
+		for _, n := range []int{1, 2, 10, 1000, 20000} {
+			h := New()
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = shape.gen()
+				h.Record(vals[i])
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			if h.Count() != uint64(n) {
+				t.Fatalf("%s/n=%d: count %d", shape.name, n, h.Count())
+			}
+			if h.Min() != vals[0] || h.Max() != vals[n-1] {
+				t.Fatalf("%s/n=%d: min/max %d/%d want %d/%d",
+					shape.name, n, h.Min(), h.Max(), vals[0], vals[n-1])
+			}
+			for _, q := range qs {
+				got := h.Quantile(q)
+				want := exactQuantile(vals, q)
+				if tol := bucketWidth(index(want)); absDiff(got, want) > tol {
+					t.Fatalf("%s/n=%d: q%g = %d, exact %d, tolerance %d",
+						shape.name, n, q, got, want, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeAssociativeOrderInsensitive checks Merge is a lossless fold:
+// any grouping and any order of merging the same per-worker histograms
+// yields identical counts and quantiles.
+func TestMergeAssociativeOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parts := make([]*Histogram, 4)
+	var all []int64
+	for i := range parts {
+		parts[i] = New()
+		for j := 0; j < 500*(i+1); j++ {
+			v := rng.Int63n(1 << uint(10+8*i))
+			parts[i].Record(v)
+			all = append(all, v)
+		}
+	}
+
+	// (((a+b)+c)+d) vs (a+(b+(c+d))) vs reversed order.
+	left := New()
+	for _, p := range parts {
+		left.Merge(p)
+	}
+	right := New()
+	for i := len(parts) - 1; i >= 0; i-- {
+		right.Merge(parts[i])
+	}
+	pair1, pair2 := New(), New()
+	pair1.Merge(parts[0])
+	pair1.Merge(parts[1])
+	pair2.Merge(parts[2])
+	pair2.Merge(parts[3])
+	grouped := New()
+	grouped.Merge(pair1)
+	grouped.Merge(pair2)
+
+	for _, m := range []*Histogram{right, grouped} {
+		if *m != *left {
+			t.Fatal("merge results differ by order/grouping")
+		}
+	}
+	// And the merged histogram equals one that recorded everything itself.
+	direct := New()
+	for _, v := range all {
+		direct.Record(v)
+	}
+	if *direct != *left {
+		t.Fatal("merged histogram differs from direct recording")
+	}
+	// Merging nil or empty changes nothing.
+	before := *left
+	left.Merge(nil)
+	left.Merge(New())
+	if *left != before {
+		t.Fatal("merging nil/empty mutated the histogram")
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	// Zero-count histogram: every accessor reports zero.
+	h := New()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not all-zero: count=%d min=%d max=%d mean=%g",
+			h.Count(), h.Min(), h.Max(), h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %d", q, got)
+		}
+	}
+
+	// Single value: every quantile is that value exactly (clamped to the
+	// recorded extremes, which coincide).
+	h.Record(123_456_789)
+	for _, q := range []float64{0, 0.001, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != 123_456_789 {
+			t.Fatalf("single-value Quantile(%g) = %d", q, got)
+		}
+	}
+	if h.Mean() != 123_456_789 {
+		t.Fatalf("single-value mean %g", h.Mean())
+	}
+
+	// Reset returns to the empty state.
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("Reset did not empty the histogram")
+	}
+
+	// Clone is independent.
+	h.Record(10)
+	c := h.Clone()
+	c.Record(20)
+	if h.Count() != 1 || c.Count() != 2 {
+		t.Fatalf("clone not independent: %d/%d", h.Count(), c.Count())
+	}
+}
+
+// FuzzHdrRecord fuzzes the recording path with arbitrary values and
+// checks the structural invariants: counts conserve, extremes are exact,
+// quantiles are ordered, within-bucket accurate, and merge-consistent.
+func FuzzHdrRecord(f *testing.F) {
+	f.Add(int64(0), int64(1), int64(-5), uint16(3))
+	f.Add(int64(math.MaxInt64), int64(1<<40), int64(77), uint16(1000))
+	f.Add(int64(-1), int64(math.MinInt64), int64(2*subCount), uint16(0))
+	f.Fuzz(func(t *testing.T, a, b, c int64, n uint16) {
+		h := New()
+		var vals []int64
+		for _, v := range []int64{a, b, c} {
+			h.Record(v)
+			if v < 0 {
+				v = 0 // recorded clamped
+			}
+			vals = append(vals, v)
+		}
+		h.RecordN(b, uint64(n))
+		for i := uint16(0); i < n; i++ {
+			bb := b
+			if bb < 0 {
+				bb = 0
+			}
+			vals = append(vals, bb)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		if h.Count() != uint64(len(vals)) {
+			t.Fatalf("count %d want %d", h.Count(), len(vals))
+		}
+		if h.Min() != vals[0] || h.Max() != vals[len(vals)-1] {
+			t.Fatalf("min/max %d/%d want %d/%d", h.Min(), h.Max(), vals[0], vals[len(vals)-1])
+		}
+		prev := int64(0)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.999, 1} {
+			got := h.Quantile(q)
+			if got < prev {
+				t.Fatalf("quantiles not monotone at q=%g: %d < %d", q, got, prev)
+			}
+			prev = got
+			want := exactQuantile(vals, q)
+			if tol := bucketWidth(index(want)); absDiff(got, want) > tol {
+				t.Fatalf("q%g = %d, exact %d, tolerance %d", q, got, want, tol)
+			}
+		}
+		// Splitting the same stream across two histograms and merging is
+		// identical to recording it all in one.
+		h1, h2 := New(), New()
+		for i, v := range vals {
+			if i%2 == 0 {
+				h1.Record(v)
+			} else {
+				h2.Record(v)
+			}
+		}
+		h1.Merge(h2)
+		if h1.Count() != h.Count() || h1.Min() != h.Min() || h1.Max() != h.Max() ||
+			h1.Quantile(0.5) != h.Quantile(0.5) {
+			t.Fatal("merge of split stream differs from direct recording")
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package stzd
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionFIFOUnderSaturation pins the fairness of the
+// deadline-clamped acquire path: waiters that blocked on a saturated
+// semaphore with identical deadlines are admitted in arrival order.
+// Blocked channel sends wake FIFO in the Go runtime, and acquire must
+// not destroy that property (e.g. by polling in a retry loop, which
+// would randomize admission and let late arrivals starve early ones).
+func TestAdmissionFIFOUnderSaturation(t *testing.T) {
+	s := New(Options{MaxInflight: 1, AdmissionWait: 10 * time.Second, Workers: 1})
+	defer s.Close()
+
+	// Saturate the pool.
+	s.sem <- struct{}{}
+
+	const n = 8
+	deadline := time.Now().Add(8 * time.Second)
+	var (
+		mu    sync.Mutex
+		order []int
+		wg    sync.WaitGroup
+	)
+	queued := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithDeadline(context.Background(), deadline)
+			defer cancel()
+			r := httptest.NewRequest(http.MethodGet, "/", nil).WithContext(ctx)
+			queued <- struct{}{}
+			if !s.acquire(r) {
+				t.Errorf("waiter %d was never admitted", i)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			s.release()
+		}(i)
+		// Stagger arrivals far enough apart that each waiter is parked on
+		// the semaphore before the next one starts.
+		<-queued
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Free the slot: admissions cascade, each admitted waiter releasing
+	// for the next.
+	s.release()
+	wg.Wait()
+
+	if len(order) != n {
+		t.Fatalf("admitted %d of %d waiters", len(order), n)
+	}
+	// Count adjacent inversions. Strict FIFO means zero; allow a little
+	// scheduler slack so the test stays robust on loaded CI machines.
+	inversions := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inversions++
+		}
+	}
+	if inversions > 1 {
+		t.Fatalf("admission order %v has %d inversions — not FIFO", order, inversions)
+	}
+}
+
+// TestAdmissionExpiredDeadline503 pins the other half of the clamp: a
+// waiter whose context deadline has no room left must not park for the
+// full AdmissionWait — it gets the pool_saturated envelope (503,
+// retryable, Retry-After) immediately. The handler is driven directly
+// with a deadline-carrying request, the same shape a forwarding peer's
+// in-flight context produces (an HTTP client's timeout does not
+// propagate as a server-side deadline).
+func TestAdmissionExpiredDeadline503(t *testing.T) {
+	s := New(Options{MaxInflight: 1, AdmissionWait: 5 * time.Second, Workers: 1})
+	defer s.Close()
+
+	s.sem <- struct{}{}
+	defer s.release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost,
+		"/v1/compress?codec=sz3&dims=4x4x4&dtype=f32&eb=1e-3", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	s.ServeHTTP(rec, req)
+	elapsed := time.Since(start)
+
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (body %s)", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	// The response must come back when the deadline expires, well before
+	// AdmissionWait: the clamp, not the timer, ended the wait.
+	if elapsed > 2*time.Second {
+		t.Fatalf("saturated response took %s — deadline clamp not applied", elapsed)
+	}
+	var env struct {
+		Error struct {
+			Code      string `json:"code"`
+			Retryable bool   `json:"retryable"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodePoolSaturated || !env.Error.Retryable {
+		t.Fatalf("envelope %+v, want retryable %s", env, CodePoolSaturated)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"stz/internal/codec"
@@ -228,6 +229,16 @@ func (s *Server) handleArchiveBox(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, CodeBadBox, "%v", err)
 		return
 	}
+	// Zero-copy fast path: a slab-aligned query from a client that accepts
+	// the section media type ships the still-compressed bytes straight
+	// from the archive — no decode, no job slot. Misaligned boxes fall
+	// through to the normal decode path (negotiation, not an error).
+	if acceptsSection(r) {
+		if i0, i1, ok := alignedSections(e.hdr(), b); ok {
+			s.serveBoxSections(w, e, b, i0, i1)
+			return
+		}
+	}
 	elem := int64(8)
 	if e.hdr().DType == 4 {
 		elem = 4
@@ -341,6 +352,100 @@ func writeBoxHeaders(w http.ResponseWriter, e *archiveEntry, b grid.Box, read in
 	h.Set("X-Stz-Read-Bytes", strconv.FormatInt(read, 10))
 	h.Set("X-Stz-Cache", cache)
 	h.Set("Content-Length", strconv.FormatInt(int64(b.Volume())*elem, 10))
+}
+
+// SectionContentType is the media type a client sends in Accept to opt
+// into zero-copy section responses, and the Content-Type of those
+// responses: a concatenation of still-compressed, self-describing z-slab
+// sections (each decodable with codec.Decompress), split by the
+// X-Stz-Section-Lengths header.
+const SectionContentType = "application/x-stz-section"
+
+// acceptsSection reports whether the request's Accept header lists the
+// section media type. Parameters (";q=...") are ignored; wildcards do
+// NOT opt in — the client must name the type to prove it can parse the
+// sectioned body.
+func acceptsSection(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt, _, _ := strings.Cut(part, ";")
+		if strings.TrimSpace(mt) == SectionContentType {
+			return true
+		}
+	}
+	return false
+}
+
+// alignedSections reports whether box b covers whole z-slab sections:
+// full Y and X extent, with both z edges on chunk boundaries. On success
+// it returns the half-open chunk range [i0, i1) the box spans.
+func alignedSections(hdr codec.Header, b grid.Box) (i0, i1 int, ok bool) {
+	if b.Y0 != 0 || b.Y1 != hdr.Ny || b.X0 != 0 || b.X1 != hdr.Nx {
+		return 0, 0, false
+	}
+	i0, i1 = -1, -1
+	for i, z := range hdr.ChunkBounds {
+		if z == b.Z0 {
+			i0 = i
+		}
+		if z == b.Z1 {
+			i1 = i
+		}
+	}
+	if i0 < 0 || i1 <= i0 {
+		return 0, 0, false
+	}
+	return i0, i1, true
+}
+
+// serveBoxSections streams chunks [i0, i1) as stored — the zero-copy
+// path. The response carries the exact Content-Length (the sections are
+// resident views, so their sizes are known up front), the per-section
+// byte lengths for client-side splitting, and the per-section z-plane
+// counts for reassembly order. No job slot is claimed: no decode runs.
+func (s *Server) serveBoxSections(w http.ResponseWriter, e *archiveEntry, b grid.Box, i0, i1 int) {
+	secs := make([][]byte, 0, i1-i0)
+	var total int64
+	lens := make([]string, 0, i1-i0)
+	planes := make([]string, 0, i1-i0)
+	bounds := e.hdr().ChunkBounds
+	read0, _ := e.q.accounting()
+	for i := i0; i < i1; i++ {
+		sec, err := e.q.rawSection(i)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, CodeBadArchive, "%v", err)
+			return
+		}
+		secs = append(secs, sec)
+		total += int64(len(sec))
+		lens = append(lens, strconv.Itoa(len(sec)))
+		planes = append(planes, strconv.Itoa(bounds[i+1]-bounds[i]))
+	}
+	read1, _ := e.q.accounting()
+	_, payload := e.q.accounting()
+
+	dt := "f64"
+	if e.hdr().DType == 4 {
+		dt = "f32"
+	}
+	h := w.Header()
+	h.Set("Content-Type", SectionContentType)
+	h.Set("X-Stz-Codec", e.hdr().Codec)
+	h.Set("X-Stz-Dims", fmt.Sprintf("%dx%dx%d", b.Z1-b.Z0, b.Y1-b.Y0, b.X1-b.X0))
+	h.Set("X-Stz-Dtype", dt)
+	h.Set("X-Stz-Zero-Copy", "1")
+	h.Set("X-Stz-Section-Lengths", strings.Join(lens, ","))
+	h.Set("X-Stz-Section-Planes", strings.Join(planes, ","))
+	h.Set("X-Stz-Payload-Bytes", strconv.FormatInt(payload, 10))
+	h.Set("X-Stz-Read-Bytes", strconv.FormatInt(read1-read0, 10))
+	h.Set("Content-Length", strconv.FormatInt(total, 10))
+	for _, sec := range secs {
+		if _, err := w.Write(sec); err != nil {
+			log.Printf("archive box: zero-copy write failed mid-stream: %v", err)
+			return
+		}
+	}
+	s.zeroCopies.Add(1)
+	s.zeroCopyBytes.Add(total)
 }
 
 // boxResponse defers the success headers until the first body byte — by

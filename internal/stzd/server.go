@@ -196,6 +196,11 @@ type Server struct {
 	boxFlights *singleflight.Group[string, boxResult]
 	boxCache   *boxCache
 	boxDecodes atomic.Int64
+
+	// Zero-copy tier: slab-aligned box queries answered with the
+	// still-compressed section bytes (no decode, no job slot).
+	zeroCopies    atomic.Int64 // responses served zero-copy
+	zeroCopyBytes atomic.Int64 // compressed bytes shipped by those responses
 }
 
 // New builds the stzd handler: the full v1 endpoint mux with a
@@ -439,6 +444,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		box["evictions"] = s.boxCache.evictions.Load()
 	}
 	stats["box_cache"] = box
+	stats["zero_copy"] = map[string]any{
+		"served": s.zeroCopies.Load(),
+		"bytes":  s.zeroCopyBytes.Load(),
+	}
 	if s.ring != nil {
 		stats["cluster"] = map[string]any{
 			"self":         s.opts.Self,

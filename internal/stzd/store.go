@@ -301,6 +301,11 @@ type querier interface {
 	queryROI(p roiParams) (roiResult, error)
 	// accounting reports (payload bytes read since open, total payload).
 	accounting() (read, payload int64)
+	// rawSection returns chunk i's still-compressed z-slab section (a
+	// self-describing stream) without decoding — the zero-copy serving
+	// path. The slice aliases the resident archive; callers must not
+	// mutate it.
+	rawSection(i int) ([]byte, error)
 }
 
 // roiParams are the validated inputs of one ROI selection request.
@@ -364,6 +369,8 @@ func (q *typedQuerier[T]) cost() int64 {
 	}
 	return q.size + int64(hdr.Nz)*int64(hdr.Ny)*int64(hdr.Nx)*elem
 }
+
+func (q *typedQuerier[T]) rawSection(i int) ([]byte, error) { return q.ra.RawSection(i) }
 
 func (q *typedQuerier[T]) writeBox(w io.Writer, b grid.Box) error {
 	g, err := q.ra.DecompressBox(b)
